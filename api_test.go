@@ -1,0 +1,120 @@
+package coralpie
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestPublicAPIEndToEnd drives the package through its exported surface
+// only, the way a downstream user would: build a road network, assemble a
+// system, add cameras and traffic, run, and query trajectories.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	graph, nodes, err := Corridor(5, 150, Point{Lat: 33.7756, Lon: -84.3963})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Config{Graph: graph, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2, 4} {
+		if err := sys.AddCameraAt(fmt.Sprintf("cam%d", i), nodes[i], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := 0; v < 2; v++ {
+		err := sys.World().AddVehicle(VehicleSpec{
+			ID:       fmt.Sprintf("veh-%d", v),
+			Color:    PaletteColor(v),
+			SpeedMPS: 15,
+			Route:    nodes,
+			Depart:   time.Duration(v) * 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Start()
+	sys.Run(sys.World().LastVehicleDone() + 20*time.Second)
+	sys.Stop()
+	if err := sys.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	store := sys.TrajStore()
+	if store.NumVertices() != 6 || store.NumEdges() != 4 {
+		t.Fatalf("graph: %d vertices %d edges", store.NumVertices(), store.NumEdges())
+	}
+	v, err := store.Vertex(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := store.Trajectory(v.ID, DefaultTraceLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || len(paths[0]) != 3 {
+		t.Fatalf("trajectory = %v", paths)
+	}
+}
+
+func TestPublicAPIGraphHelpers(t *testing.T) {
+	graph, sites, err := Campus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 37 {
+		t.Fatalf("campus sites = %d", len(sites))
+	}
+	rng := rand.New(rand.NewSource(5))
+	route, err := RandomRoute(graph, rng, sites[0], 5)
+	if err != nil || len(route) < 2 {
+		t.Fatalf("route = %v err %v", route, err)
+	}
+	g2, ids, err := Grid(3, 3, 100, Point{Lat: 33, Lon: -84})
+	if err != nil || g2.NumNodes() != 9 || len(ids) != 9 {
+		t.Fatalf("grid: %v", err)
+	}
+	if _, err := NewSimDetector(DefaultSimDetectorConfig(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIDirectionsAndColors(t *testing.T) {
+	if East.Opposite() != West || North.Opposite() != South {
+		t.Error("direction constants miswired")
+	}
+	if PaletteColor(0) == PaletteColor(1) {
+		t.Error("palette colors should differ")
+	}
+	store := NewMemTrajStore()
+	if store.NumVertices() != 0 {
+		t.Error("fresh store not empty")
+	}
+	h1 := Histogram{Bins: make([]float64, 512)}
+	h1.Bins[0] = 1
+	h2 := Histogram{Bins: make([]float64, 512)}
+	h2.Bins[511] = 1
+	d, err := Bhattacharyya(h1, h2)
+	if err != nil || d < 0.99 {
+		t.Errorf("Bhattacharyya = %v err %v", d, err)
+	}
+}
+
+// TestExperimentWrappers spot-checks the cheap experiment re-exports.
+func TestExperimentWrappers(t *testing.T) {
+	t1, err := RunTable1()
+	if err != nil || t1.PipelinedFPS < 10 {
+		t.Errorf("RunTable1: %v %v", t1.PipelinedFPS, err)
+	}
+	f12a, err := RunFigure12a(1)
+	if err != nil || len(f12a.Points) != 37 {
+		t.Errorf("RunFigure12a: %v", err)
+	}
+	single, err := RunAblationSingleDevice()
+	if err != nil || single.DualFPS <= single.SingleFPS {
+		t.Errorf("RunAblationSingleDevice: %+v %v", single, err)
+	}
+}

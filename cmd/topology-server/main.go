@@ -1,0 +1,90 @@
+// Command topology-server runs Coral-Pie's cloud camera topology server
+// over TCP: it accepts camera heartbeats, places cameras on the road
+// network, detects failures by heartbeat loss, and pushes MDCS updates to
+// the affected cameras.
+//
+// Usage:
+//
+//	topology-server -listen 0.0.0.0:7000 -graph road.json -heartbeat 2s
+//	topology-server -listen 0.0.0.0:7000 -campus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/roadnet"
+	"repro/internal/topology"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7000", "address to listen on")
+		graphPath = flag.String("graph", "", "road network JSON (see roadnet.Spec)")
+		campus    = flag.Bool("campus", false, "use the built-in 37-intersection campus network")
+		heartbeat = flag.Duration("heartbeat", 2*time.Second, "expected camera heartbeat interval")
+		snap      = flag.Float64("snap-meters", 30, "radius for snapping cameras to intersections")
+	)
+	flag.Parse()
+
+	var (
+		graph *roadnet.Graph
+		err   error
+	)
+	switch {
+	case *campus:
+		graph, _, err = roadnet.Campus()
+	case *graphPath != "":
+		f, ferr := os.Open(*graphPath)
+		if ferr != nil {
+			return fmt.Errorf("open graph: %w", ferr)
+		}
+		graph, err = roadnet.ReadJSON(f)
+		_ = f.Close()
+	default:
+		return fmt.Errorf("one of -graph or -campus is required")
+	}
+	if err != nil {
+		return fmt.Errorf("load graph: %w", err)
+	}
+
+	ep, err := transport.ListenTCP(*listen)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = ep.Close() }()
+
+	srv, err := topology.NewServer(graph, ep, clock.Real{}, topology.ServerConfig{
+		LivenessTimeout:  2 * *heartbeat,
+		SnapToNodeMeters: *snap,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(*heartbeat / 2); err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+
+	log.Printf("topology server on %s (%d intersections, heartbeat %v)",
+		ep.Addr(), graph.NumNodes(), *heartbeat)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down; cameras registered: %d", len(srv.Cameras()))
+	return nil
+}

@@ -1,0 +1,91 @@
+// Command trajquery is the query interface the paper defers to future
+// work (Section 8): it connects to a running trajectory store server and
+// reconstructs the space-time track of a vehicle from any known sighting.
+//
+// Usage:
+//
+//	trajquery -server 127.0.0.1:7001 -event cam1#42
+//	trajquery -server 127.0.0.1:7001 -vertex 7 -max-depth 16
+//	trajquery -server 127.0.0.1:7001 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/query"
+	"repro/internal/trajstore"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		server   = flag.String("server", "127.0.0.1:7001", "trajectory store server address")
+		eventID  = flag.String("event", "", "start from a detection event id (camera#track)")
+		vertexID = flag.Int64("vertex", 0, "start from a trajectory-graph vertex id")
+		maxDepth = flag.Int("max-depth", 64, "traversal depth limit")
+		maxPaths = flag.Int("max-paths", 32, "candidate path limit")
+		stats    = flag.Bool("stats", false, "print store statistics and exit")
+	)
+	flag.Parse()
+
+	client, err := trajstore.Dial(*server)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = client.Close() }()
+
+	if *stats {
+		vertices, edges, err := client.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trajectory graph: %d events, %d re-identification links\n", vertices, edges)
+		return nil
+	}
+
+	var start trajstore.Vertex
+	switch {
+	case *eventID != "":
+		start, err = client.FindByEventID(protocol.EventID(*eventID))
+	case *vertexID > 0:
+		start, err = client.Vertex(*vertexID)
+	default:
+		return fmt.Errorf("one of -event, -vertex, or -stats is required")
+	}
+	if err != nil {
+		return err
+	}
+
+	tracks, err := query.ReconstructFromVertex(client, start.ID, trajstore.TraceLimits{
+		MaxDepth: *maxDepth,
+		MaxPaths: *maxPaths,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("sighting: %s at %s (%s)\n",
+		start.Event.ID, start.Event.CameraID,
+		start.Event.Timestamp.Format("2006-01-02 15:04:05 MST"))
+	fmt.Printf("%d candidate space-time track(s), most plausible first:\n", len(tracks))
+	for i, track := range tracks {
+		hops := make([]string, 0, len(track.Hops))
+		for _, h := range track.Hops {
+			hops = append(hops, fmt.Sprintf("%s@%s", h.Camera, h.Time.Format("15:04:05")))
+		}
+		fmt.Printf("  %2d. %s  (%d hops, %v, mean link distance %.3f)\n",
+			i+1, strings.Join(hops, " -> "), len(track.Hops),
+			track.Duration.Round(time.Second), track.MeanWeight)
+	}
+	return nil
+}

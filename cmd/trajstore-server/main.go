@@ -1,0 +1,83 @@
+// Command trajstore-server runs Coral-Pie's trajectory graph store (the
+// JanusGraph role in the paper) over TCP on an edge node.
+//
+// Usage:
+//
+//	trajstore-server -listen 0.0.0.0:7001 -dir /var/lib/coralpie/traj
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/trajstore"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7001", "address to listen on")
+		dir     = flag.String("dir", "", "persistence directory (empty = in-memory)")
+		compact = flag.Duration("compact-every", 10*time.Minute, "snapshot compaction interval (persistent stores)")
+	)
+	flag.Parse()
+
+	var (
+		store *trajstore.Store
+		err   error
+	)
+	if *dir == "" {
+		store = trajstore.NewMemStore()
+	} else {
+		store, err = trajstore.Open(*dir)
+		if err != nil {
+			return err
+		}
+	}
+	defer func() { _ = store.Close() }()
+
+	srv, err := trajstore.Serve(store, *listen)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+	log.Printf("trajectory store on %s (dir=%q, %d vertices)", srv.Addr(), *dir, store.NumVertices())
+
+	stopCompact := make(chan struct{})
+	doneCompact := make(chan struct{})
+	go func() {
+		defer close(doneCompact)
+		if *dir == "" || *compact <= 0 {
+			return
+		}
+		ticker := time.NewTicker(*compact)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if err := store.Compact(); err != nil {
+					log.Printf("compact: %v", err)
+				}
+			case <-stopCompact:
+				return
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stopCompact)
+	<-doneCompact
+	log.Printf("shutting down with %d vertices / %d edges", store.NumVertices(), store.NumEdges())
+	return nil
+}

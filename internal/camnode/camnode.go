@@ -1,0 +1,541 @@
+// Package camnode implements the per-camera node of Coral-Pie: the
+// continuous processing that runs on every frame (paper Section 4.1) —
+// detection, post-processing, SORT tracking, feature extraction, the
+// inter-camera communication protocol, re-identification against the
+// candidate pool, and the storage clients for the trajectory graph and
+// raw frames.
+//
+// The node's core is the synchronous ProcessFrame path, driven either by
+// the discrete-event simulation harness (deterministic experiments) or by
+// the concurrent live pipeline in live.go (real deployments over TCP).
+package camnode
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/feature"
+	"repro/internal/geo"
+	"repro/internal/protocol"
+	"repro/internal/reid"
+	"repro/internal/topology"
+	"repro/internal/tracker"
+	"repro/internal/transport"
+	"repro/internal/vision"
+)
+
+// TrajStore is the trajectory storage client interface; both the local
+// *trajstore.Store and the remote *trajstore.Client satisfy it.
+type TrajStore interface {
+	AddVertex(e protocol.DetectionEvent) (int64, error)
+	AddEdge(from, to int64, weight float64) error
+}
+
+// FrameSink is the frame storage client interface (framestore.Client).
+type FrameSink interface {
+	StoreFrame(rec protocol.FrameRecord) error
+}
+
+// Hooks are optional observation points used by the evaluation harness.
+type Hooks struct {
+	// OnEvent fires when the node generates a detection event, after
+	// re-identification. matched reports whether re-id found the vehicle
+	// in the candidate pool; dist is the Bhattacharyya distance when it
+	// did.
+	OnEvent func(e protocol.DetectionEvent, matched bool, matchedUpstream protocol.EventID, dist float64)
+	// OnInformReceived fires when an informing notification lands in the
+	// candidate pool.
+	OnInformReceived func(e protocol.DetectionEvent, at time.Time)
+	// OnFirstSeen fires the first time a ground-truth vehicle is detected
+	// by this camera (simulation only; keyed by TruthID).
+	OnFirstSeen func(truthID string, at time.Time)
+}
+
+// Config assembles a camera node.
+type Config struct {
+	CameraID   string
+	Position   geo.Point
+	HeadingDeg float64
+	// TopologyServerAddr is the transport address of the topology server.
+	TopologyServerAddr string
+
+	Detector    vision.Detector
+	PostProcess vision.PostProcessConfig
+	Tracker     tracker.Config
+	Matcher     reid.MatcherConfig
+	Pool        reid.PoolConfig
+
+	TrajStore  TrajStore
+	FrameStore FrameSink // optional
+	// StoreFrames controls whether raw frames are shipped to FrameStore.
+	StoreFrames bool
+
+	Clock clock.Clock
+	Hooks Hooks
+	// MaxPendingInforms bounds the memory of the informed-MDCS table used
+	// by the confirming stage; 0 uses a default.
+	MaxPendingInforms int
+}
+
+// Stats are the node's lifetime counters.
+type Stats struct {
+	FramesProcessed  int64
+	DetectionsRaw    int64
+	DetectionsKept   int64
+	EventsGenerated  int64
+	InformsSent      int64
+	InformsReceived  int64
+	ConfirmsSent     int64
+	ConfirmsReceived int64
+	RetiresSent      int64
+	RetiresReceived  int64
+	ReidMatches      int64
+	VerticesInserted int64
+	EdgesInserted    int64
+	SendErrors       int64
+}
+
+// pendingInform remembers where an event was informed to, so the
+// confirming stage can retire it everywhere else.
+type pendingInform struct {
+	eventID protocol.EventID
+	sentTo  []protocol.CameraRef
+}
+
+// Node is one camera's processing stack.
+type Node struct {
+	cfg Config
+	ep  transport.Endpoint
+	top *topology.Client
+
+	mu       sync.Mutex
+	tracker  *tracker.Tracker
+	pool     *reid.Pool
+	matcher  *reid.Matcher
+	accum    map[int64]*feature.Accumulator
+	pending  map[protocol.EventID]*pendingInform
+	pendOrd  []protocol.EventID
+	upstream map[protocol.EventID]string // informing sender addresses, for confirms
+	upOrd    []protocol.EventID
+	seen     map[string]bool // ground-truth vehicles already reported to OnFirstSeen
+	stats    Stats
+	maxPend  int
+}
+
+// New wires a node onto a transport endpoint. The endpoint's handler is
+// installed by this call; the topology client shares the same endpoint.
+func New(cfg Config, ep transport.Endpoint) (*Node, error) {
+	if cfg.CameraID == "" {
+		return nil, errors.New("camnode: camera id required")
+	}
+	if cfg.Detector == nil {
+		return nil, errors.New("camnode: detector required")
+	}
+	if cfg.TrajStore == nil {
+		return nil, errors.New("camnode: trajectory store required")
+	}
+	if cfg.Clock == nil {
+		return nil, errors.New("camnode: clock required")
+	}
+	if ep == nil {
+		return nil, errors.New("camnode: endpoint required")
+	}
+	if cfg.StoreFrames && cfg.FrameStore == nil {
+		return nil, errors.New("camnode: StoreFrames set without a FrameStore")
+	}
+	tk, err := tracker.New(cfg.Tracker)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := reid.NewPool(cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	matcher, err := reid.NewMatcher(cfg.Matcher)
+	if err != nil {
+		return nil, err
+	}
+	top, err := topology.NewClient(topology.ClientConfig{
+		CameraID:   cfg.CameraID,
+		ServerAddr: cfg.TopologyServerAddr,
+		Position:   cfg.Position,
+		HeadingDeg: cfg.HeadingDeg,
+	}, ep, cfg.Clock)
+	if err != nil {
+		return nil, err
+	}
+	maxPend := cfg.MaxPendingInforms
+	if maxPend <= 0 {
+		maxPend = 1024
+	}
+	n := &Node{
+		cfg:      cfg,
+		ep:       ep,
+		top:      top,
+		tracker:  tk,
+		pool:     pool,
+		matcher:  matcher,
+		accum:    make(map[int64]*feature.Accumulator),
+		pending:  make(map[protocol.EventID]*pendingInform),
+		upstream: make(map[protocol.EventID]string),
+		seen:     make(map[string]bool),
+		maxPend:  maxPend,
+	}
+	ep.SetHandler(n.HandleEnvelope)
+	return n, nil
+}
+
+// CameraID returns the node's identity.
+func (n *Node) CameraID() string { return n.cfg.CameraID }
+
+// Topology returns the node's topology client (heartbeats, MDCS table).
+func (n *Node) Topology() *topology.Client { return n.top }
+
+// Pool returns the node's candidate pool (read-mostly; used by the
+// evaluation harness).
+func (n *Node) Pool() *reid.Pool { return n.pool }
+
+// SetHooks replaces the node's observation hooks. Call before processing
+// begins; hooks are read without the node lock.
+func (n *Node) SetHooks(h Hooks) {
+	n.cfg.Hooks = h
+}
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// HandleEnvelope dispatches incoming transport messages. Installed as the
+// endpoint handler by New; exported for harnesses that route manually.
+func (n *Node) HandleEnvelope(env protocol.Envelope) {
+	msg, err := protocol.Open(env)
+	if err != nil {
+		return
+	}
+	switch m := msg.(type) {
+	case protocol.Inform:
+		n.handleInform(m)
+	case protocol.Confirm:
+		n.handleConfirm(m)
+	case protocol.Retire:
+		n.handleRetire(m)
+	case protocol.TopologyUpdate:
+		n.top.ApplyUpdate(m)
+	}
+}
+
+func (n *Node) handleInform(m protocol.Inform) {
+	now := n.cfg.Clock.Now()
+	n.mu.Lock()
+	n.stats.InformsReceived++
+	if m.FromAddr != "" {
+		n.upstream[m.Event.ID] = m.FromAddr
+		n.upOrd = append(n.upOrd, m.Event.ID)
+		for len(n.upOrd) > n.maxPend {
+			old := n.upOrd[0]
+			n.upOrd = n.upOrd[1:]
+			delete(n.upstream, old)
+		}
+	}
+	n.mu.Unlock()
+	ev := m.Event
+	n.pool.Add(ev, now)
+	if n.cfg.Hooks.OnInformReceived != nil {
+		n.cfg.Hooks.OnInformReceived(ev, now)
+	}
+}
+
+// handleConfirm runs on the predecessor camera: one of its downstream
+// cameras re-identified the vehicle, so every other informed camera can
+// retire the event.
+func (n *Node) handleConfirm(m protocol.Confirm) {
+	n.mu.Lock()
+	n.stats.ConfirmsReceived++
+	pend, ok := n.pending[m.EventID]
+	if ok {
+		delete(n.pending, m.EventID)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	retire := protocol.Retire{EventID: m.EventID, ByCameraID: m.ByCameraID}
+	for _, ref := range pend.sentTo {
+		if ref.ID == m.ByCameraID || ref.Addr == "" {
+			continue
+		}
+		n.send(ref.Addr, retire, &n.stats.RetiresSent)
+	}
+}
+
+func (n *Node) handleRetire(m protocol.Retire) {
+	n.mu.Lock()
+	n.stats.RetiresReceived++
+	n.mu.Unlock()
+	n.pool.MarkMatched(m.EventID)
+}
+
+// send seals and sends a message, counting errors instead of failing the
+// pipeline (unreachable peers are repaired by topology management). The
+// node lock is NOT held across Send: the in-process bus delivers
+// synchronously and the confirming protocol can chain back into this
+// node's handlers.
+func (n *Node) send(addr string, msg any, counter *int64) {
+	env, err := protocol.Seal(msg)
+	if err != nil {
+		return
+	}
+	sendErr := n.ep.Send(addr, env)
+	n.mu.Lock()
+	if sendErr != nil {
+		n.stats.SendErrors++
+	} else if counter != nil {
+		*counter++
+	}
+	n.mu.Unlock()
+}
+
+// ProcessFrame runs the full continuous-processing path on one frame:
+// detection, the three-step post-processing filter, SORT tracking with
+// per-track signature accumulation, event generation for departed
+// vehicles, re-identification, the communication protocol, and storage.
+func (n *Node) ProcessFrame(f *vision.Frame) error {
+	kept, raw, err := n.detect(f)
+	if err != nil {
+		return err
+	}
+	return n.ingest(f, kept, raw)
+}
+
+// detect runs the RPi-1 half of the pipeline: inference plus the
+// three-step post-processing filter. It has no node state, so the live
+// pipeline runs it concurrently with ingest.
+func (n *Node) detect(f *vision.Frame) (kept []vision.Detection, rawCount int, err error) {
+	if f == nil || f.Image == nil {
+		return nil, 0, errors.New("camnode: nil frame")
+	}
+	raw, err := n.cfg.Detector.Detect(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("camnode: detect: %w", err)
+	}
+	return vision.PostProcess(raw, n.cfg.PostProcess), len(raw), nil
+}
+
+// ingest runs the RPi-2 half: tracking, feature accumulation, event
+// generation, re-identification, communication, and storage.
+func (n *Node) ingest(f *vision.Frame, kept []vision.Detection, rawCount int) error {
+	n.mu.Lock()
+	n.stats.FramesProcessed++
+	n.stats.DetectionsRaw += int64(rawCount)
+	n.stats.DetectionsKept += int64(len(kept))
+
+	res, err := n.tracker.Update(f.Seq, kept)
+	if err != nil {
+		n.mu.Unlock()
+		return fmt.Errorf("camnode: track: %w", err)
+	}
+
+	// Accumulate per-track signatures and frame annotations.
+	annotations := make([]protocol.BoxAnnotation, 0, len(res.Assignments))
+	var firstSeen []string
+	for _, a := range res.Assignments {
+		det := kept[a.DetIndex]
+		acc := n.accum[a.TrackID]
+		if acc == nil {
+			acc = feature.NewAccumulator()
+			n.accum[a.TrackID] = acc
+		}
+		if err := acc.Add(f.Image, det.Box); err != nil {
+			n.mu.Unlock()
+			return fmt.Errorf("camnode: feature accumulate: %w", err)
+		}
+		annotations = append(annotations, protocol.BoxAnnotation{
+			TrackID:    a.TrackID,
+			X:          det.Box.X,
+			Y:          det.Box.Y,
+			W:          det.Box.W,
+			H:          det.Box.H,
+			Label:      det.Label.String(),
+			Confidence: det.Confidence,
+		})
+		if det.TruthID != "" && !n.seen[det.TruthID] {
+			n.seen[det.TruthID] = true
+			firstSeen = append(firstSeen, det.TruthID)
+		}
+	}
+	departed := n.tracker.ConfirmedDeparted(res.Departed)
+	n.mu.Unlock()
+
+	if n.cfg.Hooks.OnFirstSeen != nil {
+		for _, id := range firstSeen {
+			n.cfg.Hooks.OnFirstSeen(id, f.Time)
+		}
+	}
+
+	for _, tr := range departed {
+		if err := n.emitEvent(tr); err != nil {
+			return err
+		}
+	}
+
+	if n.cfg.StoreFrames {
+		rec := protocol.FrameRecord{
+			CameraID:    n.cfg.CameraID,
+			Seq:         f.Seq,
+			Timestamp:   f.Time,
+			Width:       f.Image.Width,
+			Height:      f.Image.Height,
+			Pixels:      f.Image.Pix,
+			Annotations: annotations,
+		}
+		if err := n.cfg.FrameStore.StoreFrame(rec); err != nil {
+			// Frame storage is off the critical path; count and continue.
+			n.mu.Lock()
+			n.stats.SendErrors++
+			n.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// Flush retires all live tracks (end of stream) and emits their events.
+func (n *Node) Flush() error {
+	n.mu.Lock()
+	flushed := n.tracker.Flush()
+	departed := n.tracker.ConfirmedDeparted(flushed)
+	n.mu.Unlock()
+	for _, tr := range departed {
+		if err := n.emitEvent(tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitEvent turns a departed track into a detection event: signature and
+// direction extraction, trajectory-graph vertex insertion,
+// re-identification, the confirming stage, and the informing stage.
+func (n *Node) emitEvent(tr *tracker.Track) error {
+	now := n.cfg.Clock.Now()
+
+	n.mu.Lock()
+	acc := n.accum[tr.ID]
+	delete(n.accum, tr.ID)
+	n.mu.Unlock()
+	if acc == nil {
+		return nil // track never got a signature (should not happen)
+	}
+	hist := acc.Histogram()
+
+	boxes := make([]feature.Centroid, 0, len(tr.Tracklet))
+	truthID := ""
+	for _, obs := range tr.Tracklet {
+		boxes = append(boxes, feature.Centroid{X: obs.Box.CenterX(), Y: obs.Box.CenterY()})
+		if obs.TruthID != "" {
+			truthID = obs.TruthID
+		}
+	}
+	dir := feature.EstimateDirection(boxes, n.cfg.HeadingDeg)
+
+	ev := protocol.DetectionEvent{
+		ID:        protocol.NewEventID(n.cfg.CameraID, tr.ID),
+		CameraID:  n.cfg.CameraID,
+		Timestamp: now,
+		Direction: dir,
+		Histogram: hist,
+		TrackID:   tr.ID,
+		TruthID:   truthID,
+	}
+
+	// (a) Insert the vertex; its ID travels inside the event.
+	vid, err := n.cfg.TrajStore.AddVertex(ev)
+	if err != nil {
+		return fmt.Errorf("camnode: vertex insert: %w", err)
+	}
+	ev.VertexID = vid
+	n.mu.Lock()
+	n.stats.EventsGenerated++
+	n.stats.VerticesInserted++
+	n.mu.Unlock()
+
+	// (b) Re-identify against the candidate pool.
+	matched, matchEntry, dist := false, reid.Entry{}, 0.0
+	if entry, d, ok := n.matcher.Match(hist, n.pool, now); ok {
+		matched, matchEntry, dist = true, entry, d
+	}
+	if matched {
+		up := matchEntry.Event
+		if err := n.cfg.TrajStore.AddEdge(up.VertexID, vid, dist); err == nil {
+			n.mu.Lock()
+			n.stats.EdgesInserted++
+			n.stats.ReidMatches++
+			n.mu.Unlock()
+		}
+		n.pool.MarkMatched(up.ID)
+		// Confirming stage: notify the predecessor camera.
+		if addr := n.upstreamAddr(up); addr != "" {
+			n.send(addr, protocol.Confirm{
+				EventID:        up.ID,
+				ByCameraID:     n.cfg.CameraID,
+				MatchedEventID: ev.ID,
+				Distance:       dist,
+			}, &n.stats.ConfirmsSent)
+		}
+	}
+
+	// Informing stage: forward the event to the MDCS for its direction.
+	if dir.Valid() {
+		refs := n.top.Lookup(dir)
+		if len(refs) > 0 {
+			inform := protocol.Inform{Event: ev, FromAddr: n.ep.Addr()}
+			sent := make([]protocol.CameraRef, 0, len(refs))
+			for _, ref := range refs {
+				if ref.Addr == "" {
+					continue
+				}
+				n.send(ref.Addr, inform, &n.stats.InformsSent)
+				sent = append(sent, ref)
+			}
+			if len(sent) > 0 {
+				n.rememberInform(ev.ID, sent)
+			}
+		}
+	}
+
+	if n.cfg.Hooks.OnEvent != nil {
+		matchedID := protocol.EventID("")
+		if matched {
+			matchedID = matchEntry.Event.ID
+		}
+		n.cfg.Hooks.OnEvent(ev, matched, matchedID, dist)
+	}
+	return nil
+}
+
+// upstreamAddr resolves the reply address for a pool entry. The informing
+// message recorded the sender address when the event arrived; events that
+// came without one cannot be confirmed.
+func (n *Node) upstreamAddr(e protocol.DetectionEvent) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.upstream[e.ID]
+}
+
+// rememberInform records where an event was informed, bounded FIFO.
+func (n *Node) rememberInform(id protocol.EventID, sentTo []protocol.CameraRef) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.pending[id] = &pendingInform{eventID: id, sentTo: sentTo}
+	n.pendOrd = append(n.pendOrd, id)
+	for len(n.pendOrd) > n.maxPend {
+		old := n.pendOrd[0]
+		n.pendOrd = n.pendOrd[1:]
+		delete(n.pending, old)
+	}
+}

@@ -1,0 +1,38 @@
+// Package clock abstracts the source of wall-clock time so that the same
+// components run against the real clock in deployments and against the
+// discrete-event simulator's virtual clock in experiments.
+package clock
+
+import "time"
+
+// Clock supplies the current instant.
+type Clock interface {
+	Now() time.Time
+}
+
+// Real is a Clock backed by the system clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Func adapts a function to the Clock interface, which is how the
+// discrete-event simulator's virtual clock is injected:
+//
+//	c := clock.Func(sim.Time)
+type Func func() time.Time
+
+var _ Clock = Func(nil)
+
+// Now implements Clock.
+func (f Func) Now() time.Time { return f() }
+
+// Fixed is a Clock pinned to a single instant, useful in tests.
+type Fixed struct{ T time.Time }
+
+var _ Clock = Fixed{}
+
+// Now implements Clock.
+func (f Fixed) Now() time.Time { return f.T }

@@ -1,0 +1,31 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReal(t *testing.T) {
+	before := time.Now()
+	got := Real{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Errorf("Real.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestFunc(t *testing.T) {
+	want := time.Date(2020, 12, 7, 12, 0, 0, 0, time.UTC)
+	c := Func(func() time.Time { return want })
+	if !c.Now().Equal(want) {
+		t.Errorf("Func.Now() = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestFixed(t *testing.T) {
+	want := time.Date(2020, 12, 7, 12, 0, 0, 0, time.UTC)
+	c := Fixed{T: want}
+	if !c.Now().Equal(want) {
+		t.Errorf("Fixed.Now() = %v, want %v", c.Now(), want)
+	}
+}

@@ -1,0 +1,408 @@
+// Package core assembles a complete Coral-Pie deployment: the world
+// simulator, one camera node per camera, the camera topology server, the
+// trajectory graph store, and the frame store, all wired over a simulated
+// network on a discrete-event simulator. It is the paper's end-to-end
+// system in deterministic, laptop-runnable form; the cmd/ binaries
+// assemble the same components over real TCP.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/camnode"
+	"repro/internal/clock"
+	"repro/internal/des"
+	"repro/internal/framestore"
+	"repro/internal/geo"
+	"repro/internal/reid"
+	"repro/internal/roadnet"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/tracker"
+	"repro/internal/trajstore"
+	"repro/internal/transport"
+	"repro/internal/vision"
+)
+
+// topologyAddr is the simulated bus address of the topology server.
+const topologyAddr = "topology-server"
+
+// framestoreAddr is the simulated bus address of the frame store.
+const framestoreAddr = "frame-store"
+
+// Config assembles a simulated deployment.
+type Config struct {
+	// Graph is the road network (cameras are registered via heartbeats,
+	// so supply it without cameras).
+	Graph *roadnet.Graph
+	// Epoch anchors virtual time to wall-clock timestamps.
+	Epoch time.Time
+	// NetworkLatency is the one-way message latency on the simulated
+	// network (the paper measures 2 ms on the campus LAN).
+	NetworkLatency time.Duration
+	// MessageLossRate drops each network message with this probability,
+	// for failure-injection studies. Zero disables loss.
+	MessageLossRate float64
+	// HeartbeatInterval is the camera heartbeat period (paper: 2 s / 5 s).
+	HeartbeatInterval time.Duration
+	// LivenessMultiple sets the server's liveness timeout as a multiple
+	// of the heartbeat interval (default 2).
+	LivenessMultiple int
+	// LivenessCheckInterval is how often the server scans leases
+	// (default: HeartbeatInterval / 2).
+	LivenessCheckInterval time.Duration
+
+	// DetectorFactory builds the pluggable detector per camera. Default:
+	// the calibrated SimDetector seeded per camera.
+	DetectorFactory func(cameraID string) (vision.Detector, error)
+	// Seed drives all randomness derived by the system.
+	Seed int64
+
+	// Vision-stack parameters (zero values use the paper prototype's).
+	Tracker     tracker.Config
+	Matcher     reid.MatcherConfig
+	Pool        reid.PoolConfig
+	PostProcess vision.PostProcessConfig
+
+	// StoreFrames ships raw frames to the frame store (off by default:
+	// frame storage is not on the critical path and slows large sweeps).
+	StoreFrames bool
+	// Camera geometry overrides (zero values use sim defaults).
+	CameraFPS    float64
+	CameraWidth  int
+	CameraHeight int
+	PxPerMeter   float64
+	// BrightnessJitter gives each camera a deterministic per-camera
+	// exposure offset in [-BrightnessJitter, +BrightnessJitter],
+	// modeling the cross-camera appearance differences that make
+	// color-histogram re-identification imperfect.
+	BrightnessJitter int
+}
+
+// applyDefaults fills zero values with the paper prototype's parameters.
+func (c *Config) applyDefaults() {
+	if c.Epoch.IsZero() {
+		c.Epoch = time.Date(2020, 12, 7, 0, 0, 0, 0, time.UTC)
+	}
+	if c.NetworkLatency <= 0 {
+		c.NetworkLatency = 2 * time.Millisecond
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 2 * time.Second
+	}
+	if c.LivenessMultiple <= 0 {
+		c.LivenessMultiple = 2
+	}
+	if c.LivenessCheckInterval <= 0 {
+		c.LivenessCheckInterval = c.HeartbeatInterval / 2
+	}
+	if c.Tracker == (tracker.Config{}) {
+		c.Tracker = tracker.DefaultConfig()
+	}
+	if c.Matcher == (reid.MatcherConfig{}) {
+		c.Matcher = reid.DefaultMatcherConfig()
+	}
+	if c.Pool == (reid.PoolConfig{}) {
+		c.Pool = reid.DefaultPoolConfig()
+	}
+	if c.PostProcess.MinConfidence == 0 {
+		c.PostProcess.MinConfidence = vision.DefaultMinConfidence
+	}
+	if c.CameraFPS <= 0 {
+		c.CameraFPS = 15
+	}
+}
+
+// cameraRig bundles one camera's moving parts.
+type cameraRig struct {
+	node      *camnode.Node
+	camera    *sim.Camera
+	client    *topology.Client
+	heartbeat *des.Ticker
+	endpoint  transport.Endpoint
+	procErrs  int
+}
+
+// System is a running simulated deployment.
+type System struct {
+	cfg    Config
+	sim    *des.Simulator
+	bus    *transport.Bus
+	world  *sim.World
+	topo   *topology.Server
+	traj   *trajstore.Store
+	frames *framestore.Store
+
+	rigs     map[string]*cameraRig
+	liveness *des.Ticker
+	started  bool
+}
+
+// NewSystem wires the shared services (topology server, stores, network)
+// and returns a system ready for AddCamera/AddVehicle.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("core: road graph required")
+	}
+	cfg.applyDefaults()
+
+	dsim := des.New(cfg.Epoch)
+	bus := transport.NewSimBus(dsim, cfg.NetworkLatency)
+	if cfg.MessageLossRate > 0 {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x10552a7e))
+		if err := bus.SetLossRate(cfg.MessageLossRate, rng); err != nil {
+			return nil, err
+		}
+	}
+	world, err := sim.NewWorld(sim.WorldConfig{Sim: dsim, Graph: cfg.Graph})
+	if err != nil {
+		return nil, err
+	}
+
+	topoEP, err := bus.Endpoint(topologyAddr)
+	if err != nil {
+		return nil, err
+	}
+	topoSrv, err := topology.NewServer(cfg.Graph, topoEP, clock.Func(dsim.Time), topology.ServerConfig{
+		LivenessTimeout:  time.Duration(cfg.LivenessMultiple) * cfg.HeartbeatInterval,
+		SnapToNodeMeters: 30,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	traj := trajstore.NewMemStore()
+
+	frames, err := framestore.OpenStore("")
+	if err != nil {
+		return nil, err
+	}
+	framesEP, err := bus.Endpoint(framestoreAddr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := framestore.NewServer(frames, framesEP); err != nil {
+		return nil, err
+	}
+
+	return &System{
+		cfg:    cfg,
+		sim:    dsim,
+		bus:    bus,
+		world:  world,
+		topo:   topoSrv,
+		traj:   traj,
+		frames: frames,
+		rigs:   make(map[string]*cameraRig),
+	}, nil
+}
+
+// Sim exposes the simulator (for custom scheduling in experiments).
+func (s *System) Sim() *des.Simulator { return s.sim }
+
+// World exposes the world model.
+func (s *System) World() *sim.World { return s.world }
+
+// TrajStore exposes the shared trajectory graph.
+func (s *System) TrajStore() *trajstore.Store { return s.traj }
+
+// FrameStore exposes the shared frame store.
+func (s *System) FrameStore() *framestore.Store { return s.frames }
+
+// TopologyServer exposes the topology server.
+func (s *System) TopologyServer() *topology.Server { return s.topo }
+
+// Node returns a camera's processing node.
+func (s *System) Node(cameraID string) (*camnode.Node, error) {
+	rig, ok := s.rigs[cameraID]
+	if !ok {
+		return nil, fmt.Errorf("core: camera %q not found", cameraID)
+	}
+	return rig.node, nil
+}
+
+// CameraIDs lists the installed cameras.
+func (s *System) CameraIDs() []string {
+	out := make([]string, 0, len(s.rigs))
+	for id := range s.rigs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// AddCameraAt installs a camera at a road-network node, wiring its
+// processing node, simulated camera, and heartbeats.
+func (s *System) AddCameraAt(cameraID string, node roadnet.NodeID, headingDeg float64) error {
+	n, err := s.cfg.Graph.Node(node)
+	if err != nil {
+		return err
+	}
+	return s.AddCamera(cameraID, n.Pos, headingDeg)
+}
+
+// AddCamera installs a camera at an arbitrary position (the topology
+// server snaps it to the nearest intersection or lane).
+func (s *System) AddCamera(cameraID string, pos geo.Point, headingDeg float64) error {
+	if _, ok := s.rigs[cameraID]; ok {
+		return fmt.Errorf("core: camera %q already exists", cameraID)
+	}
+	ep, err := s.bus.Endpoint(cameraID)
+	if err != nil {
+		return err
+	}
+
+	detector := s.cfg.DetectorFactory
+	if detector == nil {
+		detector = func(id string) (vision.Detector, error) {
+			return vision.NewSimDetector(vision.DefaultSimDetectorConfig(s.cfg.Seed ^ int64(hash64(id))))
+		}
+	}
+	det, err := detector(cameraID)
+	if err != nil {
+		return err
+	}
+
+	nodeCfg := camnode.Config{
+		CameraID:           cameraID,
+		Position:           pos,
+		HeadingDeg:         headingDeg,
+		TopologyServerAddr: topologyAddr,
+		Detector:           det,
+		PostProcess:        s.cfg.PostProcess,
+		Tracker:            s.cfg.Tracker,
+		Matcher:            s.cfg.Matcher,
+		Pool:               s.cfg.Pool,
+		TrajStore:          s.traj,
+		Clock:              clock.Func(s.sim.Time),
+	}
+	if s.cfg.StoreFrames {
+		fsClient, err := framestore.NewClient(ep, framestoreAddr)
+		if err != nil {
+			return err
+		}
+		nodeCfg.FrameStore = fsClient
+		nodeCfg.StoreFrames = true
+	}
+	camNode, err := camnode.New(nodeCfg, ep)
+	if err != nil {
+		return err
+	}
+
+	rig := &cameraRig{node: camNode, client: camNode.Topology(), endpoint: ep}
+	camSpec := sim.DefaultCameraSpec(cameraID, pos, headingDeg)
+	camSpec.FPS = s.cfg.CameraFPS
+	if s.cfg.CameraWidth > 0 {
+		camSpec.Width = s.cfg.CameraWidth
+	}
+	if s.cfg.CameraHeight > 0 {
+		camSpec.Height = s.cfg.CameraHeight
+	}
+	if s.cfg.PxPerMeter > 0 {
+		camSpec.PxPerMeter = s.cfg.PxPerMeter
+	}
+	if j := s.cfg.BrightnessJitter; j > 0 {
+		camSpec.BrightnessOffset = int(hash64(cameraID)%uint64(2*j+1)) - j
+	}
+	camera, err := s.world.AddCamera(camSpec, func(f *vision.Frame) {
+		if err := camNode.ProcessFrame(f); err != nil {
+			rig.procErrs++
+		}
+	})
+	if err != nil {
+		return err
+	}
+	rig.camera = camera
+	s.rigs[cameraID] = rig
+
+	if s.started {
+		s.startRig(rig)
+	}
+	return nil
+}
+
+func hash64(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// startRig begins a camera's heartbeats and frames. The first heartbeat
+// fires immediately so registration precedes the first frames.
+func (s *System) startRig(rig *cameraRig) {
+	_ = rig.client.SendHeartbeat()
+	rig.heartbeat = s.sim.Every(s.cfg.HeartbeatInterval, func() {
+		_ = rig.client.SendHeartbeat()
+	})
+}
+
+// Start begins heartbeats, liveness checks, and camera frames. Call after
+// the initial cameras are installed.
+func (s *System) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for _, rig := range s.rigs {
+		s.startRig(rig)
+	}
+	s.liveness = s.sim.Every(s.cfg.LivenessCheckInterval, func() {
+		s.topo.CheckLiveness()
+	})
+	// Let registration and the first topology push settle before frames
+	// start flowing.
+	s.sim.Schedule(4*s.cfg.NetworkLatency, func() {
+		s.world.StartCameras()
+	})
+}
+
+// Run advances the simulation by d.
+func (s *System) Run(d time.Duration) {
+	s.sim.RunFor(d)
+}
+
+// FailCamera kills a camera: frames stop, heartbeats stop, and the
+// network partitions it. The topology server notices via heartbeat loss.
+func (s *System) FailCamera(cameraID string) error {
+	rig, ok := s.rigs[cameraID]
+	if !ok {
+		return fmt.Errorf("core: camera %q not found", cameraID)
+	}
+	if rig.heartbeat != nil {
+		rig.heartbeat.Stop()
+	}
+	if err := s.world.StopCamera(cameraID); err != nil {
+		return err
+	}
+	s.bus.Partition(cameraID)
+	return nil
+}
+
+// FlushAll retires all live tracks on every camera, emitting their
+// events; call at the end of a bounded experiment.
+func (s *System) FlushAll() error {
+	for id, rig := range s.rigs {
+		if err := rig.node.Flush(); err != nil {
+			return fmt.Errorf("core: flush %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Stop halts tickers and cameras so the simulator can drain.
+func (s *System) Stop() {
+	for _, rig := range s.rigs {
+		if rig.heartbeat != nil {
+			rig.heartbeat.Stop()
+		}
+	}
+	if s.liveness != nil {
+		s.liveness.Stop()
+	}
+	s.world.StopCameras()
+}

@@ -1,0 +1,215 @@
+// Package des implements a deterministic discrete-event simulator. All of
+// the paper-scale experiments (fault tolerance, MDCS scaling, communication
+// timing) run on this engine so that results are reproducible bit-for-bit
+// and independent of the host machine's speed.
+//
+// The simulator is single-threaded by design: event callbacks run on the
+// goroutine that calls Run/RunUntil/Step, and may schedule further events.
+package des
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback. It can be canceled before it fires.
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 once popped or canceled
+	fired  bool
+	cancel bool
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e == nil || e.fired {
+		return
+	}
+	e.cancel = true
+}
+
+// Canceled reports whether Cancel was called before the event fired.
+func (e *Event) Canceled() bool { return e.cancel }
+
+// eventQueue is a min-heap ordered by (at, seq) so that events scheduled
+// for the same instant fire in scheduling order.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator is a discrete-event simulation engine with a virtual clock.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now   time.Duration
+	seq   uint64
+	queue eventQueue
+	epoch time.Time
+}
+
+// New returns a simulator whose virtual clock starts at zero. Wall-clock
+// timestamps produced by Time are offset from epoch.
+func New(epoch time.Time) *Simulator {
+	return &Simulator{epoch: epoch}
+}
+
+// Now returns the current virtual time as an offset from the start of the
+// simulation.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Time returns the current virtual time as a wall-clock instant.
+func (s *Simulator) Time() time.Time { return s.epoch.Add(s.now) }
+
+// Epoch returns the wall-clock instant corresponding to virtual time zero.
+func (s *Simulator) Epoch() time.Time { return s.epoch }
+
+// Pending returns the number of events waiting to fire, including canceled
+// events that have not yet been discarded.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule registers fn to run after delay. A negative delay is treated as
+// zero (the event fires at the current time, after already-queued events
+// for that time).
+func (s *Simulator) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt registers fn to run at absolute virtual time at. Times in the
+// past are clamped to the present.
+func (s *Simulator) ScheduleAt(at time.Duration, fn func()) *Event {
+	if at < s.now {
+		at = s.now
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Step fires the next event, advancing the clock to its time. It returns
+// false if no events remain.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e, ok := heap.Pop(&s.queue).(*Event)
+		if !ok {
+			return false
+		}
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		e.fired = true
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain. Callbacks that keep scheduling new
+// events (for example periodic tickers) make Run unbounded; use RunUntil
+// in that case.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with time <= deadline, then advances the clock to
+// the deadline.
+func (s *Simulator) RunUntil(deadline time.Duration) {
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.cancel {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d from the current time.
+func (s *Simulator) RunFor(d time.Duration) {
+	s.RunUntil(s.now + d)
+}
+
+// Ticker fires a callback at a fixed virtual-time interval until stopped.
+type Ticker struct {
+	sim      *Simulator
+	interval time.Duration
+	fn       func()
+	next     *Event
+	stopped  bool
+}
+
+// Every schedules fn to run every interval, with the first firing one
+// interval from now. The returned Ticker must be stopped to allow Run to
+// terminate.
+func (s *Simulator) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	t := &Ticker{sim: s, interval: interval, fn: fn}
+	t.next = s.Schedule(interval, t.fire)
+	return t
+}
+
+func (t *Ticker) fire() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.next = t.sim.Schedule(t.interval, t.fire)
+	}
+}
+
+// Stop cancels future firings. Stopping a stopped ticker is a no-op.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.next.Cancel()
+}

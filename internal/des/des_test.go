@@ -1,0 +1,231 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+var testEpoch = time.Date(2020, 12, 7, 0, 0, 0, 0, time.UTC)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(testEpoch)
+	var got []int
+	s.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	s.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("order %v, want %v", got, want)
+			break
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now() = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(testEpoch)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("same-time events must fire FIFO, got %v", got)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(testEpoch)
+	var times []time.Duration
+	s.Schedule(time.Second, func() {
+		times = append(times, s.Now())
+		s.Schedule(time.Second, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Errorf("nested schedule times = %v", times)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(testEpoch)
+	fired := false
+	e := s.Schedule(time.Second, func() { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Error("Canceled() should be true")
+	}
+	// Cancel after firing is a no-op.
+	fired2 := false
+	e2 := s.Schedule(time.Second, func() { fired2 = true })
+	s.Run()
+	e2.Cancel()
+	if !fired2 {
+		t.Error("event should have fired")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	var e *Event
+	e.Cancel() // must not panic
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(testEpoch)
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Second
+		s.Schedule(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(3 * time.Second)
+	if len(fired) != 3 {
+		t.Errorf("fired %d events, want 3", len(fired))
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("Now() = %v, want 3s", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", s.Pending())
+	}
+	s.RunUntil(10 * time.Second)
+	if len(fired) != 5 {
+		t.Errorf("fired %d events after second RunUntil, want 5", len(fired))
+	}
+	if s.Now() != 10*time.Second {
+		t.Errorf("Now() advances to deadline even with no events: %v", s.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := New(testEpoch)
+	s.RunFor(time.Minute)
+	if s.Now() != time.Minute {
+		t.Errorf("Now() = %v", s.Now())
+	}
+	s.RunFor(time.Minute)
+	if s.Now() != 2*time.Minute {
+		t.Errorf("Now() = %v", s.Now())
+	}
+}
+
+func TestScheduleAtPastClamps(t *testing.T) {
+	s := New(testEpoch)
+	s.RunFor(10 * time.Second)
+	fired := time.Duration(-1)
+	s.ScheduleAt(5*time.Second, func() { fired = s.Now() })
+	s.Run()
+	if fired != 10*time.Second {
+		t.Errorf("past event fired at %v, want clamped to 10s", fired)
+	}
+}
+
+func TestNegativeDelayClamps(t *testing.T) {
+	s := New(testEpoch)
+	fired := false
+	s.Schedule(-time.Second, func() { fired = true })
+	s.Run()
+	if !fired || s.Now() != 0 {
+		t.Errorf("negative delay should fire at t=0, fired=%v now=%v", fired, s.Now())
+	}
+}
+
+func TestTime(t *testing.T) {
+	s := New(testEpoch)
+	s.RunFor(90 * time.Second)
+	want := testEpoch.Add(90 * time.Second)
+	if !s.Time().Equal(want) {
+		t.Errorf("Time() = %v, want %v", s.Time(), want)
+	}
+	if !s.Epoch().Equal(testEpoch) {
+		t.Errorf("Epoch() = %v", s.Epoch())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New(testEpoch)
+	var fires []time.Duration
+	tk := s.Every(2*time.Second, func() { fires = append(fires, s.Now()) })
+	s.RunUntil(7 * time.Second)
+	tk.Stop()
+	s.RunUntil(20 * time.Second)
+	if len(fires) != 3 {
+		t.Fatalf("ticker fired %d times, want 3: %v", len(fires), fires)
+	}
+	for i, want := range []time.Duration{2 * time.Second, 4 * time.Second, 6 * time.Second} {
+		if fires[i] != want {
+			t.Errorf("fire %d at %v, want %v", i, fires[i], want)
+		}
+	}
+}
+
+func TestTickerStopIdempotent(t *testing.T) {
+	s := New(testEpoch)
+	tk := s.Every(time.Second, func() {})
+	tk.Stop()
+	tk.Stop()
+	s.Run() // must terminate
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	s := New(testEpoch)
+	count := 0
+	var tk *Ticker
+	tk = s.Every(time.Second, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	s.Run()
+	if count != 2 {
+		t.Errorf("ticker fired %d times, want 2", count)
+	}
+}
+
+func TestManyRandomEventsFireInOrder(t *testing.T) {
+	s := New(testEpoch)
+	rng := rand.New(rand.NewSource(42))
+	var fired []time.Duration
+	const n = 2000
+	for i := 0; i < n; i++ {
+		d := time.Duration(rng.Intn(1000)) * time.Millisecond
+		s.Schedule(d, func() { fired = append(fired, s.Now()) })
+	}
+	s.Run()
+	if len(fired) != n {
+		t.Fatalf("fired %d, want %d", len(fired), n)
+	}
+	for i := 1; i < n; i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("events out of order at %d: %v < %v", i, fired[i], fired[i-1])
+		}
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	s := New(testEpoch)
+	if s.Step() {
+		t.Error("Step() on empty simulator should return false")
+	}
+	e := s.Schedule(time.Second, func() {})
+	e.Cancel()
+	if s.Step() {
+		t.Error("Step() with only canceled events should return false")
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/roadnet"
+)
+
+// Fig12aPoint is the average MDCS size after deploying n cameras.
+type Fig12aPoint struct {
+	Cameras int
+	AvgMDCS float64
+}
+
+// Fig12aResult reproduces Figure 12(a): average MDCS size as 37 cameras
+// are incrementally deployed in random order on the campus network.
+type Fig12aResult struct {
+	Points []Fig12aPoint
+	// PeakAvg is the largest average observed across deployment sizes.
+	PeakAvg float64
+	// FinalAvg is the average with all 37 cameras deployed.
+	FinalAvg float64
+	// AvgAt10 is the average with 10 cameras (paper: ~2.5).
+	AvgAt10 float64
+}
+
+// Figure12a incrementally deploys the campus's 37 cameras in a random
+// order and measures the average MDCS size at each step.
+func Figure12a(seed int64) (Fig12aResult, error) {
+	graph, sites, err := roadnet.Campus()
+	if err != nil {
+		return Fig12aResult{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(len(sites))
+
+	var res Fig12aResult
+	for n, idx := range order {
+		id := fmt.Sprintf("cam%02d", n)
+		if err := graph.PlaceCameraAtNode(id, sites[idx]); err != nil {
+			return Fig12aResult{}, err
+		}
+		avg, err := graph.AverageMDCSSize()
+		if err != nil {
+			return Fig12aResult{}, err
+		}
+		point := Fig12aPoint{Cameras: n + 1, AvgMDCS: avg}
+		res.Points = append(res.Points, point)
+		if avg > res.PeakAvg {
+			res.PeakAvg = avg
+		}
+		if point.Cameras == 10 {
+			res.AvgAt10 = avg
+		}
+	}
+	res.FinalAvg = res.Points[len(res.Points)-1].AvgMDCS
+	return res, nil
+}
+
+// Fig12bPoint is the redundancy at the last camera for one density
+// setting.
+type Fig12bPoint struct {
+	ActiveCameras int
+	// Deactivated lists the inactive camera indices.
+	Deactivated []int
+	// Redundant is the unmatched fraction of the last camera's candidate
+	// pool.
+	Redundant float64
+}
+
+// Fig12bResult reproduces Figure 12(b): redundancy in camera 5's
+// candidate pool as cameras 4, 3, 2 are successively deactivated.
+type Fig12bResult struct {
+	Points []Fig12bPoint
+}
+
+// Figure12b runs the corridor at four densities over identical traffic.
+func Figure12b(seed int64) (Fig12bResult, error) {
+	densities := [][]int{
+		nil,       // 5 active
+		{4},       // 4 active
+		{4, 3},    // 3 active
+		{4, 3, 2}, // 2 active
+	}
+	var res Fig12bResult
+	for _, inactive := range densities {
+		cfg := DefaultCorridorConfig(seed)
+		cfg.Vehicles = 30
+		cfg.TurnProb = 0.25
+		cfg.PerfectDetector = true
+		cfg.DepartEvery = 3 * time.Second
+		cfg.InactiveCameras = inactive
+		run, err := RunCorridor(cfg)
+		if err != nil {
+			return Fig12bResult{}, err
+		}
+		red, err := run.RedundancyOf(CameraName(5))
+		if err != nil {
+			return Fig12bResult{}, err
+		}
+		res.Points = append(res.Points, Fig12bPoint{
+			ActiveCameras: 5 - len(inactive),
+			Deactivated:   inactive,
+			Redundant:     red,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ThresholdPoint is one Bhattacharyya-threshold setting and the resulting
+// re-identification accuracy.
+type ThresholdPoint struct {
+	Threshold float64
+	Recall    float64
+	Precision float64
+	F2        float64
+}
+
+// ThresholdSweepResult is the calibration curve behind the prototype's
+// Bhatt_threshold choice (Section 4.1.4): too strict misses true matches
+// (recall falls), too loose admits wrong vehicles (precision falls).
+type ThresholdSweepResult struct {
+	Points []ThresholdPoint
+	// Best is the threshold with the highest F2.
+	Best ThresholdPoint
+}
+
+// ThresholdSweep runs the re-identification study across a range of
+// Bhattacharyya thresholds on identical traffic.
+func ThresholdSweep(seed int64, thresholds []float64) (ThresholdSweepResult, error) {
+	if len(thresholds) == 0 {
+		thresholds = []float64{0.1, 0.2, 0.3, 0.35, 0.5, 0.7, 0.9}
+	}
+	var res ThresholdSweepResult
+	for _, th := range thresholds {
+		cfg := DefaultCorridorConfig(seed)
+		cfg.Vehicles = 24
+		cfg.ColorPoolSize = 5
+		cfg.DepartEvery = 3 * time.Second
+		cfg.TurnProb = 0.2
+		cfg.BrightnessJitter = 8
+		cfg.MatcherThreshold = th
+		run, err := RunCorridor(cfg)
+		if err != nil {
+			return ThresholdSweepResult{}, err
+		}
+		truth, err := run.TruthTransitions()
+		if err != nil {
+			return ThresholdSweepResult{}, err
+		}
+		edges, err := run.MatchedEdges()
+		if err != nil {
+			return ThresholdSweepResult{}, err
+		}
+		c := metrics.ScoreTransitions(truth, edges)
+		p := ThresholdPoint{Threshold: th, Recall: c.Recall(), Precision: c.Precision(), F2: c.F2()}
+		res.Points = append(res.Points, p)
+		if p.F2 > res.Best.F2 {
+			res.Best = p
+		}
+	}
+	return res, nil
+}
+
+// BlobPipelineResult reports the pixels-only pipeline study: the
+// truth-blind blob detector driving the full system.
+type BlobPipelineResult struct {
+	EventF2 float64
+	ReidF2  float64
+	Events  int
+	Edges   int
+}
+
+// BlobPipeline runs the corridor with the connected-components detector —
+// no ground truth enters the detection path — and scores both event
+// detection and re-identification.
+func BlobPipeline(seed int64) (BlobPipelineResult, error) {
+	cfg := DefaultCorridorConfig(seed)
+	cfg.Vehicles = 16
+	cfg.BlobDetector = true
+	run, err := RunCorridor(cfg)
+	if err != nil {
+		return BlobPipelineResult{}, err
+	}
+	var events metrics.Confusion
+	nEvents := 0
+	for _, cam := range run.CameraIDs {
+		truth, err := run.VisitsOf(cam)
+		if err != nil {
+			return BlobPipelineResult{}, err
+		}
+		ev := run.ScoredEventsOf(cam)
+		nEvents += len(ev)
+		events.Add(metrics.ScoreEvents(truth, ev, 5*time.Second))
+	}
+	transitions, err := run.TruthTransitions()
+	if err != nil {
+		return BlobPipelineResult{}, err
+	}
+	edges, err := run.MatchedEdges()
+	if err != nil {
+		return BlobPipelineResult{}, err
+	}
+	reid := metrics.ScoreTransitions(transitions, edges)
+	return BlobPipelineResult{
+		EventF2: events.F2(),
+		ReidF2:  reid.F2(),
+		Events:  nEvents,
+		Edges:   len(edges),
+	}, nil
+}

@@ -1,0 +1,401 @@
+// Package framestore implements Coral-Pie's frame storage (paper Section
+// 4.2.2): an edge-node service that persists raw video frames plus their
+// tracking annotations so users can verify and visualize trajectories.
+// Frames arrive as fire-and-forget FrameRecord messages (the paper uses
+// non-blocking ZeroMQ; here the transport layer plays that role), and are
+// stored in per-camera append-only logs with an in-memory offset index.
+package framestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// Errors returned by the store.
+var (
+	ErrNotFound = errors.New("framestore: frame not found")
+	ErrClosed   = errors.New("framestore: store closed")
+)
+
+// maxRecordBytes bounds one stored frame record.
+const maxRecordBytes = 32 << 20
+
+// cameraLog is the per-camera persistent log plus index.
+type cameraLog struct {
+	file    *os.File // nil for in-memory stores
+	writer  *bufio.Writer
+	size    int64
+	offsets map[int64]int64 // seq -> byte offset
+	seqs    []int64         // sorted sequence numbers
+	mem     map[int64]protocol.FrameRecord
+}
+
+// Store holds frame records for a set of cameras. Safe for concurrent
+// use.
+type Store struct {
+	dir string // "" for in-memory
+
+	mu     sync.Mutex
+	logs   map[string]*cameraLog
+	closed bool
+}
+
+// OpenStore opens (or creates) a store rooted at dir; pass "" for a
+// purely in-memory store.
+func OpenStore(dir string) (*Store, error) {
+	s := &Store{dir: dir, logs: make(map[string]*cameraLog)}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("framestore: mkdir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("framestore: scan: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".frames") {
+			continue
+		}
+		camera := strings.TrimSuffix(name, ".frames")
+		if err := s.openLog(camera); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// openLog opens and indexes one camera's log file. Caller may hold s.mu
+// or be in single-threaded setup.
+func (s *Store) openLog(camera string) error {
+	path := filepath.Join(s.dir, camera+".frames")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("framestore: open %s: %w", path, err)
+	}
+	cl := &cameraLog{
+		file:    f,
+		offsets: make(map[int64]int64),
+	}
+	// Index existing records.
+	var offset int64
+	r := bufio.NewReader(f)
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			break // EOF or torn tail: stop indexing
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n > maxRecordBytes {
+			break
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(r, data); err != nil {
+			break
+		}
+		var rec protocol.FrameRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			break
+		}
+		cl.offsets[rec.Seq] = offset
+		cl.seqs = append(cl.seqs, rec.Seq)
+		offset += int64(4 + n)
+	}
+	sort.Slice(cl.seqs, func(i, j int) bool { return cl.seqs[i] < cl.seqs[j] })
+	cl.size = offset
+	if err := f.Truncate(offset); err != nil { // drop any torn tail
+		_ = f.Close()
+		return fmt.Errorf("framestore: truncate %s: %w", path, err)
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("framestore: seek %s: %w", path, err)
+	}
+	cl.writer = bufio.NewWriter(f)
+	s.logs[camera] = cl
+	return nil
+}
+
+func (s *Store) logFor(camera string) (*cameraLog, error) {
+	if cl, ok := s.logs[camera]; ok {
+		return cl, nil
+	}
+	if s.dir == "" {
+		cl := &cameraLog{
+			offsets: make(map[int64]int64),
+			mem:     make(map[int64]protocol.FrameRecord),
+		}
+		s.logs[camera] = cl
+		return cl, nil
+	}
+	if err := s.openLog(camera); err != nil {
+		return nil, err
+	}
+	return s.logs[camera], nil
+}
+
+// Put stores one frame record. Re-storing an existing (camera, seq) is
+// ignored (frames are immutable).
+func (s *Store) Put(rec protocol.FrameRecord) error {
+	if rec.CameraID == "" {
+		return errors.New("framestore: record missing camera id")
+	}
+	if rec.Width <= 0 || rec.Height <= 0 || len(rec.Pixels) != rec.Width*rec.Height*3 {
+		return fmt.Errorf("framestore: record %s/%d has inconsistent dimensions", rec.CameraID, rec.Seq)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	cl, err := s.logFor(rec.CameraID)
+	if err != nil {
+		return err
+	}
+	if _, ok := cl.offsets[rec.Seq]; ok {
+		return nil
+	}
+	if cl.mem != nil {
+		cl.mem[rec.Seq] = rec
+		cl.offsets[rec.Seq] = 0
+		cl.seqs = insertSorted(cl.seqs, rec.Seq)
+		return nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("framestore: marshal: %w", err)
+	}
+	if len(data) > maxRecordBytes {
+		return fmt.Errorf("framestore: record too large: %d bytes", len(data))
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+	if _, err := cl.writer.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("framestore: append: %w", err)
+	}
+	if _, err := cl.writer.Write(data); err != nil {
+		return fmt.Errorf("framestore: append: %w", err)
+	}
+	if err := cl.writer.Flush(); err != nil {
+		return fmt.Errorf("framestore: flush: %w", err)
+	}
+	cl.offsets[rec.Seq] = cl.size
+	cl.seqs = insertSorted(cl.seqs, rec.Seq)
+	cl.size += int64(4 + len(data))
+	return nil
+}
+
+func insertSorted(seqs []int64, v int64) []int64 {
+	i := sort.Search(len(seqs), func(i int) bool { return seqs[i] >= v })
+	seqs = append(seqs, 0)
+	copy(seqs[i+1:], seqs[i:])
+	seqs[i] = v
+	return seqs
+}
+
+// Get fetches one frame record.
+func (s *Store) Get(camera string, seq int64) (protocol.FrameRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cl, ok := s.logs[camera]
+	if !ok {
+		return protocol.FrameRecord{}, fmt.Errorf("%w: camera %q", ErrNotFound, camera)
+	}
+	offset, ok := cl.offsets[seq]
+	if !ok {
+		return protocol.FrameRecord{}, fmt.Errorf("%w: %s/%d", ErrNotFound, camera, seq)
+	}
+	if cl.mem != nil {
+		return cl.mem[seq], nil
+	}
+	return readRecordAt(cl.file, offset)
+}
+
+func readRecordAt(f *os.File, offset int64) (protocol.FrameRecord, error) {
+	var lenBuf [4]byte
+	if _, err := f.ReadAt(lenBuf[:], offset); err != nil {
+		return protocol.FrameRecord{}, fmt.Errorf("framestore: read: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxRecordBytes {
+		return protocol.FrameRecord{}, fmt.Errorf("framestore: corrupt record length %d", n)
+	}
+	data := make([]byte, n)
+	if _, err := f.ReadAt(data, offset+4); err != nil {
+		return protocol.FrameRecord{}, fmt.Errorf("framestore: read: %w", err)
+	}
+	var rec protocol.FrameRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return protocol.FrameRecord{}, fmt.Errorf("framestore: decode: %w", err)
+	}
+	return rec, nil
+}
+
+// Range returns the stored records for camera with fromSeq <= seq <=
+// toSeq, in sequence order.
+func (s *Store) Range(camera string, fromSeq, toSeq int64) ([]protocol.FrameRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cl, ok := s.logs[camera]
+	if !ok {
+		return nil, nil
+	}
+	var out []protocol.FrameRecord
+	start := sort.Search(len(cl.seqs), func(i int) bool { return cl.seqs[i] >= fromSeq })
+	for _, seq := range cl.seqs[start:] {
+		if seq > toSeq {
+			break
+		}
+		if cl.mem != nil {
+			out = append(out, cl.mem[seq])
+			continue
+		}
+		rec, err := readRecordAt(cl.file, cl.offsets[seq])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Count returns how many frames are stored for a camera.
+func (s *Store) Count(camera string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cl, ok := s.logs[camera]; ok {
+		return len(cl.seqs)
+	}
+	return 0
+}
+
+// Cameras lists the cameras with stored frames, sorted.
+func (s *Store) Cameras() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.logs))
+	for c := range s.logs {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close flushes and closes every log file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	for _, cl := range s.logs {
+		if cl.file == nil {
+			continue
+		}
+		if err := cl.writer.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := cl.file.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Server receives FrameRecord envelopes from cameras and stores them.
+type Server struct {
+	store *Store
+	ep    transport.Endpoint
+
+	mu       sync.Mutex
+	received int64
+	errors   int64
+}
+
+// NewServer installs the handler on ep and returns the server.
+func NewServer(store *Store, ep transport.Endpoint) (*Server, error) {
+	if store == nil || ep == nil {
+		return nil, errors.New("framestore: store and endpoint required")
+	}
+	s := &Server{store: store, ep: ep}
+	ep.SetHandler(s.handle)
+	return s, nil
+}
+
+func (s *Server) handle(env protocol.Envelope) {
+	msg, err := protocol.Open(env)
+	if err != nil {
+		s.count(false)
+		return
+	}
+	rec, ok := msg.(protocol.FrameRecord)
+	if !ok {
+		s.count(false)
+		return
+	}
+	if err := s.store.Put(rec); err != nil {
+		s.count(false)
+		return
+	}
+	s.count(true)
+}
+
+func (s *Server) count(ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ok {
+		s.received++
+	} else {
+		s.errors++
+	}
+}
+
+// Stats returns the number of records stored and handler errors.
+func (s *Server) Stats() (received, errs int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received, s.errors
+}
+
+// Client is the camera-side storage client for frames: fire-and-forget,
+// off the critical path.
+type Client struct {
+	ep         transport.Endpoint
+	serverAddr string
+}
+
+// NewClient builds a client sending through ep.
+func NewClient(ep transport.Endpoint, serverAddr string) (*Client, error) {
+	if ep == nil || serverAddr == "" {
+		return nil, errors.New("framestore: endpoint and server address required")
+	}
+	return &Client{ep: ep, serverAddr: serverAddr}, nil
+}
+
+// StoreFrame sends one frame record to the server.
+func (c *Client) StoreFrame(rec protocol.FrameRecord) error {
+	env, err := protocol.Seal(rec)
+	if err != nil {
+		return err
+	}
+	if err := c.ep.Send(c.serverAddr, env); err != nil {
+		return fmt.Errorf("framestore: send: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+// Package geo provides small geographic primitives used by the road-network
+// and camera-topology layers: lat/lon points, planar distance and bearing
+// computations, and the 8-way quantized travel directions that key the
+// minimum-downstream-camera-set (MDCS) tables.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// earthRadiusMeters is the mean Earth radius used by the equirectangular
+// distance approximation. Campus- and city-scale deployments are far below
+// the scale where the approximation error matters.
+const earthRadiusMeters = 6371000.0
+
+// Point is a WGS84 latitude/longitude pair in degrees.
+type Point struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.6f,%.6f)", p.Lat, p.Lon)
+}
+
+// DistanceMeters returns the approximate ground distance between p and q
+// using the equirectangular projection, which is accurate to well under a
+// meter at deployment scales (a few kilometers).
+func (p Point) DistanceMeters(q Point) float64 {
+	latRad := (p.Lat + q.Lat) / 2 * math.Pi / 180
+	dx := (q.Lon - p.Lon) * math.Pi / 180 * math.Cos(latRad)
+	dy := (q.Lat - p.Lat) * math.Pi / 180
+	return math.Sqrt(dx*dx+dy*dy) * earthRadiusMeters
+}
+
+// BearingDegrees returns the initial compass bearing from p to q in
+// [0, 360), where 0 is north and 90 is east.
+func (p Point) BearingDegrees(q Point) float64 {
+	latRad := (p.Lat + q.Lat) / 2 * math.Pi / 180
+	dx := (q.Lon - p.Lon) * math.Cos(latRad)
+	dy := q.Lat - p.Lat
+	deg := math.Atan2(dx, dy) * 180 / math.Pi
+	if deg < 0 {
+		deg += 360
+	}
+	return deg
+}
+
+// Lerp returns the point a fraction t of the way from p to q, with t
+// clamped to [0, 1].
+func (p Point) Lerp(q Point, t float64) Point {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return Point{
+		Lat: p.Lat + (q.Lat-p.Lat)*t,
+		Lon: p.Lon + (q.Lon-p.Lon)*t,
+	}
+}
+
+// Direction is one of eight quantized compass travel directions. Vehicles
+// leaving a camera's field of view are tagged with a Direction, and the
+// camera's MDCS table is keyed by it.
+type Direction int
+
+// The eight compass directions, starting at one so that the zero value is
+// an invalid direction (DirectionInvalid).
+const (
+	DirectionInvalid Direction = iota
+	North
+	NorthEast
+	East
+	SouthEast
+	South
+	SouthWest
+	West
+	NorthWest
+)
+
+// numDirections is the count of valid compass directions.
+const numDirections = 8
+
+var directionNames = [...]string{
+	DirectionInvalid: "invalid",
+	North:            "N",
+	NorthEast:        "NE",
+	East:             "E",
+	SouthEast:        "SE",
+	South:            "S",
+	SouthWest:        "SW",
+	West:             "W",
+	NorthWest:        "NW",
+}
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d < DirectionInvalid || d > NorthWest {
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+	return directionNames[d]
+}
+
+// Valid reports whether d is one of the eight compass directions.
+func (d Direction) Valid() bool {
+	return d >= North && d <= NorthWest
+}
+
+// Opposite returns the direction 180 degrees from d. The opposite of an
+// invalid direction is invalid.
+func (d Direction) Opposite() Direction {
+	if !d.Valid() {
+		return DirectionInvalid
+	}
+	o := d + numDirections/2
+	if o > NorthWest {
+		o -= numDirections
+	}
+	return o
+}
+
+// Bearing returns the center compass bearing of d in degrees.
+func (d Direction) Bearing() float64 {
+	if !d.Valid() {
+		return math.NaN()
+	}
+	return float64(d-North) * (360.0 / numDirections)
+}
+
+// DirectionFromBearing quantizes a compass bearing in degrees into one of
+// the eight directions. Bearings outside [0, 360) are normalized first.
+func DirectionFromBearing(deg float64) Direction {
+	if math.IsNaN(deg) || math.IsInf(deg, 0) {
+		return DirectionInvalid
+	}
+	deg = math.Mod(deg, 360)
+	if deg < 0 {
+		deg += 360
+	}
+	// Each direction owns a 45-degree sector centered on its bearing.
+	idx := int(math.Floor(deg/45.0+0.5)) % numDirections
+	return North + Direction(idx)
+}
+
+// AllDirections returns the eight valid directions in compass order.
+func AllDirections() []Direction {
+	out := make([]Direction, 0, numDirections)
+	for d := North; d <= NorthWest; d++ {
+		out = append(out, d)
+	}
+	return out
+}
+
+// AngularDiffDegrees returns the absolute angular difference between two
+// bearings in degrees, in [0, 180].
+func AngularDiffDegrees(a, b float64) float64 {
+	d := math.Mod(math.Abs(a-b), 360)
+	if d > 180 {
+		d = 360 - d
+	}
+	return d
+}

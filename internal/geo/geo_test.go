@@ -1,0 +1,216 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceMeters(t *testing.T) {
+	tests := []struct {
+		name    string
+		p, q    Point
+		want    float64
+		tolFrac float64
+	}{
+		{
+			name:    "same point",
+			p:       Point{Lat: 33.7756, Lon: -84.3963},
+			q:       Point{Lat: 33.7756, Lon: -84.3963},
+			want:    0,
+			tolFrac: 0,
+		},
+		{
+			name: "one degree latitude",
+			p:    Point{Lat: 0, Lon: 0},
+			q:    Point{Lat: 1, Lon: 0},
+			// One degree of latitude is ~111.19 km.
+			want:    111194,
+			tolFrac: 0.01,
+		},
+		{
+			name: "one degree longitude at 60N",
+			p:    Point{Lat: 60, Lon: 0},
+			q:    Point{Lat: 60, Lon: 1},
+			// cos(60 deg) = 0.5, so half the equatorial arc.
+			want:    55597,
+			tolFrac: 0.01,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := tt.p.DistanceMeters(tt.q)
+			if diff := math.Abs(got - tt.want); diff > tt.want*tt.tolFrac+1e-9 {
+				t.Errorf("DistanceMeters() = %v, want %v ± %v%%", got, tt.want, tt.tolFrac*100)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		clamp := func(v, lo, hi float64) float64 {
+			return math.Mod(math.Abs(v), hi-lo) + lo
+		}
+		p := Point{Lat: clamp(lat1, -80, 80), Lon: clamp(lon1, -180, 180)}
+		q := Point{Lat: clamp(lat2, -80, 80), Lon: clamp(lon2, -180, 180)}
+		d1, d2 := p.DistanceMeters(q), q.DistanceMeters(p)
+		return math.Abs(d1-d2) < 1e-6*(1+d1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBearingDegrees(t *testing.T) {
+	origin := Point{Lat: 33.0, Lon: -84.0}
+	tests := []struct {
+		name string
+		to   Point
+		want float64
+	}{
+		{"north", Point{Lat: 33.01, Lon: -84.0}, 0},
+		{"east", Point{Lat: 33.0, Lon: -83.99}, 90},
+		{"south", Point{Lat: 32.99, Lon: -84.0}, 180},
+		{"west", Point{Lat: 33.0, Lon: -84.01}, 270},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := origin.BearingDegrees(tt.to)
+			if AngularDiffDegrees(got, tt.want) > 0.5 {
+				t.Errorf("BearingDegrees() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p := Point{Lat: 0, Lon: 0}
+	q := Point{Lat: 10, Lon: 20}
+	if got := p.Lerp(q, 0.5); got.Lat != 5 || got.Lon != 10 {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+	if got := p.Lerp(q, -1); got != p {
+		t.Errorf("Lerp clamps low: got %v", got)
+	}
+	if got := p.Lerp(q, 2); got != q {
+		t.Errorf("Lerp clamps high: got %v", got)
+	}
+}
+
+func TestDirectionFromBearing(t *testing.T) {
+	tests := []struct {
+		deg  float64
+		want Direction
+	}{
+		{0, North},
+		{10, North},
+		{-10, North},
+		{350, North},
+		{45, NorthEast},
+		{90, East},
+		{135, SouthEast},
+		{180, South},
+		{225, SouthWest},
+		{270, West},
+		{315, NorthWest},
+		{22.4, North},
+		{22.6, NorthEast},
+		{359.9, North},
+		{720 + 90, East},
+	}
+	for _, tt := range tests {
+		if got := DirectionFromBearing(tt.deg); got != tt.want {
+			t.Errorf("DirectionFromBearing(%v) = %v, want %v", tt.deg, got, tt.want)
+		}
+	}
+	if got := DirectionFromBearing(math.NaN()); got != DirectionInvalid {
+		t.Errorf("DirectionFromBearing(NaN) = %v, want invalid", got)
+	}
+}
+
+func TestDirectionOpposite(t *testing.T) {
+	tests := []struct {
+		d, want Direction
+	}{
+		{North, South},
+		{South, North},
+		{East, West},
+		{West, East},
+		{NorthEast, SouthWest},
+		{SouthEast, NorthWest},
+		{DirectionInvalid, DirectionInvalid},
+	}
+	for _, tt := range tests {
+		if got := tt.d.Opposite(); got != tt.want {
+			t.Errorf("%v.Opposite() = %v, want %v", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestOppositeIsInvolution(t *testing.T) {
+	for _, d := range AllDirections() {
+		if got := d.Opposite().Opposite(); got != d {
+			t.Errorf("%v.Opposite().Opposite() = %v", d, got)
+		}
+	}
+}
+
+func TestDirectionBearingRoundTrip(t *testing.T) {
+	for _, d := range AllDirections() {
+		if got := DirectionFromBearing(d.Bearing()); got != d {
+			t.Errorf("round trip %v -> %v", d, got)
+		}
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if North.String() != "N" || SouthWest.String() != "SW" {
+		t.Error("unexpected direction names")
+	}
+	if Direction(99).String() != "Direction(99)" {
+		t.Errorf("out-of-range name: %v", Direction(99).String())
+	}
+}
+
+func TestDirectionValid(t *testing.T) {
+	if DirectionInvalid.Valid() {
+		t.Error("invalid must not be valid")
+	}
+	for _, d := range AllDirections() {
+		if !d.Valid() {
+			t.Errorf("%v should be valid", d)
+		}
+	}
+	if Direction(9).Valid() {
+		t.Error("out of range must not be valid")
+	}
+}
+
+func TestAngularDiffDegrees(t *testing.T) {
+	tests := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0},
+		{0, 180, 180},
+		{10, 350, 20},
+		{350, 10, 20},
+		{90, 270, 180},
+		{0, 360, 0},
+	}
+	for _, tt := range tests {
+		if got := AngularDiffDegrees(tt.a, tt.b); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("AngularDiffDegrees(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestBearingLerpConsistency(t *testing.T) {
+	// The bearing from p to a lerped midpoint matches the bearing to q.
+	p := Point{Lat: 33.77, Lon: -84.39}
+	q := Point{Lat: 33.78, Lon: -84.38}
+	mid := p.Lerp(q, 0.5)
+	if AngularDiffDegrees(p.BearingDegrees(mid), p.BearingDegrees(q)) > 1.0 {
+		t.Error("bearing to midpoint should match bearing to endpoint")
+	}
+}

@@ -1,0 +1,152 @@
+// Package hungarian solves the linear assignment problem in O(n³) using
+// the Kuhn-Munkres algorithm with potentials. The SORT tracker uses it to
+// match detections to predicted tracks by maximizing total IoU (expressed
+// here as minimizing negated IoU).
+package hungarian
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Unassigned marks a row that received no column (possible when the cost
+// matrix has more rows than columns).
+const Unassigned = -1
+
+// ErrEmpty is returned when the cost matrix has no rows or no columns.
+var ErrEmpty = errors.New("hungarian: empty cost matrix")
+
+// Solve returns a minimum-cost assignment for the given cost matrix. The
+// result maps each row index to its assigned column index (or Unassigned),
+// along with the total cost of the assigned pairs. Every column is used at
+// most once. The matrix may be rectangular; all rows must have the same
+// length and costs must be finite.
+func Solve(cost [][]float64) (assignment []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, ErrEmpty
+	}
+	m := len(cost[0])
+	if m == 0 {
+		return nil, 0, ErrEmpty
+	}
+	for i, row := range cost {
+		if len(row) != m {
+			return nil, 0, fmt.Errorf("hungarian: row %d has %d entries, want %d", i, len(row), m)
+		}
+		for j, c := range row {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return nil, 0, fmt.Errorf("hungarian: non-finite cost at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	if n > m {
+		// Transpose so rows <= cols, solve, then invert the mapping.
+		tr := make([][]float64, m)
+		for j := 0; j < m; j++ {
+			tr[j] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				tr[j][i] = cost[i][j]
+			}
+		}
+		colAssign, tot, err := Solve(tr)
+		if err != nil {
+			return nil, 0, err
+		}
+		assignment = make([]int, n)
+		for i := range assignment {
+			assignment[i] = Unassigned
+		}
+		for j, i := range colAssign {
+			if i != Unassigned {
+				assignment[i] = j
+			}
+		}
+		return assignment, tot, nil
+	}
+
+	// Kuhn-Munkres with potentials, 1-indexed (index 0 is a sentinel).
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1)   // p[j] = row matched to column j
+	way := make([]int, m+1) // alternating-path parents
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assignment = make([]int, n)
+	for i := range assignment {
+		assignment[i] = Unassigned
+	}
+	for j := 1; j <= m; j++ {
+		if p[j] != 0 {
+			assignment[p[j]-1] = j - 1
+		}
+	}
+	for i, j := range assignment {
+		if j != Unassigned {
+			total += cost[i][j]
+		}
+	}
+	return assignment, total, nil
+}
+
+// SolveMax returns a maximum-benefit assignment by negating the matrix and
+// minimizing. The returned total is the sum of the assigned benefits.
+func SolveMax(benefit [][]float64) (assignment []int, total float64, err error) {
+	neg := make([][]float64, len(benefit))
+	for i, row := range benefit {
+		neg[i] = make([]float64, len(row))
+		for j, b := range row {
+			neg[i][j] = -b
+		}
+	}
+	assignment, total, err = Solve(neg)
+	return assignment, -total, err
+}

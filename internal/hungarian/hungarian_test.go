@@ -1,0 +1,256 @@
+package hungarian
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForce finds the optimal assignment by enumerating permutations.
+// Works for rows <= cols and small sizes.
+func bruteForce(cost [][]float64) float64 {
+	n, m := len(cost), len(cost[0])
+	cols := make([]int, m)
+	for j := range cols {
+		cols[j] = j
+	}
+	best := math.MaxFloat64
+	var permute func(k int)
+	permute = func(k int) {
+		if k == n {
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				sum += cost[i][cols[i]]
+			}
+			if sum < best {
+				best = sum
+			}
+			return
+		}
+		for j := k; j < m; j++ {
+			cols[k], cols[j] = cols[j], cols[k]
+			permute(k + 1)
+			cols[k], cols[j] = cols[j], cols[k]
+		}
+	}
+	permute(0)
+	return best
+}
+
+func TestKnownSquare(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assignment, total, err := Solve(cost)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Optimal: row0->col1 (1), row1->col0 (2), row2->col2 (2) = 5.
+	if total != 5 {
+		t.Errorf("total = %v, want 5 (assignment %v)", total, assignment)
+	}
+	want := []int{1, 0, 2}
+	for i := range want {
+		if assignment[i] != want[i] {
+			t.Errorf("assignment = %v, want %v", assignment, want)
+			break
+		}
+	}
+}
+
+func TestRectangularWide(t *testing.T) {
+	cost := [][]float64{
+		{10, 1, 10, 10},
+		{10, 10, 1, 10},
+	}
+	assignment, total, err := Solve(cost)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if total != 2 {
+		t.Errorf("total = %v, want 2", total)
+	}
+	if assignment[0] != 1 || assignment[1] != 2 {
+		t.Errorf("assignment = %v", assignment)
+	}
+}
+
+func TestRectangularTall(t *testing.T) {
+	cost := [][]float64{
+		{1, 9},
+		{9, 1},
+		{5, 5},
+	}
+	assignment, total, err := Solve(cost)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if total != 2 {
+		t.Errorf("total = %v, want 2", total)
+	}
+	unassigned := 0
+	seen := make(map[int]bool)
+	for _, j := range assignment {
+		if j == Unassigned {
+			unassigned++
+			continue
+		}
+		if seen[j] {
+			t.Errorf("column %d assigned twice: %v", j, assignment)
+		}
+		seen[j] = true
+	}
+	if unassigned != 1 {
+		t.Errorf("want exactly 1 unassigned row, got %d (%v)", unassigned, assignment)
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	assignment, total, err := Solve([][]float64{{7}})
+	if err != nil || total != 7 || assignment[0] != 0 {
+		t.Errorf("Solve 1x1 = %v, %v, %v", assignment, total, err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, _, err := Solve(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("nil matrix: %v", err)
+	}
+	if _, _, err := Solve([][]float64{{}}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("zero cols: %v", err)
+	}
+	if _, _, err := Solve([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix should error")
+	}
+	if _, _, err := Solve([][]float64{{math.NaN()}}); err == nil {
+		t.Error("NaN cost should error")
+	}
+	if _, _, err := Solve([][]float64{{math.Inf(1)}}); err == nil {
+		t.Error("Inf cost should error")
+	}
+}
+
+func TestNegativeCosts(t *testing.T) {
+	cost := [][]float64{
+		{-5, 0},
+		{0, -5},
+	}
+	_, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != -10 {
+		t.Errorf("total = %v, want -10", total)
+	}
+}
+
+func TestOptimalityPropertyVsBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := n + rng.Intn(3) // rows <= cols
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = math.Round(rng.Float64()*200-100) / 10
+			}
+		}
+		_, total, err := Solve(cost)
+		if err != nil {
+			return false
+		}
+		want := bruteForce(cost)
+		return math.Abs(total-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTallOptimalityVsBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(4)
+		n := m + 1 + rng.Intn(3) // rows > cols
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64() * 10
+			}
+		}
+		_, total, err := Solve(cost)
+		if err != nil {
+			return false
+		}
+		// Brute force on the transpose.
+		tr := make([][]float64, m)
+		for j := 0; j < m; j++ {
+			tr[j] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				tr[j][i] = cost[i][j]
+			}
+		}
+		return math.Abs(total-bruteForce(tr)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignmentIsValidMatching(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(8)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = rng.NormFloat64()
+			}
+		}
+		assignment, _, err := Solve(cost)
+		if err != nil || len(assignment) != n {
+			return false
+		}
+		seen := make(map[int]bool)
+		assigned := 0
+		for _, j := range assignment {
+			if j == Unassigned {
+				continue
+			}
+			if j < 0 || j >= m || seen[j] {
+				return false
+			}
+			seen[j] = true
+			assigned++
+		}
+		return assigned == min(n, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveMax(t *testing.T) {
+	benefit := [][]float64{
+		{0.9, 0.1},
+		{0.2, 0.8},
+	}
+	assignment, total, err := SolveMax(benefit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assignment[0] != 0 || assignment[1] != 1 {
+		t.Errorf("assignment = %v", assignment)
+	}
+	if math.Abs(total-1.7) > 1e-9 {
+		t.Errorf("total = %v, want 1.7", total)
+	}
+}

@@ -1,0 +1,107 @@
+// Package kalman implements a linear Kalman filter. The SORT tracker uses
+// it with the standard constant-velocity bounding-box model from Bewley et
+// al. (ICIP 2016): state [u, v, s, r, u̇, v̇, ṡ] where (u, v) is the box
+// center, s its area, and r its aspect ratio.
+package kalman
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Filter is a linear Kalman filter with fixed matrices F, H, Q, R.
+type Filter struct {
+	x *mat.Matrix // state estimate, n×1
+	p *mat.Matrix // state covariance, n×n
+	f *mat.Matrix // state transition, n×n
+	h *mat.Matrix // observation model, m×n
+	q *mat.Matrix // process noise covariance, n×n
+	r *mat.Matrix // observation noise covariance, m×m
+}
+
+// Config collects the matrices and initial conditions for a Filter.
+type Config struct {
+	InitialState      *mat.Matrix // n×1
+	InitialCovariance *mat.Matrix // n×n
+	Transition        *mat.Matrix // F, n×n
+	Observation       *mat.Matrix // H, m×n
+	ProcessNoise      *mat.Matrix // Q, n×n
+	ObservationNoise  *mat.Matrix // R, m×m
+}
+
+// New validates the configuration shapes and returns a Filter.
+func New(cfg Config) (*Filter, error) {
+	if cfg.InitialState == nil || cfg.InitialCovariance == nil ||
+		cfg.Transition == nil || cfg.Observation == nil ||
+		cfg.ProcessNoise == nil || cfg.ObservationNoise == nil {
+		return nil, fmt.Errorf("kalman: all config matrices are required")
+	}
+	n := cfg.InitialState.Rows()
+	m := cfg.Observation.Rows()
+	if cfg.InitialState.Cols() != 1 {
+		return nil, fmt.Errorf("kalman: initial state must be a column vector")
+	}
+	checks := []struct {
+		name       string
+		mtx        *mat.Matrix
+		rows, cols int
+	}{
+		{"InitialCovariance", cfg.InitialCovariance, n, n},
+		{"Transition", cfg.Transition, n, n},
+		{"Observation", cfg.Observation, m, n},
+		{"ProcessNoise", cfg.ProcessNoise, n, n},
+		{"ObservationNoise", cfg.ObservationNoise, m, m},
+	}
+	for _, c := range checks {
+		if c.mtx.Rows() != c.rows || c.mtx.Cols() != c.cols {
+			return nil, fmt.Errorf("kalman: %s is %dx%d, want %dx%d",
+				c.name, c.mtx.Rows(), c.mtx.Cols(), c.rows, c.cols)
+		}
+	}
+	return &Filter{
+		x: cfg.InitialState.Clone(),
+		p: cfg.InitialCovariance.Clone(),
+		f: cfg.Transition.Clone(),
+		h: cfg.Observation.Clone(),
+		q: cfg.ProcessNoise.Clone(),
+		r: cfg.ObservationNoise.Clone(),
+	}, nil
+}
+
+// State returns a copy of the current state estimate.
+func (k *Filter) State() *mat.Matrix { return k.x.Clone() }
+
+// Covariance returns a copy of the current state covariance.
+func (k *Filter) Covariance() *mat.Matrix { return k.p.Clone() }
+
+// Predict advances the state one step through the transition model:
+// x ← Fx, P ← FPFᵀ + Q.
+func (k *Filter) Predict() {
+	k.x = k.f.Mul(k.x)
+	k.p = k.f.Mul(k.p).Mul(k.f.Transpose()).Add(k.q)
+}
+
+// Update incorporates a measurement z (m×1):
+//
+//	y = z − Hx
+//	S = HPHᵀ + R
+//	K = PHᵀS⁻¹
+//	x ← x + Ky
+//	P ← (I − KH)P
+func (k *Filter) Update(z *mat.Matrix) error {
+	if z.Rows() != k.h.Rows() || z.Cols() != 1 {
+		return fmt.Errorf("kalman: measurement is %dx%d, want %dx1", z.Rows(), z.Cols(), k.h.Rows())
+	}
+	y := z.Sub(k.h.Mul(k.x))
+	s := k.h.Mul(k.p).Mul(k.h.Transpose()).Add(k.r)
+	sInv, err := s.Inverse()
+	if err != nil {
+		return fmt.Errorf("kalman: innovation covariance: %w", err)
+	}
+	gain := k.p.Mul(k.h.Transpose()).Mul(sInv)
+	k.x = k.x.Add(gain.Mul(y))
+	ikh := mat.Identity(k.p.Rows()).Sub(gain.Mul(k.h))
+	k.p = ikh.Mul(k.p)
+	return nil
+}

@@ -1,0 +1,149 @@
+package kalman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// newConstantVelocity1D builds a 1-D constant-velocity filter: state
+// [position, velocity], observing position only.
+func newConstantVelocity1D(t *testing.T, procNoise, obsNoise float64) *Filter {
+	t.Helper()
+	f, err := mat.FromRows([][]float64{{1, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := mat.FromRows([][]float64{{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mat.Identity(2).Scale(procNoise)
+	r, err := mat.FromRows([][]float64{{obsNoise}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := New(Config{
+		InitialState:      mat.ColVector(0, 0),
+		InitialCovariance: mat.Identity(2).Scale(100),
+		Transition:        f,
+		Observation:       h,
+		ProcessNoise:      q,
+		ObservationNoise:  r,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil matrices should error")
+	}
+	f := mat.Identity(2)
+	h := mat.Identity(2)
+	bad := Config{
+		InitialState:      mat.ColVector(0, 0),
+		InitialCovariance: mat.Identity(3), // wrong shape
+		Transition:        f,
+		Observation:       h,
+		ProcessNoise:      mat.Identity(2),
+		ObservationNoise:  mat.Identity(2),
+	}
+	if _, err := New(bad); err == nil {
+		t.Error("shape mismatch should error")
+	}
+	bad2 := bad
+	bad2.InitialCovariance = mat.Identity(2)
+	bad2.InitialState = mat.Identity(2) // not a column vector
+	if _, err := New(bad2); err == nil {
+		t.Error("non-column state should error")
+	}
+}
+
+func TestTracksConstantVelocity(t *testing.T) {
+	k := newConstantVelocity1D(t, 1e-4, 0.5)
+	rng := rand.New(rand.NewSource(1))
+	const velocity = 2.5
+	for step := 1; step <= 200; step++ {
+		k.Predict()
+		truth := velocity * float64(step)
+		z := mat.ColVector(truth + rng.NormFloat64()*0.5)
+		if err := k.Update(z); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	state := k.State()
+	if math.Abs(state.At(0, 0)-velocity*200) > 2 {
+		t.Errorf("position estimate %v, want ~%v", state.At(0, 0), velocity*200)
+	}
+	if math.Abs(state.At(1, 0)-velocity) > 0.3 {
+		t.Errorf("velocity estimate %v, want ~%v", state.At(1, 0), velocity)
+	}
+}
+
+func TestCovarianceShrinksWithMeasurements(t *testing.T) {
+	k := newConstantVelocity1D(t, 1e-4, 1.0)
+	before := k.Covariance().At(0, 0)
+	for i := 0; i < 10; i++ {
+		k.Predict()
+		if err := k.Update(mat.ColVector(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := k.Covariance().At(0, 0)
+	if after >= before {
+		t.Errorf("covariance should shrink: before %v, after %v", before, after)
+	}
+}
+
+func TestPredictGrowsUncertainty(t *testing.T) {
+	k := newConstantVelocity1D(t, 0.1, 1.0)
+	// Converge first.
+	for i := 0; i < 20; i++ {
+		k.Predict()
+		if err := k.Update(mat.ColVector(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := k.Covariance().At(0, 0)
+	for i := 0; i < 5; i++ {
+		k.Predict()
+	}
+	after := k.Covariance().At(0, 0)
+	if after <= before {
+		t.Errorf("predict-only should grow uncertainty: before %v, after %v", before, after)
+	}
+}
+
+func TestUpdateMeasurementShape(t *testing.T) {
+	k := newConstantVelocity1D(t, 1, 1)
+	if err := k.Update(mat.ColVector(1, 2)); err == nil {
+		t.Error("wrong measurement shape should error")
+	}
+}
+
+func TestUpdatePullsTowardMeasurement(t *testing.T) {
+	k := newConstantVelocity1D(t, 1e-3, 0.01)
+	k.Predict()
+	if err := k.Update(mat.ColVector(10)); err != nil {
+		t.Fatal(err)
+	}
+	pos := k.State().At(0, 0)
+	// High initial covariance + precise measurement: estimate jumps close to z.
+	if math.Abs(pos-10) > 0.5 {
+		t.Errorf("estimate %v, want near 10", pos)
+	}
+}
+
+func TestStateReturnsCopy(t *testing.T) {
+	k := newConstantVelocity1D(t, 1, 1)
+	s := k.State()
+	s.Set(0, 0, 999)
+	if k.State().At(0, 0) == 999 {
+		t.Error("State() must return a copy")
+	}
+}

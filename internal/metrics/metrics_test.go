@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConfusionScores(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, FN: 0}
+	if got := c.Precision(); got != 0.8 {
+		t.Errorf("precision = %v", got)
+	}
+	if got := c.Recall(); got != 1 {
+		t.Errorf("recall = %v", got)
+	}
+	// F2 with P=0.8, R=1: 5*0.8*1/(4*0.8+1) = 4/4.2.
+	if got := c.F2(); math.Abs(got-4.0/4.2) > 1e-9 {
+		t.Errorf("F2 = %v", got)
+	}
+}
+
+func TestConfusionEdgeCases(t *testing.T) {
+	empty := Confusion{}
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Error("empty confusion should score 1/1")
+	}
+	allMissed := Confusion{FN: 5}
+	if allMissed.Recall() != 0 {
+		t.Errorf("recall = %v", allMissed.Recall())
+	}
+	if allMissed.F2() != 0 {
+		t.Errorf("F2 = %v", allMissed.F2())
+	}
+}
+
+func TestFBetaWeightsRecall(t *testing.T) {
+	// With beta=2, improving recall helps more than improving precision.
+	base := FBeta(0.5, 0.5, 2)
+	recallUp := FBeta(0.5, 0.6, 2)
+	precUp := FBeta(0.6, 0.5, 2)
+	if recallUp <= base || precUp <= base {
+		t.Fatal("both improvements should raise the score")
+	}
+	if recallUp-base <= precUp-base {
+		t.Errorf("recall improvement %v should exceed precision improvement %v",
+			recallUp-base, precUp-base)
+	}
+}
+
+func TestFBetaRangeProperty(t *testing.T) {
+	f := func(p, r uint8) bool {
+		prec := float64(p) / 255
+		rec := float64(r) / 255
+		v := FBeta(prec, rec, 2)
+		return v >= 0 && v <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfusionAdd(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, FN: 3}
+	a.Add(Confusion{TP: 10, FP: 20, FN: 30})
+	if a.TP != 11 || a.FP != 22 || a.FN != 33 {
+		t.Errorf("add = %+v", a)
+	}
+}
+
+func sec(s int) time.Duration { return time.Duration(s) * time.Second }
+
+func TestScoreEventsPerfect(t *testing.T) {
+	truth := []Interval{
+		{ID: "a", Enter: sec(0), Exit: sec(5)},
+		{ID: "b", Enter: sec(10), Exit: sec(15)},
+	}
+	events := []ScoredEvent{
+		{TruthID: "a", At: sec(6)},  // within slack after exit
+		{TruthID: "b", At: sec(12)}, // during the visit
+	}
+	c := ScoreEvents(truth, events, sec(3))
+	if c.TP != 2 || c.FP != 0 || c.FN != 0 {
+		t.Errorf("confusion = %+v", c)
+	}
+}
+
+func TestScoreEventsFalseNegative(t *testing.T) {
+	truth := []Interval{{ID: "a", Enter: sec(0), Exit: sec(5)}}
+	c := ScoreEvents(truth, nil, sec(3))
+	if c.FN != 1 || c.TP != 0 {
+		t.Errorf("confusion = %+v", c)
+	}
+}
+
+func TestScoreEventsFalsePositives(t *testing.T) {
+	truth := []Interval{{ID: "a", Enter: sec(0), Exit: sec(5)}}
+	events := []ScoredEvent{
+		{TruthID: "a", At: sec(2)},
+		{TruthID: "a", At: sec(4)},  // duplicate event for the same visit
+		{TruthID: "", At: sec(3)},   // truthless detection
+		{TruthID: "z", At: sec(3)},  // vehicle never visited
+		{TruthID: "a", At: sec(60)}, // way after the visit
+	}
+	c := ScoreEvents(truth, events, sec(3))
+	if c.TP != 1 || c.FP != 4 || c.FN != 0 {
+		t.Errorf("confusion = %+v", c)
+	}
+}
+
+func TestScoreEventsTwoVisitsSameVehicle(t *testing.T) {
+	truth := []Interval{
+		{ID: "a", Enter: sec(0), Exit: sec(5)},
+		{ID: "a", Enter: sec(30), Exit: sec(35)},
+	}
+	events := []ScoredEvent{
+		{TruthID: "a", At: sec(5)},
+		{TruthID: "a", At: sec(36)},
+	}
+	c := ScoreEvents(truth, events, sec(3))
+	if c.TP != 2 || c.FP != 0 || c.FN != 0 {
+		t.Errorf("confusion = %+v", c)
+	}
+}
+
+func TestScoreTransitions(t *testing.T) {
+	truth := []Transition{
+		{VehicleID: "a", FromCam: "c1", ToCam: "c2"},
+		{VehicleID: "a", FromCam: "c2", ToCam: "c3"},
+		{VehicleID: "b", FromCam: "c1", ToCam: "c2"},
+	}
+	edges := []MatchedEdge{
+		{FromCam: "c1", ToCam: "c2", FromTruth: "a", ToTruth: "a"}, // TP
+		{FromCam: "c2", ToCam: "c3", FromTruth: "a", ToTruth: "b"}, // FP: identity mismatch
+		{FromCam: "c1", ToCam: "c3", FromTruth: "b", ToTruth: "b"}, // FP: no such transition
+	}
+	c := ScoreTransitions(truth, edges)
+	if c.TP != 1 || c.FP != 2 || c.FN != 2 {
+		t.Errorf("confusion = %+v", c)
+	}
+}
+
+func TestScoreTransitionsDuplicateEdges(t *testing.T) {
+	truth := []Transition{{VehicleID: "a", FromCam: "c1", ToCam: "c2"}}
+	edges := []MatchedEdge{
+		{FromCam: "c1", ToCam: "c2", FromTruth: "a", ToTruth: "a"},
+		{FromCam: "c1", ToCam: "c2", FromTruth: "a", ToTruth: "a"}, // double match
+	}
+	c := ScoreTransitions(truth, edges)
+	if c.TP != 1 || c.FP != 1 {
+		t.Errorf("confusion = %+v", c)
+	}
+}
+
+func TestLatencyRecorder(t *testing.T) {
+	r := NewLatencyRecorder()
+	if r.Mean() != 0 || r.Max() != 0 || r.Count() != 0 {
+		t.Error("empty recorder should report zeros")
+	}
+	if _, err := r.Percentile(50); err == nil {
+		t.Error("percentile of empty recorder should error")
+	}
+	for i := 1; i <= 100; i++ {
+		r.Add(time.Duration(i) * time.Millisecond)
+	}
+	if r.Count() != 100 {
+		t.Errorf("count = %d", r.Count())
+	}
+	if r.Mean() != 50500*time.Microsecond {
+		t.Errorf("mean = %v", r.Mean())
+	}
+	p50, err := r.Percentile(50)
+	if err != nil || p50 != 50*time.Millisecond {
+		t.Errorf("p50 = %v err %v", p50, err)
+	}
+	p99, err := r.Percentile(99)
+	if err != nil || p99 != 99*time.Millisecond {
+		t.Errorf("p99 = %v err %v", p99, err)
+	}
+	if r.Max() != 100*time.Millisecond {
+		t.Errorf("max = %v", r.Max())
+	}
+	if _, err := r.Percentile(0); err == nil {
+		t.Error("p0 should error")
+	}
+	if _, err := r.Percentile(101); err == nil {
+		t.Error("p101 should error")
+	}
+	// Adding after sorting still works.
+	r.Add(200 * time.Millisecond)
+	if r.Max() != 200*time.Millisecond {
+		t.Errorf("max after add = %v", r.Max())
+	}
+}

@@ -1,0 +1,108 @@
+// Package pipeline models Coral-Pie's per-camera continuous processing:
+// the three-stage pipeline on RPi 1 (fetch, load+resize, inference) and
+// the three-stage pipeline on RPi 2 (load, track+extract, communicate/
+// re-identify/store) from paper Figures 5 and 6. It provides the Table-1
+// device timing profile, a deterministic tandem-queue timing model used to
+// reproduce the paper's throughput numbers, and a generic concurrent
+// pipeline runner used by the real camera node.
+package pipeline
+
+import "time"
+
+// DeviceProfile holds the measured sub-task service times for one
+// camera's dedicated hardware. Field values default to the paper's
+// Table 1 (Raspberry Pi 3B+ / Coral EdgeTPU).
+type DeviceProfile struct {
+	// RPi 1 sub-tasks.
+	Fetch         time.Duration
+	Load          time.Duration
+	Resize        time.Duration
+	Inference     time.Duration
+	PostInference time.Duration
+	RPi1ToRPi2    time.Duration
+
+	// RPi 2 sub-tasks.
+	LoadRPi2          time.Duration
+	Track             time.Duration
+	FeatureExtraction time.Duration
+	Communication     time.Duration
+	VehicleReid       time.Duration
+
+	// Off-critical-path storage sub-tasks.
+	TrajStoreVertex time.Duration
+	TrajStoreEdge   time.Duration
+	FrameStorage    time.Duration
+}
+
+// PaperRPi3Profile returns the paper's Table-1 latency summary.
+func PaperRPi3Profile() DeviceProfile {
+	return DeviceProfile{
+		Fetch:             67 * time.Millisecond,
+		Load:              94 * time.Millisecond,
+		Resize:            2 * time.Millisecond,
+		Inference:         93 * time.Millisecond,
+		PostInference:     1 * time.Millisecond,
+		RPi1ToRPi2:        1 * time.Millisecond,
+		LoadRPi2:          94 * time.Millisecond, // same Load sub-task as RPi 1 (Section 4.1.2)
+		Track:             10 * time.Millisecond,
+		FeatureExtraction: 4 * time.Millisecond,
+		Communication:     2 * time.Millisecond,
+		VehicleReid:       12 * time.Millisecond,
+		TrajStoreVertex:   28 * time.Millisecond,
+		TrajStoreEdge:     30 * time.Millisecond,
+		FrameStorage:      1 * time.Millisecond,
+	}
+}
+
+// StageSpec is one pipeline stage in the timing model.
+type StageSpec struct {
+	Name    string
+	Service time.Duration
+}
+
+// RPi1Stages maps the profile onto the paper's three-stage RPi 1 pipeline
+// (Figure 5): fetch; load+resize; inference+post-processing.
+func (p DeviceProfile) RPi1Stages() []StageSpec {
+	return []StageSpec{
+		{Name: "fetch", Service: p.Fetch},
+		{Name: "load+resize", Service: p.Load + p.Resize},
+		{Name: "inference+post", Service: p.Inference + p.PostInference + p.RPi1ToRPi2},
+	}
+}
+
+// RPi2Stages maps the profile onto the paper's three-stage RPi 2 pipeline
+// (Figure 6): load; track+extract; communication/re-id/storage client.
+func (p DeviceProfile) RPi2Stages() []StageSpec {
+	return []StageSpec{
+		{Name: "load", Service: p.LoadRPi2},
+		{Name: "track+extract", Service: p.Track + p.FeatureExtraction},
+		{Name: "comm+reid+store", Service: p.Communication + p.VehicleReid + p.FrameStorage},
+	}
+}
+
+// DualDeviceStages is the full six-stage pipelined mapping across both
+// devices used by the prototype.
+func (p DeviceProfile) DualDeviceStages() []StageSpec {
+	return append(p.RPi1Stages(), p.RPi2Stages()...)
+}
+
+// SingleDeviceStages models the rejected design (Section 4.1.5) of
+// mapping every sub-task onto one RPi: the same work but the pipeline
+// cannot overlap stages across devices, so all sub-tasks contend on one
+// processor — modeled as a single stage whose service time is the sum of
+// every critical-path sub-task.
+func (p DeviceProfile) SingleDeviceStages() []StageSpec {
+	total := p.Fetch + p.Load + p.Resize + p.Inference + p.PostInference +
+		p.Track + p.FeatureExtraction + p.Communication + p.VehicleReid + p.FrameStorage
+	return []StageSpec{{Name: "single-rpi", Service: total}}
+}
+
+// CriticalPathTotal sums every critical-path sub-task, i.e. the per-frame
+// cost of a naive sequential execution.
+func (p DeviceProfile) CriticalPathTotal() time.Duration {
+	var total time.Duration
+	for _, s := range p.DualDeviceStages() {
+		total += s.Service
+	}
+	return total
+}

@@ -1,0 +1,138 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stage is one named processing step in a concurrent pipeline. The
+// function mutates the job in place; returning an error drops the job
+// after the error callback fires.
+type Stage[T any] struct {
+	Name string
+	Proc func(T) error
+}
+
+// Runner executes stages concurrently, one goroutine per stage connected
+// by channels — the shape of the paper's per-RPi pipelines where each
+// stage is an independent thread. Jobs flow in submission order.
+type Runner[T any] struct {
+	stages  []Stage[T]
+	in      chan T
+	wg      sync.WaitGroup
+	sink    func(T)
+	onError func(stage string, err error)
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// RunnerConfig configures a Runner.
+type RunnerConfig[T any] struct {
+	// Buffer is the channel capacity between stages. The paper's RPi
+	// pipelines hold one frame per stage; the default of 1 mirrors that.
+	Buffer int
+	// Sink receives jobs that completed every stage. Optional.
+	Sink func(T)
+	// OnError is invoked when a stage rejects a job. Optional.
+	OnError func(stage string, err error)
+}
+
+// NewRunner starts the stage goroutines and returns the runner.
+func NewRunner[T any](cfg RunnerConfig[T], stages ...Stage[T]) (*Runner[T], error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("pipeline: no stages")
+	}
+	for i, s := range stages {
+		if s.Proc == nil {
+			return nil, fmt.Errorf("pipeline: stage %d (%q) has nil proc", i, s.Name)
+		}
+	}
+	buffer := cfg.Buffer
+	if buffer < 1 {
+		buffer = 1
+	}
+	r := &Runner[T]{
+		stages:  stages,
+		in:      make(chan T, buffer),
+		sink:    cfg.Sink,
+		onError: cfg.OnError,
+	}
+
+	prev := r.in
+	for _, st := range stages {
+		st := st
+		out := make(chan T, buffer)
+		inCh := prev
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer close(out)
+			for job := range inCh {
+				if err := st.Proc(job); err != nil {
+					if r.onError != nil {
+						r.onError(st.Name, err)
+					}
+					continue
+				}
+				out <- job
+			}
+		}()
+		prev = out
+	}
+	final := prev
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		for job := range final {
+			if r.sink != nil {
+				r.sink(job)
+			}
+		}
+	}()
+	return r, nil
+}
+
+// Submit enqueues a job, blocking if the first stage is busy (camera
+// back-pressure). It reports false after Close.
+func (r *Runner[T]) Submit(job T) bool {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	// Hold the lock through the send so Close cannot close the channel
+	// between the check and the send.
+	defer r.mu.Unlock()
+	r.in <- job
+	return true
+}
+
+// TrySubmit enqueues a job only if the first stage has buffer space,
+// modeling a camera that drops frames when the pipeline is saturated.
+func (r *Runner[T]) TrySubmit(job T) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false
+	}
+	select {
+	case r.in <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close drains the pipeline and waits for every stage to finish.
+func (r *Runner[T]) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	close(r.in)
+	r.mu.Unlock()
+	r.wg.Wait()
+}

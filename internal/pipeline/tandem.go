@@ -1,0 +1,108 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+)
+
+// TandemResult summarizes a tandem-queue pipeline simulation.
+type TandemResult struct {
+	Frames int
+	// Makespan is the completion time of the last frame.
+	Makespan time.Duration
+	// ThroughputFPS is frames divided by makespan.
+	ThroughputFPS float64
+	// MeanLatency is the average end-to-end (arrival to completion)
+	// per-frame latency.
+	MeanLatency time.Duration
+	// MaxLatency is the worst per-frame latency.
+	MaxLatency time.Duration
+	// Utilization is each stage's busy fraction over the makespan.
+	Utilization []float64
+	// BottleneckStage is the index of the stage with the highest
+	// utilization.
+	BottleneckStage int
+}
+
+// SimulateTandem runs frames through a tandem queue of stages: each stage
+// processes one frame at a time in FIFO order with unbounded buffering
+// between stages; frame i arrives at i×interarrival. The classic
+// recurrence start[s][i] = max(finish[s−1][i], finish[s][i−1]) makes the
+// simulation exact and deterministic.
+func SimulateTandem(stages []StageSpec, interarrival time.Duration, frames int) (TandemResult, error) {
+	if len(stages) == 0 {
+		return TandemResult{}, fmt.Errorf("pipeline: no stages")
+	}
+	if frames < 1 {
+		return TandemResult{}, fmt.Errorf("pipeline: frames %d must be >= 1", frames)
+	}
+	if interarrival <= 0 {
+		return TandemResult{}, fmt.Errorf("pipeline: interarrival %v must be positive", interarrival)
+	}
+	for _, s := range stages {
+		if s.Service < 0 {
+			return TandemResult{}, fmt.Errorf("pipeline: stage %q has negative service time", s.Name)
+		}
+	}
+
+	nStages := len(stages)
+	prevFinish := make([]time.Duration, nStages) // finish[s][i-1]
+	busy := make([]time.Duration, nStages)
+	var totalLatency, maxLatency, makespan time.Duration
+
+	for i := 0; i < frames; i++ {
+		arrival := time.Duration(i) * interarrival
+		inAt := arrival
+		for s := 0; s < nStages; s++ {
+			start := inAt
+			if prevFinish[s] > start {
+				start = prevFinish[s]
+			}
+			finish := start + stages[s].Service
+			busy[s] += stages[s].Service
+			prevFinish[s] = finish
+			inAt = finish
+		}
+		latency := inAt - arrival
+		totalLatency += latency
+		if latency > maxLatency {
+			maxLatency = latency
+		}
+		if inAt > makespan {
+			makespan = inAt
+		}
+	}
+
+	res := TandemResult{
+		Frames:      frames,
+		Makespan:    makespan,
+		MeanLatency: totalLatency / time.Duration(frames),
+		MaxLatency:  maxLatency,
+		Utilization: make([]float64, nStages),
+	}
+	if makespan > 0 {
+		res.ThroughputFPS = float64(frames) / makespan.Seconds()
+	}
+	best := 0
+	for s := range stages {
+		res.Utilization[s] = float64(busy[s]) / float64(makespan)
+		if res.Utilization[s] > res.Utilization[best] {
+			best = s
+		}
+	}
+	res.BottleneckStage = best
+	return res, nil
+}
+
+// SequentialThroughputFPS is the frame rate of executing every stage
+// back-to-back with no pipelining.
+func SequentialThroughputFPS(stages []StageSpec) float64 {
+	var total time.Duration
+	for _, s := range stages {
+		total += s.Service
+	}
+	if total <= 0 {
+		return 0
+	}
+	return 1 / total.Seconds()
+}

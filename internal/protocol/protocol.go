@@ -1,0 +1,332 @@
+// Package protocol defines the messages exchanged by Coral-Pie components:
+// the vehicle detection event JSON object (paper Section 4.1.2), the
+// informing/confirming notifications of the inter-camera communication
+// protocol (Section 3.2), the heartbeat and topology-update messages of the
+// camera topology server (Section 3.3), and a length-prefixed JSON codec
+// that frames them over byte streams.
+package protocol
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/feature"
+	"repro/internal/geo"
+)
+
+// MessageType discriminates envelope payloads.
+type MessageType string
+
+// The wire message types.
+const (
+	// TypeInform carries a detection event from a camera to the members
+	// of its MDCS (informing stage).
+	TypeInform MessageType = "inform"
+	// TypeConfirm is sent by the camera that re-identified a vehicle to
+	// the predecessor camera that produced the original event
+	// (confirming stage).
+	TypeConfirm MessageType = "confirm"
+	// TypeRetire is relayed by the predecessor to the other members of
+	// its MDCS so they mark the event matched in their candidate pools.
+	TypeRetire MessageType = "retire"
+	// TypeHeartbeat is the periodic camera -> topology server liveness
+	// and registration message.
+	TypeHeartbeat MessageType = "heartbeat"
+	// TypeTopologyUpdate is the topology server -> camera MDCS push.
+	TypeTopologyUpdate MessageType = "topology_update"
+	// TypeFrameRecord carries a raw frame plus annotations to the frame
+	// storage server.
+	TypeFrameRecord MessageType = "frame_record"
+)
+
+// EventID uniquely identifies a detection event as "<cameraID>#<trackID>".
+type EventID string
+
+// NewEventID composes an event ID from its parts.
+func NewEventID(cameraID string, trackID int64) EventID {
+	return EventID(cameraID + "#" + strconv.FormatInt(trackID, 10))
+}
+
+// Split returns the camera ID and track ID components. It errors on
+// malformed IDs.
+func (id EventID) Split() (cameraID string, trackID int64, err error) {
+	i := strings.LastIndexByte(string(id), '#')
+	if i <= 0 || i == len(id)-1 {
+		return "", 0, fmt.Errorf("protocol: malformed event id %q", id)
+	}
+	trackID, err = strconv.ParseInt(string(id[i+1:]), 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("protocol: malformed event id %q: %w", id, err)
+	}
+	return string(id[:i]), trackID, nil
+}
+
+// DetectionEvent is the JSON object generated when a vehicle leaves a
+// camera's field of view (paper Section 4.1.2): camera name, UTC
+// timestamp, moving direction, adaptive histogram, the Sort tracker's
+// local ID, and the ID of the corresponding trajectory-graph vertex.
+type DetectionEvent struct {
+	ID        EventID           `json:"id"`
+	CameraID  string            `json:"cameraId"`
+	Timestamp time.Time         `json:"timestamp"`
+	Direction geo.Direction     `json:"direction"`
+	Histogram feature.Histogram `json:"histogram"`
+	TrackID   int64             `json:"trackId"`
+	VertexID  int64             `json:"vertexId"`
+	// TruthID is simulation ground truth carried for evaluation only.
+	TruthID string `json:"truthId,omitempty"`
+}
+
+// Validate checks the structural invariants of an event.
+func (e *DetectionEvent) Validate() error {
+	if e.CameraID == "" {
+		return errors.New("protocol: detection event missing camera id")
+	}
+	if e.ID == "" {
+		return errors.New("protocol: detection event missing id")
+	}
+	if !e.Histogram.Valid() {
+		return fmt.Errorf("protocol: detection event histogram has %d bins, want %d",
+			len(e.Histogram.Bins), feature.HistogramSize)
+	}
+	return nil
+}
+
+// Inform is the informing-stage notification.
+type Inform struct {
+	Event DetectionEvent `json:"event"`
+	// FromAddr is the sender's transport address, used by the
+	// re-identifying camera to send the confirming notification back.
+	FromAddr string `json:"fromAddr"`
+}
+
+// Confirm is the confirming-stage notification from the re-identifying
+// camera back to the predecessor camera.
+type Confirm struct {
+	// EventID is the predecessor's event that was re-identified.
+	EventID EventID `json:"eventId"`
+	// ByCameraID is the camera that performed the re-identification.
+	ByCameraID string `json:"byCameraId"`
+	// MatchedEventID is the new event at the re-identifying camera.
+	MatchedEventID EventID `json:"matchedEventId"`
+	// Distance is the Bhattacharyya distance of the match.
+	Distance float64 `json:"distance"`
+}
+
+// Retire tells an MDCS member to mark an event matched in its candidate
+// pool (garbage-collection signal).
+type Retire struct {
+	EventID EventID `json:"eventId"`
+	// ByCameraID is the camera that re-identified the vehicle, carried
+	// for observability.
+	ByCameraID string `json:"byCameraId"`
+}
+
+// Heartbeat registers a camera with the topology server and renews its
+// liveness lease.
+type Heartbeat struct {
+	CameraID string    `json:"cameraId"`
+	Position geo.Point `json:"position"`
+	// HeadingDeg is the compass bearing that "up" in the camera image
+	// corresponds to.
+	HeadingDeg float64 `json:"headingDeg"`
+	// Addr is the transport address where the camera accepts inter-camera
+	// messages.
+	Addr string    `json:"addr"`
+	Time time.Time `json:"time"`
+}
+
+// CameraRef names a peer camera and how to reach it.
+type CameraRef struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// TopologyUpdate pushes a camera's current MDCS table: for each moving
+// direction, the set of downstream cameras to inform.
+type TopologyUpdate struct {
+	CameraID string `json:"cameraId"`
+	// Version increases monotonically per camera so stale updates can be
+	// discarded.
+	Version int64 `json:"version"`
+	// MDCS maps direction -> downstream cameras.
+	MDCS map[geo.Direction][]CameraRef `json:"mdcs"`
+}
+
+// BoxAnnotation is per-frame tracking metadata stored with raw frames.
+type BoxAnnotation struct {
+	TrackID    int64   `json:"trackId"`
+	X          int     `json:"x"`
+	Y          int     `json:"y"`
+	W          int     `json:"w"`
+	H          int     `json:"h"`
+	Label      string  `json:"label"`
+	Confidence float64 `json:"confidence"`
+}
+
+// FrameRecord carries one raw frame plus annotations to the frame storage
+// server. Pixels travel raw (not re-encoded), matching the paper's
+// serialization decision.
+type FrameRecord struct {
+	CameraID    string          `json:"cameraId"`
+	Seq         int64           `json:"seq"`
+	Timestamp   time.Time       `json:"timestamp"`
+	Width       int             `json:"width"`
+	Height      int             `json:"height"`
+	Pixels      []byte          `json:"pixels"`
+	Annotations []BoxAnnotation `json:"annotations,omitempty"`
+}
+
+// Envelope frames a typed payload.
+type Envelope struct {
+	Type    MessageType     `json:"type"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// ErrUnknownType is returned when decoding an envelope with an
+// unrecognized message type.
+var ErrUnknownType = errors.New("protocol: unknown message type")
+
+// Seal wraps a payload value in an Envelope of the right type. It errors
+// if the payload's Go type does not match a known message.
+func Seal(msg any) (Envelope, error) {
+	var t MessageType
+	switch msg.(type) {
+	case Inform, *Inform:
+		t = TypeInform
+	case Confirm, *Confirm:
+		t = TypeConfirm
+	case Retire, *Retire:
+		t = TypeRetire
+	case Heartbeat, *Heartbeat:
+		t = TypeHeartbeat
+	case TopologyUpdate, *TopologyUpdate:
+		t = TypeTopologyUpdate
+	case FrameRecord, *FrameRecord:
+		t = TypeFrameRecord
+	default:
+		return Envelope{}, fmt.Errorf("protocol: cannot seal %T", msg)
+	}
+	raw, err := json.Marshal(msg)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("protocol: marshal %T: %w", msg, err)
+	}
+	return Envelope{Type: t, Payload: raw}, nil
+}
+
+// Open decodes an envelope's payload into its concrete message type.
+func Open(env Envelope) (any, error) {
+	var (
+		msg any
+		err error
+	)
+	switch env.Type {
+	case TypeInform:
+		var m Inform
+		err = json.Unmarshal(env.Payload, &m)
+		msg = m
+	case TypeConfirm:
+		var m Confirm
+		err = json.Unmarshal(env.Payload, &m)
+		msg = m
+	case TypeRetire:
+		var m Retire
+		err = json.Unmarshal(env.Payload, &m)
+		msg = m
+	case TypeHeartbeat:
+		var m Heartbeat
+		err = json.Unmarshal(env.Payload, &m)
+		msg = m
+	case TypeTopologyUpdate:
+		var m TopologyUpdate
+		err = json.Unmarshal(env.Payload, &m)
+		msg = m
+	case TypeFrameRecord:
+		var m FrameRecord
+		err = json.Unmarshal(env.Payload, &m)
+		msg = m
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownType, env.Type)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("protocol: decode %s: %w", env.Type, err)
+	}
+	return msg, nil
+}
+
+// MaxFrameBytes bounds a single wire message (32 MiB), comfortably above
+// a raw 1280×1024 RGB frame plus JSON overhead, and small enough to stop
+// a corrupted length prefix from allocating unbounded memory.
+const MaxFrameBytes = 32 << 20
+
+// ErrFrameTooLarge is returned when a wire message exceeds MaxFrameBytes.
+var ErrFrameTooLarge = errors.New("protocol: frame exceeds size limit")
+
+// WriteEnvelope frames env as 4-byte big-endian length + JSON.
+func WriteEnvelope(w io.Writer, env Envelope) error {
+	data, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("protocol: marshal envelope: %w", err)
+	}
+	if len(data) > MaxFrameBytes {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(data))
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("protocol: write length: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("protocol: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadEnvelope reads one length-prefixed envelope. It returns io.EOF when
+// the stream ends cleanly at a message boundary.
+func ReadEnvelope(r io.Reader) (Envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Envelope{}, io.EOF
+		}
+		return Envelope{}, fmt.Errorf("protocol: read length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrameBytes {
+		return Envelope{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return Envelope{}, fmt.Errorf("protocol: read payload: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return Envelope{}, fmt.Errorf("protocol: unmarshal envelope: %w", err)
+	}
+	return env, nil
+}
+
+// WriteMessage seals and writes a message in one step.
+func WriteMessage(w io.Writer, msg any) error {
+	env, err := Seal(msg)
+	if err != nil {
+		return err
+	}
+	return WriteEnvelope(w, env)
+}
+
+// ReadMessage reads and opens a message in one step.
+func ReadMessage(r io.Reader) (any, error) {
+	env, err := ReadEnvelope(r)
+	if err != nil {
+		return nil, err
+	}
+	return Open(env)
+}

@@ -1,0 +1,226 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/feature"
+	"repro/internal/geo"
+)
+
+func validHistogram() feature.Histogram {
+	h := feature.Histogram{Bins: make([]float64, feature.HistogramSize)}
+	h.Bins[0] = 1
+	return h
+}
+
+func sampleEvent() DetectionEvent {
+	return DetectionEvent{
+		ID:        NewEventID("cam1", 42),
+		CameraID:  "cam1",
+		Timestamp: time.Date(2020, 12, 7, 10, 30, 0, 0, time.UTC),
+		Direction: geo.East,
+		Histogram: validHistogram(),
+		TrackID:   42,
+		VertexID:  7,
+		TruthID:   "veh-3",
+	}
+}
+
+func TestEventID(t *testing.T) {
+	id := NewEventID("cam1", 42)
+	if id != "cam1#42" {
+		t.Errorf("id = %q", id)
+	}
+	cam, track, err := id.Split()
+	if err != nil || cam != "cam1" || track != 42 {
+		t.Errorf("Split = %q %d %v", cam, track, err)
+	}
+	// Camera names containing '#' still split on the last separator.
+	cam, track, err = EventID("edge#2#9").Split()
+	if err != nil || cam != "edge#2" || track != 9 {
+		t.Errorf("Split = %q %d %v", cam, track, err)
+	}
+	for _, bad := range []EventID{"", "noseparator", "#5", "cam#", "cam#abc"} {
+		if _, _, err := bad.Split(); err == nil {
+			t.Errorf("Split(%q) should error", bad)
+		}
+	}
+}
+
+func TestDetectionEventValidate(t *testing.T) {
+	e := sampleEvent()
+	if err := e.Validate(); err != nil {
+		t.Errorf("valid event rejected: %v", err)
+	}
+	e2 := sampleEvent()
+	e2.CameraID = ""
+	if err := e2.Validate(); err == nil {
+		t.Error("missing camera id accepted")
+	}
+	e3 := sampleEvent()
+	e3.ID = ""
+	if err := e3.Validate(); err == nil {
+		t.Error("missing id accepted")
+	}
+	e4 := sampleEvent()
+	e4.Histogram = feature.Histogram{Bins: []float64{1}}
+	if err := e4.Validate(); err == nil {
+		t.Error("short histogram accepted")
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	msgs := []any{
+		Inform{Event: sampleEvent()},
+		Confirm{EventID: "cam1#42", ByCameraID: "cam2", MatchedEventID: "cam2#7", Distance: 0.12},
+		Retire{EventID: "cam1#42", ByCameraID: "cam2"},
+		Heartbeat{CameraID: "cam3", Position: geo.Point{Lat: 33.77, Lon: -84.39}, HeadingDeg: 90, Addr: "127.0.0.1:9000", Time: time.Date(2020, 12, 7, 0, 0, 0, 0, time.UTC)},
+		TopologyUpdate{CameraID: "cam3", Version: 5, MDCS: map[geo.Direction][]CameraRef{
+			geo.East: {{ID: "cam4", Addr: "127.0.0.1:9001"}},
+		}},
+		FrameRecord{CameraID: "cam1", Seq: 9, Width: 2, Height: 1, Pixels: []byte{1, 2, 3, 4, 5, 6}},
+	}
+	for _, msg := range msgs {
+		env, err := Seal(msg)
+		if err != nil {
+			t.Fatalf("Seal(%T): %v", msg, err)
+		}
+		got, err := Open(env)
+		if err != nil {
+			t.Fatalf("Open(%T): %v", msg, err)
+		}
+		switch want := msg.(type) {
+		case Inform:
+			g, ok := got.(Inform)
+			if !ok || g.Event.ID != want.Event.ID || g.Event.Direction != want.Event.Direction {
+				t.Errorf("Inform round trip mismatch: %+v", got)
+			}
+			if len(g.Event.Histogram.Bins) != feature.HistogramSize {
+				t.Error("histogram lost in round trip")
+			}
+			if !g.Event.Timestamp.Equal(want.Event.Timestamp) {
+				t.Error("timestamp lost")
+			}
+		case Confirm:
+			if got.(Confirm) != want {
+				t.Errorf("Confirm round trip: %+v", got)
+			}
+		case Retire:
+			if got.(Retire) != want {
+				t.Errorf("Retire round trip: %+v", got)
+			}
+		case Heartbeat:
+			g, ok := got.(Heartbeat)
+			if !ok || g.CameraID != want.CameraID || g.Addr != want.Addr || !g.Time.Equal(want.Time) {
+				t.Errorf("Heartbeat round trip: %+v", got)
+			}
+		case TopologyUpdate:
+			g, ok := got.(TopologyUpdate)
+			if !ok || g.Version != want.Version || len(g.MDCS[geo.East]) != 1 || g.MDCS[geo.East][0].ID != "cam4" {
+				t.Errorf("TopologyUpdate round trip: %+v", got)
+			}
+		case FrameRecord:
+			g, ok := got.(FrameRecord)
+			if !ok || g.Seq != want.Seq || !bytes.Equal(g.Pixels, want.Pixels) {
+				t.Errorf("FrameRecord round trip: %+v", got)
+			}
+		}
+	}
+}
+
+func TestSealUnknownType(t *testing.T) {
+	if _, err := Seal(struct{}{}); err == nil {
+		t.Error("sealing an unknown type should error")
+	}
+}
+
+func TestOpenUnknownType(t *testing.T) {
+	_, err := Open(Envelope{Type: "bogus", Payload: []byte("{}")})
+	if !errors.Is(err, ErrUnknownType) {
+		t.Errorf("want ErrUnknownType, got %v", err)
+	}
+}
+
+func TestOpenCorruptPayload(t *testing.T) {
+	if _, err := Open(Envelope{Type: TypeInform, Payload: []byte("{")}); err == nil {
+		t.Error("corrupt payload should error")
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := Retire{EventID: "cam1#1", ByCameraID: "cam9"}
+	if err := WriteMessage(&buf, want); err != nil {
+		t.Fatalf("WriteMessage: %v", err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	if got.(Retire) != want {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestWireMultipleMessages(t *testing.T) {
+	var buf bytes.Buffer
+	for i := int64(0); i < 5; i++ {
+		if err := WriteMessage(&buf, Retire{EventID: NewEventID("cam", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 5; i++ {
+		msg, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if msg.(Retire).EventID != NewEventID("cam", i) {
+			t.Errorf("message %d out of order: %+v", i, msg)
+		}
+	}
+	if _, err := ReadMessage(&buf); !errors.Is(err, io.EOF) {
+		t.Errorf("want io.EOF at end, got %v", err)
+	}
+}
+
+func TestReadEnvelopeTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, Retire{EventID: "c#1"}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Cut the payload short: must not return clean EOF.
+	if _, err := ReadEnvelope(bytes.NewReader(data[:len(data)-2])); err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("truncated payload: %v", err)
+	}
+	// Cut inside the length prefix.
+	if _, err := ReadEnvelope(bytes.NewReader(data[:2])); err == nil {
+		t.Error("truncated length should error")
+	}
+}
+
+func TestReadEnvelopeOversized(t *testing.T) {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], MaxFrameBytes+1)
+	_, err := ReadEnvelope(bytes.NewReader(lenBuf[:]))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestReadEnvelopeGarbageJSON(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("not json")
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	buf.Write(lenBuf[:])
+	buf.Write(payload)
+	if _, err := ReadEnvelope(&buf); err == nil {
+		t.Error("garbage JSON should error")
+	}
+}

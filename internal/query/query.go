@@ -1,0 +1,207 @@
+// Package query is the analytics layer over the trajectory graph that the
+// paper defers to "a human user or more advanced analytics in the Cloud"
+// (Section 4.2.1) and to future work (Section 8): it reconstructs
+// candidate space-time tracks from any sighting, scores them by
+// re-identification confidence, and ranks them so the most plausible
+// trajectory comes first.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/trajstore"
+)
+
+// GraphReader is the read surface the query layer needs. Both the local
+// *trajstore.Store (via StoreReader) and the remote *trajstore.Client
+// satisfy it.
+type GraphReader interface {
+	Vertex(id int64) (trajstore.Vertex, error)
+	FindByEventID(id protocol.EventID) (trajstore.Vertex, error)
+	Trajectory(id int64, limits trajstore.TraceLimits) ([][]int64, error)
+	OutEdges(id int64) ([]trajstore.Edge, error)
+	InEdges(id int64) ([]trajstore.Edge, error)
+}
+
+// StoreReader adapts a local store to GraphReader (the store's edge
+// accessors do not return errors).
+type StoreReader struct {
+	Store *trajstore.Store
+}
+
+var _ GraphReader = StoreReader{}
+
+// Vertex implements GraphReader.
+func (r StoreReader) Vertex(id int64) (trajstore.Vertex, error) { return r.Store.Vertex(id) }
+
+// FindByEventID implements GraphReader.
+func (r StoreReader) FindByEventID(id protocol.EventID) (trajstore.Vertex, error) {
+	return r.Store.FindByEventID(id)
+}
+
+// Trajectory implements GraphReader.
+func (r StoreReader) Trajectory(id int64, limits trajstore.TraceLimits) ([][]int64, error) {
+	return r.Store.Trajectory(id, limits)
+}
+
+// OutEdges implements GraphReader.
+func (r StoreReader) OutEdges(id int64) ([]trajstore.Edge, error) {
+	return r.Store.OutEdges(id), nil
+}
+
+// InEdges implements GraphReader.
+func (r StoreReader) InEdges(id int64) ([]trajstore.Edge, error) {
+	return r.Store.InEdges(id), nil
+}
+
+var _ GraphReader = (*trajstore.Client)(nil)
+
+// Hop is one sighting on a reconstructed track.
+type Hop struct {
+	VertexID int64
+	Camera   string
+	Time     time.Time
+	// LinkWeight is the Bhattacharyya distance of the edge arriving at
+	// this hop (0 for the first hop).
+	LinkWeight float64
+}
+
+// Track is one candidate space-time trajectory.
+type Track struct {
+	Hops []Hop
+	// TotalWeight sums the link weights; lower = more confident.
+	TotalWeight float64
+	// MeanWeight is TotalWeight over the number of links (0 for a
+	// single-sighting track).
+	MeanWeight float64
+	// Duration spans the first to the last sighting.
+	Duration time.Duration
+}
+
+// Cameras returns the camera sequence of the track.
+func (t Track) Cameras() []string {
+	out := make([]string, len(t.Hops))
+	for i, h := range t.Hops {
+		out[i] = h.Camera
+	}
+	return out
+}
+
+// Reconstruct returns every candidate track through the sighting with the
+// given event ID, ranked: longer tracks first (more of the vehicle's
+// journey explained), then lower mean link weight (higher confidence).
+func Reconstruct(g GraphReader, eventID protocol.EventID, limits trajstore.TraceLimits) ([]Track, error) {
+	if g == nil {
+		return nil, errors.New("query: nil graph reader")
+	}
+	start, err := g.FindByEventID(eventID)
+	if err != nil {
+		return nil, err
+	}
+	return ReconstructFromVertex(g, start.ID, limits)
+}
+
+// ReconstructFromVertex is Reconstruct keyed by vertex ID.
+func ReconstructFromVertex(g GraphReader, vertexID int64, limits trajstore.TraceLimits) ([]Track, error) {
+	if g == nil {
+		return nil, errors.New("query: nil graph reader")
+	}
+	paths, err := g.Trajectory(vertexID, limits)
+	if err != nil {
+		return nil, err
+	}
+	tracks := make([]Track, 0, len(paths))
+	for _, path := range paths {
+		track, err := buildTrack(g, path)
+		if err != nil {
+			return nil, err
+		}
+		tracks = append(tracks, track)
+	}
+	sort.SliceStable(tracks, func(i, j int) bool {
+		if len(tracks[i].Hops) != len(tracks[j].Hops) {
+			return len(tracks[i].Hops) > len(tracks[j].Hops)
+		}
+		return tracks[i].MeanWeight < tracks[j].MeanWeight
+	})
+	return tracks, nil
+}
+
+// Best returns the top-ranked track through a sighting.
+func Best(g GraphReader, eventID protocol.EventID, limits trajstore.TraceLimits) (Track, error) {
+	tracks, err := Reconstruct(g, eventID, limits)
+	if err != nil {
+		return Track{}, err
+	}
+	if len(tracks) == 0 {
+		return Track{}, fmt.Errorf("query: no tracks through %q", eventID)
+	}
+	return tracks[0], nil
+}
+
+func buildTrack(g GraphReader, path []int64) (Track, error) {
+	if len(path) == 0 {
+		return Track{}, errors.New("query: empty path")
+	}
+	track := Track{Hops: make([]Hop, 0, len(path))}
+	for i, vid := range path {
+		v, err := g.Vertex(vid)
+		if err != nil {
+			return Track{}, err
+		}
+		hop := Hop{VertexID: vid, Camera: v.Event.CameraID, Time: v.Event.Timestamp}
+		if i > 0 {
+			w, err := edgeWeight(g, path[i-1], vid)
+			if err != nil {
+				return Track{}, err
+			}
+			hop.LinkWeight = w
+			track.TotalWeight += w
+		}
+		track.Hops = append(track.Hops, hop)
+	}
+	if n := len(track.Hops) - 1; n > 0 {
+		track.MeanWeight = track.TotalWeight / float64(n)
+	}
+	track.Duration = track.Hops[len(track.Hops)-1].Time.Sub(track.Hops[0].Time)
+	return track, nil
+}
+
+func edgeWeight(g GraphReader, from, to int64) (float64, error) {
+	edges, err := g.OutEdges(from)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range edges {
+		if e.To == to {
+			return e.Weight, nil
+		}
+	}
+	return 0, fmt.Errorf("query: missing edge %d->%d", from, to)
+}
+
+// VehicleSightings lists every sighting whose simulation ground truth
+// matches the vehicle ID, in time order — an evaluation convenience for
+// comparing reconstructed tracks with what actually happened.
+func VehicleSightings(g GraphReader, maxVertexID int64, vehicleID string) ([]Hop, error) {
+	if g == nil {
+		return nil, errors.New("query: nil graph reader")
+	}
+	var out []Hop
+	for vid := int64(1); vid <= maxVertexID; vid++ {
+		v, err := g.Vertex(vid)
+		if err != nil {
+			continue
+		}
+		if v.Event.TruthID != vehicleID {
+			continue
+		}
+		out = append(out, Hop{VertexID: vid, Camera: v.Event.CameraID, Time: v.Event.Timestamp})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out, nil
+}

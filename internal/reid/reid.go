@@ -1,0 +1,231 @@
+// Package reid implements Coral-Pie's vehicle re-identification element
+// (paper Sections 3.2, 4.1.3, 4.1.4): the candidate pool holding detection
+// events received from upstream cameras, the Bhattacharyya-distance
+// matcher, and the lazy garbage-collection policy — matched events are
+// only annotated, and pruned when the pool grows too large, to keep eager
+// deletion from turning re-identification false positives into false
+// negatives.
+package reid
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/feature"
+	"repro/internal/protocol"
+)
+
+// Entry is one candidate-pool element.
+type Entry struct {
+	Event      protocol.DetectionEvent
+	ReceivedAt time.Time
+	Matched    bool
+}
+
+// PoolConfig parameterizes the candidate pool.
+type PoolConfig struct {
+	// PruneThreshold is the pool size above which matched entries are
+	// garbage-collected (paper: "pruning ... only when the pool grows too
+	// large").
+	PruneThreshold int
+}
+
+// DefaultPoolConfig matches the prototype's behaviour.
+func DefaultPoolConfig() PoolConfig {
+	return PoolConfig{PruneThreshold: 256}
+}
+
+// Pool is a camera's candidate pool. It is safe for concurrent use: the
+// connection manager adds entries from the network while the
+// re-identification stage matches against them.
+type Pool struct {
+	cfg PoolConfig
+
+	mu      sync.Mutex
+	entries map[protocol.EventID]*Entry
+	order   []protocol.EventID
+
+	received int64
+	matched  int64
+	pruned   int64
+}
+
+// NewPool validates the config and returns an empty pool.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if cfg.PruneThreshold < 1 {
+		return nil, fmt.Errorf("reid: prune threshold %d must be >= 1", cfg.PruneThreshold)
+	}
+	return &Pool{
+		cfg:     cfg,
+		entries: make(map[protocol.EventID]*Entry),
+	}, nil
+}
+
+// Add inserts an event received from an upstream camera. Duplicate event
+// IDs refresh the stored event but are not double-counted.
+func (p *Pool) Add(e protocol.DetectionEvent, now time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if existing, ok := p.entries[e.ID]; ok {
+		existing.Event = e
+		return
+	}
+	p.entries[e.ID] = &Entry{Event: e, ReceivedAt: now}
+	p.order = append(p.order, e.ID)
+	p.received++
+	p.pruneLocked()
+}
+
+// MarkMatched annotates an event as matched (re-identified downstream or
+// retired by the confirming protocol). It reports whether the event was
+// present and previously unmatched.
+func (p *Pool) MarkMatched(id protocol.EventID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[id]
+	if !ok || e.Matched {
+		return false
+	}
+	e.Matched = true
+	p.matched++
+	return true
+}
+
+// pruneLocked removes matched entries once the pool exceeds the
+// configured threshold. Caller holds p.mu.
+func (p *Pool) pruneLocked() {
+	if len(p.entries) <= p.cfg.PruneThreshold {
+		return
+	}
+	keep := p.order[:0]
+	for _, id := range p.order {
+		e, ok := p.entries[id]
+		if !ok {
+			continue
+		}
+		if e.Matched {
+			delete(p.entries, id)
+			p.pruned++
+			continue
+		}
+		keep = append(keep, id)
+	}
+	p.order = keep
+}
+
+// Size returns the number of entries currently held.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
+// Unmatched returns how many entries have not been matched.
+func (p *Pool) Unmatched() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, e := range p.entries {
+		if !e.Matched {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns a copy of all entries, in insertion order.
+func (p *Pool) Snapshot() []Entry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Entry, 0, len(p.entries))
+	for _, id := range p.order {
+		if e, ok := p.entries[id]; ok {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// Stats reports the pool's lifetime counters: events received, matched,
+// and pruned.
+type Stats struct {
+	Received int64
+	Matched  int64
+	Pruned   int64
+}
+
+// Stats returns the lifetime counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{Received: p.received, Matched: p.matched, Pruned: p.pruned}
+}
+
+// MatcherConfig parameterizes re-identification.
+type MatcherConfig struct {
+	// BhattThreshold is the maximum Bhattacharyya distance accepted as a
+	// match.
+	BhattThreshold float64
+	// MaxEventAge, when positive, skips pool entries older than this;
+	// a vehicle that has not arrived within the window is unlikely to be
+	// the one just seen. Zero disables the filter.
+	MaxEventAge time.Duration
+}
+
+// DefaultMatcherConfig returns the prototype threshold.
+func DefaultMatcherConfig() MatcherConfig {
+	return MatcherConfig{BhattThreshold: 0.35}
+}
+
+// Matcher matches fresh detection events against a candidate pool.
+type Matcher struct {
+	cfg MatcherConfig
+}
+
+// NewMatcher validates the config and returns a matcher.
+func NewMatcher(cfg MatcherConfig) (*Matcher, error) {
+	if cfg.BhattThreshold <= 0 || cfg.BhattThreshold > 1 {
+		return nil, fmt.Errorf("reid: Bhattacharyya threshold %v out of (0,1]", cfg.BhattThreshold)
+	}
+	if cfg.MaxEventAge < 0 {
+		return nil, fmt.Errorf("reid: max event age %v must be non-negative", cfg.MaxEventAge)
+	}
+	return &Matcher{cfg: cfg}, nil
+}
+
+// Match finds the unmatched pool entry with the smallest Bhattacharyya
+// distance to the histogram. ok is false when nothing clears the
+// threshold. The matched entry is NOT marked; callers mark it after the
+// confirming protocol fires so the bookkeeping stays in one place.
+func (m *Matcher) Match(h feature.Histogram, pool *Pool, now time.Time) (best Entry, distance float64, ok bool) {
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	bestDist := m.cfg.BhattThreshold
+	var bestEntry *Entry
+	for _, id := range pool.order {
+		e, present := pool.entries[id]
+		if !present || e.Matched {
+			continue
+		}
+		if m.cfg.MaxEventAge > 0 && now.Sub(e.ReceivedAt) > m.cfg.MaxEventAge {
+			continue
+		}
+		d, err := feature.Bhattacharyya(h, e.Event.Histogram)
+		if err != nil {
+			continue
+		}
+		// Strict improvement required: on ties (e.g. same-color vehicles)
+		// the earliest entry wins, exploiting the temporal locality of
+		// vehicle movement — the first-informed candidate is the one
+		// that has been traveling toward this camera the longest.
+		if (bestEntry == nil && d <= bestDist) || (bestEntry != nil && d < bestDist) {
+			bestDist = d
+			bestEntry = e
+		}
+	}
+	if bestEntry == nil {
+		return Entry{}, 0, false
+	}
+	return *bestEntry, bestDist, true
+}

@@ -1,0 +1,226 @@
+package reid
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/feature"
+	"repro/internal/imaging"
+	"repro/internal/protocol"
+)
+
+var t0 = time.Date(2020, 12, 7, 0, 0, 0, 0, time.UTC)
+
+// histOf builds the signature of a solid-color patch.
+func histOf(t *testing.T, c imaging.Color) feature.Histogram {
+	t.Helper()
+	f := imaging.MustNewFrame(32, 32)
+	f.Fill(c)
+	h, err := feature.Extract(f, imaging.Rect{X: 4, Y: 4, W: 24, H: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func eventWith(t *testing.T, id string, c imaging.Color) protocol.DetectionEvent {
+	t.Helper()
+	return protocol.DetectionEvent{
+		ID:        protocol.EventID(id),
+		CameraID:  "up",
+		Timestamp: t0,
+		Histogram: histOf(t, c),
+	}
+}
+
+func newPool(t *testing.T, threshold int) *Pool {
+	t.Helper()
+	p, err := NewPool(PoolConfig{PruneThreshold: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newMatcher(t *testing.T, cfg MatcherConfig) *Matcher {
+	t.Helper()
+	m, err := NewMatcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewPool(PoolConfig{PruneThreshold: 0}); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestMatcherValidation(t *testing.T) {
+	if _, err := NewMatcher(MatcherConfig{BhattThreshold: 0}); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := NewMatcher(MatcherConfig{BhattThreshold: 1.5}); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+	if _, err := NewMatcher(MatcherConfig{BhattThreshold: 0.3, MaxEventAge: -time.Second}); err == nil {
+		t.Error("negative age accepted")
+	}
+}
+
+func TestAddAndSize(t *testing.T) {
+	p := newPool(t, 10)
+	p.Add(eventWith(t, "up#1", imaging.Red), t0)
+	p.Add(eventWith(t, "up#2", imaging.Blue), t0)
+	if p.Size() != 2 || p.Unmatched() != 2 {
+		t.Errorf("size=%d unmatched=%d", p.Size(), p.Unmatched())
+	}
+	// Duplicate ID refreshes, does not grow.
+	p.Add(eventWith(t, "up#1", imaging.Red), t0.Add(time.Second))
+	if p.Size() != 2 {
+		t.Errorf("duplicate grew pool to %d", p.Size())
+	}
+	if p.Stats().Received != 2 {
+		t.Errorf("received = %d", p.Stats().Received)
+	}
+}
+
+func TestMatchPicksClosestColor(t *testing.T) {
+	p := newPool(t, 10)
+	p.Add(eventWith(t, "up#1", imaging.Red), t0)
+	p.Add(eventWith(t, "up#2", imaging.Blue), t0)
+	m := newMatcher(t, DefaultMatcherConfig())
+
+	got, dist, ok := m.Match(histOf(t, imaging.Red), p, t0)
+	if !ok {
+		t.Fatal("no match found")
+	}
+	if got.Event.ID != "up#1" {
+		t.Errorf("matched %v, want up#1", got.Event.ID)
+	}
+	if dist > 0.01 {
+		t.Errorf("distance = %v", dist)
+	}
+}
+
+func TestMatchRejectsAboveThreshold(t *testing.T) {
+	p := newPool(t, 10)
+	p.Add(eventWith(t, "up#1", imaging.Blue), t0)
+	m := newMatcher(t, MatcherConfig{BhattThreshold: 0.3})
+	if _, _, ok := m.Match(histOf(t, imaging.Red), p, t0); ok {
+		t.Error("red matched blue below threshold 0.3")
+	}
+}
+
+func TestMatchSkipsMatchedEntries(t *testing.T) {
+	p := newPool(t, 10)
+	p.Add(eventWith(t, "up#1", imaging.Red), t0)
+	if !p.MarkMatched("up#1") {
+		t.Fatal("MarkMatched failed")
+	}
+	m := newMatcher(t, DefaultMatcherConfig())
+	if _, _, ok := m.Match(histOf(t, imaging.Red), p, t0); ok {
+		t.Error("matched an already-matched entry")
+	}
+}
+
+func TestMarkMatchedSemantics(t *testing.T) {
+	p := newPool(t, 10)
+	p.Add(eventWith(t, "up#1", imaging.Red), t0)
+	if p.MarkMatched("ghost#1") {
+		t.Error("marking a missing entry should report false")
+	}
+	if !p.MarkMatched("up#1") {
+		t.Error("first mark should succeed")
+	}
+	if p.MarkMatched("up#1") {
+		t.Error("second mark should report false")
+	}
+	if p.Unmatched() != 0 || p.Stats().Matched != 1 {
+		t.Errorf("unmatched=%d matched=%d", p.Unmatched(), p.Stats().Matched)
+	}
+}
+
+func TestLazyPruning(t *testing.T) {
+	p := newPool(t, 4)
+	for i := 0; i < 4; i++ {
+		p.Add(eventWith(t, "up#"+string(rune('0'+i)), imaging.Red), t0)
+	}
+	p.MarkMatched("up#0")
+	p.MarkMatched("up#1")
+	// Below threshold: matched entries are annotated but retained.
+	if p.Size() != 4 {
+		t.Errorf("pruned early: size=%d", p.Size())
+	}
+	// Crossing the threshold triggers pruning of matched entries only.
+	p.Add(eventWith(t, "up#9", imaging.Blue), t0)
+	if p.Size() != 3 {
+		t.Errorf("after prune size=%d, want 3", p.Size())
+	}
+	if p.Stats().Pruned != 2 {
+		t.Errorf("pruned=%d", p.Stats().Pruned)
+	}
+	snap := p.Snapshot()
+	for _, e := range snap {
+		if e.Event.ID == "up#0" || e.Event.ID == "up#1" {
+			t.Errorf("matched entry %v survived pruning", e.Event.ID)
+		}
+	}
+}
+
+func TestMaxEventAgeFilter(t *testing.T) {
+	p := newPool(t, 10)
+	p.Add(eventWith(t, "up#old", imaging.Red), t0)
+	p.Add(eventWith(t, "up#new", imaging.Red), t0.Add(50*time.Second))
+	m := newMatcher(t, MatcherConfig{BhattThreshold: 0.3, MaxEventAge: 30 * time.Second})
+	got, _, ok := m.Match(histOf(t, imaging.Red), p, t0.Add(60*time.Second))
+	if !ok {
+		t.Fatal("no match")
+	}
+	if got.Event.ID != "up#new" {
+		t.Errorf("matched %v, want the fresh entry", got.Event.ID)
+	}
+}
+
+func TestSnapshotOrder(t *testing.T) {
+	p := newPool(t, 10)
+	ids := []string{"a#1", "b#2", "c#3"}
+	for _, id := range ids {
+		p.Add(eventWith(t, id, imaging.Red), t0)
+	}
+	snap := p.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len=%d", len(snap))
+	}
+	for i, id := range ids {
+		if string(snap[i].Event.ID) != id {
+			t.Errorf("snapshot[%d] = %v, want %v", i, snap[i].Event.ID, id)
+		}
+	}
+}
+
+func TestMatchEmptyPool(t *testing.T) {
+	p := newPool(t, 10)
+	m := newMatcher(t, DefaultMatcherConfig())
+	if _, _, ok := m.Match(histOf(t, imaging.Red), p, t0); ok {
+		t.Error("matched against empty pool")
+	}
+}
+
+func TestConcurrentAddAndMatch(t *testing.T) {
+	p := newPool(t, 64)
+	m := newMatcher(t, DefaultMatcherConfig())
+	target := histOf(t, imaging.Red)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			p.Add(eventWith(t, "up#"+string(rune(i)), imaging.Blue), t0)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		m.Match(target, p, t0)
+	}
+	<-done
+}

@@ -1,0 +1,186 @@
+package roadnet
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+)
+
+// metersPerDegreeLat is the approximate ground length of one degree of
+// latitude, used by the synthetic topology generators.
+const metersPerDegreeLat = 111194.0
+
+// offsetPoint returns origin displaced east and north by the given meters.
+func offsetPoint(origin geo.Point, eastM, northM float64) geo.Point {
+	latRad := origin.Lat * 3.141592653589793 / 180
+	cos := cosApprox(latRad)
+	return geo.Point{
+		Lat: origin.Lat + northM/metersPerDegreeLat,
+		Lon: origin.Lon + eastM/(metersPerDegreeLat*cos),
+	}
+}
+
+// cosApprox avoids importing math for one call site while staying exact
+// enough for topology generation.
+func cosApprox(x float64) float64 {
+	// 12th-order Taylor expansion, plenty for |x| < pi/2.
+	x2 := x * x
+	return 1 - x2/2 + x2*x2/24 - x2*x2*x2/720
+}
+
+// Grid builds a rows×cols Manhattan grid of two-way streets with the given
+// block spacing. Node IDs are assigned row-major from 0. It returns the
+// graph and the node IDs in ID order.
+func Grid(rows, cols int, spacingMeters float64, origin geo.Point) (*Graph, []NodeID, error) {
+	if rows < 1 || cols < 1 {
+		return nil, nil, fmt.Errorf("roadnet: grid dimensions %dx%d invalid", rows, cols)
+	}
+	if spacingMeters <= 0 {
+		return nil, nil, fmt.Errorf("roadnet: grid spacing %v invalid", spacingMeters)
+	}
+	g := NewGraph()
+	ids := make([]NodeID, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id := NodeID(r*cols + c)
+			pos := offsetPoint(origin, float64(c)*spacingMeters, -float64(r)*spacingMeters)
+			if err := g.AddNode(id, pos); err != nil {
+				return nil, nil, err
+			}
+			ids = append(ids, id)
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id := NodeID(r*cols + c)
+			if c+1 < cols {
+				if err := g.AddRoad(id, id+1); err != nil {
+					return nil, nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := g.AddRoad(id, NodeID((r+1)*cols+c)); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	return g, ids, nil
+}
+
+// campusOrigin anchors the synthetic campus topology (Georgia Tech's
+// coordinates, matching the paper's deployment area).
+var campusOrigin = geo.Point{Lat: 33.7756, Lon: -84.3963}
+
+// Campus builds the 37-intersection campus-like road network used by the
+// paper's simulation studies (Figures 11 and 12a): a 6×7 grid with five
+// intersections removed for irregularity and two one-way streets. It
+// returns the graph and the 37 camera-capable intersections in a fixed
+// deployment order.
+func Campus() (*Graph, []NodeID, error) {
+	const (
+		rows    = 6
+		cols    = 7
+		spacing = 150.0 // meters between intersections
+	)
+	// Intersections removed to break the perfect grid, chosen away from
+	// each other so the network stays strongly connected.
+	removed := map[NodeID]bool{3: true, 14: true, 24: true, 33: true, 41: true}
+
+	g := NewGraph()
+	var sites []NodeID
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id := NodeID(r*cols + c)
+			if removed[id] {
+				continue
+			}
+			pos := offsetPoint(campusOrigin, float64(c)*spacing, -float64(r)*spacing)
+			if err := g.AddNode(id, pos); err != nil {
+				return nil, nil, err
+			}
+			sites = append(sites, id)
+		}
+	}
+	addRoad := func(a, b NodeID) error {
+		if removed[a] || removed[b] {
+			return nil
+		}
+		return g.AddRoad(a, b)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id := NodeID(r*cols + c)
+			if c+1 < cols {
+				if err := addRoad(id, id+1); err != nil {
+					return nil, nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := addRoad(id, NodeID((r+1)*cols+c)); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	// Two one-way streets (cf. the EC and CB lanes in the paper's
+	// Figure 4): keep only one direction of a pair that has parallel
+	// two-way alternatives a block away.
+	oneWays := [][2]NodeID{{8, 9}, {30, 31}}
+	for _, ow := range oneWays {
+		if err := removeEdge(g, ow[1], ow[0]); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(sites) != 37 {
+		return nil, nil, fmt.Errorf("roadnet: campus has %d sites, want 37", len(sites))
+	}
+	return g, sites, nil
+}
+
+// removeEdge deletes a directed lane; it is unexported because topology
+// churn in Coral-Pie is about cameras, not roads, outside of generator
+// construction.
+func removeEdge(g *Graph, from, to NodeID) error {
+	k := edgeKey{from: from, to: to}
+	if _, ok := g.edges[k]; !ok {
+		return fmt.Errorf("%w: %d->%d", ErrEdgeNotFound, from, to)
+	}
+	delete(g.edges, k)
+	list := g.out[from]
+	for i, e := range list {
+		if e == k {
+			g.out[from] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Corridor builds a simple linear road of n intersections spaced the given
+// distance apart, every intersection equipped for a camera — the shape of
+// the paper's 5 live campus cameras along a street. It returns the graph
+// and node IDs west-to-east.
+func Corridor(n int, spacingMeters float64, origin geo.Point) (*Graph, []NodeID, error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("roadnet: corridor needs >= 2 intersections, have %d", n)
+	}
+	if spacingMeters <= 0 {
+		return nil, nil, fmt.Errorf("roadnet: corridor spacing %v invalid", spacingMeters)
+	}
+	g := NewGraph()
+	ids := make([]NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		id := NodeID(i)
+		if err := g.AddNode(id, offsetPoint(origin, float64(i)*spacingMeters, 0)); err != nil {
+			return nil, nil, err
+		}
+		ids = append(ids, id)
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddRoad(NodeID(i), NodeID(i+1)); err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, ids, nil
+}

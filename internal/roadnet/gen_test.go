@@ -1,0 +1,192 @@
+package roadnet
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestGridGeneration(t *testing.T) {
+	g, ids, err := Grid(3, 4, 100, testOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 12 || g.NumNodes() != 12 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// 3x4 grid: horizontal roads 3*3=9, vertical 2*4=8; each two-way.
+	if g.NumEdges() != (9+8)*2 {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), (9+8)*2)
+	}
+	// Geometry: node 1 is east of node 0, node 4 is south of node 0.
+	b, err := g.EdgeBearing(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.DirectionFromBearing(b) != geo.East {
+		t.Errorf("bearing 0->1 = %v", b)
+	}
+	b, err = g.EdgeBearing(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.DirectionFromBearing(b) != geo.South {
+		t.Errorf("bearing 0->4 = %v", b)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, _, err := Grid(0, 4, 100, testOrigin); err == nil {
+		t.Error("zero rows should error")
+	}
+	if _, _, err := Grid(2, 2, -5, testOrigin); err == nil {
+		t.Error("negative spacing should error")
+	}
+}
+
+func TestCampusTopology(t *testing.T) {
+	g, sites, err := Campus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != 37 {
+		t.Fatalf("sites = %d, want 37", len(sites))
+	}
+	if g.NumNodes() != 37 {
+		t.Fatalf("nodes = %d, want 37", g.NumNodes())
+	}
+	// One-way streets exist in exactly one direction.
+	if !g.HasEdge(8, 9) || g.HasEdge(9, 8) {
+		t.Error("8->9 should be one-way")
+	}
+	if !g.HasEdge(30, 31) || g.HasEdge(31, 30) {
+		t.Error("30->31 should be one-way")
+	}
+	// Strong connectivity: every node reaches every other following
+	// directed lanes (vehicles must be able to route anywhere).
+	for _, start := range g.NodeIDs() {
+		reached := reachableFrom(g, start)
+		if len(reached) != g.NumNodes() {
+			t.Fatalf("node %d reaches only %d/%d nodes", start, len(reached), g.NumNodes())
+		}
+	}
+}
+
+func reachableFrom(g *Graph, start NodeID) map[NodeID]bool {
+	seen := map[NodeID]bool{start: true}
+	stack := []NodeID{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range g.OutNeighbors(n) {
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return seen
+}
+
+func TestCampusDeterministic(t *testing.T) {
+	g1, s1, err := Campus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, s2, err := Campus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+		t.Error("campus generation not deterministic")
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("site order not deterministic")
+		}
+	}
+}
+
+func TestCorridor(t *testing.T) {
+	g, ids, err := Corridor(5, 120, testOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 5 || g.NumEdges() != 8 {
+		t.Fatalf("nodes %d edges %d", len(ids), g.NumEdges())
+	}
+	l, err := g.EdgeLengthMeters(ids[0], ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l < 115 || l > 125 {
+		t.Errorf("spacing = %v", l)
+	}
+	if _, _, err := Corridor(1, 100, testOrigin); err == nil {
+		t.Error("single-node corridor should error")
+	}
+	if _, _, err := Corridor(3, 0, testOrigin); err == nil {
+		t.Error("zero spacing should error")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g, ids, err := Corridor(4, 100, testOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, g.PlaceCameraAtNode("A", ids[0]))
+	mustAdd(t, g.PlaceCameraOnEdge("B", ids[1], ids[2], 0.4))
+
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Errorf("round trip: %d/%d nodes, %d/%d edges",
+			got.NumNodes(), g.NumNodes(), got.NumEdges(), g.NumEdges())
+	}
+	place, err := got.CameraPlaceOf("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !place.OnEdge() || place.Frac != 0.4 {
+		t.Errorf("camera B place = %+v", place)
+	}
+	placeA, err := got.CameraPlaceOf("A")
+	if err != nil || placeA.OnEdge() || placeA.AtNode != ids[0] {
+		t.Errorf("camera A place = %+v err %v", placeA, err)
+	}
+	// MDCS agrees before and after the round trip.
+	want, err := g.MDCS("A", geo.East)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.MDCS("A", geo.East)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(have) || (len(want) > 0 && want[0] != have[0]) {
+		t.Errorf("MDCS mismatch after round trip: %v vs %v", want, have)
+	}
+}
+
+func TestFromSpecErrors(t *testing.T) {
+	if _, err := FromSpec(Spec{Cameras: []CameraSpec{{ID: "x"}}}); err == nil {
+		t.Error("camera without placement should error")
+	}
+	if _, err := FromSpec(Spec{Edges: []EdgeSpec{{From: 1, To: 2}}}); err == nil {
+		t.Error("edge with missing nodes should error")
+	}
+}
+
+func TestReadJSONGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewReader([]byte("{"))); err == nil {
+		t.Error("garbage JSON should error")
+	}
+}

@@ -1,0 +1,362 @@
+// Package roadnet models the road network underlying a Coral-Pie
+// deployment: intersections are vertices, lanes are directed edges, and
+// cameras sit either on vertices or along edges (paper Sections 3.3 and
+// 4.3). The MDCS computation — a depth-first search whose branches stop at
+// the first camera they visit — lives here too.
+package roadnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// NodeID identifies an intersection.
+type NodeID int
+
+// Node is a road intersection.
+type Node struct {
+	ID  NodeID
+	Pos geo.Point
+	// CameraID is the camera installed at this intersection, or "" when
+	// the intersection is unequipped.
+	CameraID string
+}
+
+// edgeKey identifies a directed lane.
+type edgeKey struct {
+	from, to NodeID
+}
+
+// edgeCamera is a camera placed along a lane at a fractional position.
+type edgeCamera struct {
+	id   string
+	frac float64 // position along the edge in (0, 1), in travel order
+}
+
+// Edge is a directed lane between two intersections. Cameras along the
+// lane are kept sorted by travel order (paper Figure 8's list structure).
+type Edge struct {
+	From, To NodeID
+	cameras  []edgeCamera
+}
+
+// CameraIDs returns the IDs of the cameras on the edge in travel order.
+func (e *Edge) CameraIDs() []string {
+	out := make([]string, len(e.cameras))
+	for i, c := range e.cameras {
+		out[i] = c.id
+	}
+	return out
+}
+
+// CameraPlace records where a camera sits in the graph.
+type CameraPlace struct {
+	ID string
+	// AtNode is set when the camera is on an intersection.
+	AtNode NodeID
+	// OnEdge is set (From != To) when the camera lies along a lane;
+	// Frac is its fractional position in travel order.
+	OnEdgeFrom, OnEdgeTo NodeID
+	Frac                 float64
+	onEdge               bool
+}
+
+// OnEdge reports whether the camera sits along a lane rather than on an
+// intersection.
+func (p CameraPlace) OnEdge() bool { return p.onEdge }
+
+// Errors returned by graph operations.
+var (
+	ErrNodeExists      = errors.New("roadnet: node already exists")
+	ErrNodeNotFound    = errors.New("roadnet: node not found")
+	ErrEdgeExists      = errors.New("roadnet: edge already exists")
+	ErrEdgeNotFound    = errors.New("roadnet: edge not found")
+	ErrCameraExists    = errors.New("roadnet: camera already exists")
+	ErrCameraNotFound  = errors.New("roadnet: camera not found")
+	ErrCameraOccupied  = errors.New("roadnet: node already has a camera")
+	ErrSelfLoop        = errors.New("roadnet: self-loop edges are not allowed")
+	ErrBadFraction     = errors.New("roadnet: edge fraction out of (0,1)")
+	ErrDuplicateOnEdge = errors.New("roadnet: camera fraction collides on edge")
+)
+
+// Graph is a directed road network with camera placements. It is not safe
+// for concurrent use; the topology server serializes access.
+type Graph struct {
+	nodes   map[NodeID]*Node
+	out     map[NodeID][]edgeKey // outgoing edges per node, deterministic order
+	edges   map[edgeKey]*Edge
+	cameras map[string]CameraPlace
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		nodes:   make(map[NodeID]*Node),
+		out:     make(map[NodeID][]edgeKey),
+		edges:   make(map[edgeKey]*Edge),
+		cameras: make(map[string]CameraPlace),
+	}
+}
+
+// AddNode adds an intersection.
+func (g *Graph) AddNode(id NodeID, pos geo.Point) error {
+	if _, ok := g.nodes[id]; ok {
+		return fmt.Errorf("%w: %d", ErrNodeExists, id)
+	}
+	g.nodes[id] = &Node{ID: id, Pos: pos}
+	return nil
+}
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) (*Node, error) {
+	n, ok := g.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNodeNotFound, id)
+	}
+	return n, nil
+}
+
+// NodeIDs returns all node IDs in ascending order.
+func (g *Graph) NodeIDs() []NodeID {
+	out := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumNodes returns the intersection count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the directed lane count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// AddEdge adds a directed lane from -> to.
+func (g *Graph) AddEdge(from, to NodeID) error {
+	if from == to {
+		return fmt.Errorf("%w: %d", ErrSelfLoop, from)
+	}
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("%w: %d", ErrNodeNotFound, from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("%w: %d", ErrNodeNotFound, to)
+	}
+	k := edgeKey{from: from, to: to}
+	if _, ok := g.edges[k]; ok {
+		return fmt.Errorf("%w: %d->%d", ErrEdgeExists, from, to)
+	}
+	g.edges[k] = &Edge{From: from, To: to}
+	g.out[from] = insertSortedEdge(g.out[from], k)
+	return nil
+}
+
+// insertSortedEdge keeps the outgoing-edge list ordered by target node so
+// traversals are deterministic regardless of insertion order.
+func insertSortedEdge(list []edgeKey, k edgeKey) []edgeKey {
+	i := sort.Search(len(list), func(i int) bool { return list[i].to >= k.to })
+	list = append(list, edgeKey{})
+	copy(list[i+1:], list[i:])
+	list[i] = k
+	return list
+}
+
+// AddRoad adds a lane in each direction between a and b.
+func (g *Graph) AddRoad(a, b NodeID) error {
+	if err := g.AddEdge(a, b); err != nil {
+		return err
+	}
+	if err := g.AddEdge(b, a); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Edge returns the directed lane from -> to.
+func (g *Graph) Edge(from, to NodeID) (*Edge, error) {
+	e, ok := g.edges[edgeKey{from: from, to: to}]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d->%d", ErrEdgeNotFound, from, to)
+	}
+	return e, nil
+}
+
+// HasEdge reports whether the directed lane exists.
+func (g *Graph) HasEdge(from, to NodeID) bool {
+	_, ok := g.edges[edgeKey{from: from, to: to}]
+	return ok
+}
+
+// OutNeighbors returns the target nodes of the outgoing lanes of id, in
+// deterministic order.
+func (g *Graph) OutNeighbors(id NodeID) []NodeID {
+	keys := g.out[id]
+	out := make([]NodeID, len(keys))
+	for i, k := range keys {
+		out[i] = k.to
+	}
+	return out
+}
+
+// EdgeLengthMeters returns the ground length of a lane.
+func (g *Graph) EdgeLengthMeters(from, to NodeID) (float64, error) {
+	if _, err := g.Edge(from, to); err != nil {
+		return 0, err
+	}
+	return g.nodes[from].Pos.DistanceMeters(g.nodes[to].Pos), nil
+}
+
+// EdgeBearing returns the compass bearing of travel along the lane.
+func (g *Graph) EdgeBearing(from, to NodeID) (float64, error) {
+	if _, err := g.Edge(from, to); err != nil {
+		return 0, err
+	}
+	return g.nodes[from].Pos.BearingDegrees(g.nodes[to].Pos), nil
+}
+
+// PlaceCameraAtNode installs a camera on an intersection. The paper
+// assumes at most one camera per intersection.
+func (g *Graph) PlaceCameraAtNode(cameraID string, node NodeID) error {
+	if cameraID == "" {
+		return errors.New("roadnet: empty camera id")
+	}
+	if _, ok := g.cameras[cameraID]; ok {
+		return fmt.Errorf("%w: %q", ErrCameraExists, cameraID)
+	}
+	n, ok := g.nodes[node]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNodeNotFound, node)
+	}
+	if n.CameraID != "" {
+		return fmt.Errorf("%w: node %d has %q", ErrCameraOccupied, node, n.CameraID)
+	}
+	n.CameraID = cameraID
+	g.cameras[cameraID] = CameraPlace{ID: cameraID, AtNode: node}
+	return nil
+}
+
+// PlaceCameraOnEdge installs a camera along a lane at fractional position
+// frac in (0, 1), measured in travel order from the lane's source.
+func (g *Graph) PlaceCameraOnEdge(cameraID string, from, to NodeID, frac float64) error {
+	if cameraID == "" {
+		return errors.New("roadnet: empty camera id")
+	}
+	if _, ok := g.cameras[cameraID]; ok {
+		return fmt.Errorf("%w: %q", ErrCameraExists, cameraID)
+	}
+	if frac <= 0 || frac >= 1 {
+		return fmt.Errorf("%w: %v", ErrBadFraction, frac)
+	}
+	e, err := g.Edge(from, to)
+	if err != nil {
+		return err
+	}
+	for _, c := range e.cameras {
+		if c.frac == frac {
+			return fmt.Errorf("%w: %v", ErrDuplicateOnEdge, frac)
+		}
+	}
+	e.cameras = append(e.cameras, edgeCamera{id: cameraID, frac: frac})
+	sort.Slice(e.cameras, func(i, j int) bool { return e.cameras[i].frac < e.cameras[j].frac })
+	g.cameras[cameraID] = CameraPlace{
+		ID: cameraID, OnEdgeFrom: from, OnEdgeTo: to, Frac: frac, onEdge: true,
+	}
+	return nil
+}
+
+// RemoveCamera uninstalls a camera from wherever it sits.
+func (g *Graph) RemoveCamera(cameraID string) error {
+	place, ok := g.cameras[cameraID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrCameraNotFound, cameraID)
+	}
+	if place.onEdge {
+		e := g.edges[edgeKey{from: place.OnEdgeFrom, to: place.OnEdgeTo}]
+		for i, c := range e.cameras {
+			if c.id == cameraID {
+				e.cameras = append(e.cameras[:i], e.cameras[i+1:]...)
+				break
+			}
+		}
+	} else {
+		g.nodes[place.AtNode].CameraID = ""
+	}
+	delete(g.cameras, cameraID)
+	return nil
+}
+
+// CameraPlaceOf returns where a camera sits.
+func (g *Graph) CameraPlaceOf(cameraID string) (CameraPlace, error) {
+	place, ok := g.cameras[cameraID]
+	if !ok {
+		return CameraPlace{}, fmt.Errorf("%w: %q", ErrCameraNotFound, cameraID)
+	}
+	return place, nil
+}
+
+// CameraIDs returns all installed cameras in lexicographic order.
+func (g *Graph) CameraIDs() []string {
+	out := make([]string, 0, len(g.cameras))
+	for id := range g.cameras {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CameraPosition returns a camera's geographic position (for edge cameras,
+// the interpolated point along the lane).
+func (g *Graph) CameraPosition(cameraID string) (geo.Point, error) {
+	place, err := g.CameraPlaceOf(cameraID)
+	if err != nil {
+		return geo.Point{}, err
+	}
+	if !place.onEdge {
+		return g.nodes[place.AtNode].Pos, nil
+	}
+	from := g.nodes[place.OnEdgeFrom].Pos
+	to := g.nodes[place.OnEdgeTo].Pos
+	return from.Lerp(to, place.Frac), nil
+}
+
+// NearestNode returns the node closest to pos. It errors on an empty
+// graph.
+func (g *Graph) NearestNode(pos geo.Point) (NodeID, error) {
+	if len(g.nodes) == 0 {
+		return 0, errors.New("roadnet: empty graph")
+	}
+	best := NodeID(-1)
+	bestDist := -1.0
+	for _, id := range g.NodeIDs() {
+		d := g.nodes[id].Pos.DistanceMeters(pos)
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = id, d
+		}
+	}
+	return best, nil
+}
+
+// Clone returns a deep copy of the graph, used by the topology server to
+// compute diffs without holding its lock.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	for id, n := range g.nodes {
+		nn := *n
+		c.nodes[id] = &nn
+	}
+	for k, e := range g.edges {
+		ne := &Edge{From: e.From, To: e.To, cameras: append([]edgeCamera(nil), e.cameras...)}
+		c.edges[k] = ne
+	}
+	for id, keys := range g.out {
+		c.out[id] = append([]edgeKey(nil), keys...)
+	}
+	for id, p := range g.cameras {
+		c.cameras[id] = p
+	}
+	return c
+}

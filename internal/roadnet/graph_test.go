@@ -1,0 +1,241 @@
+package roadnet
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// testOrigin is an arbitrary anchor for synthetic graphs.
+var testOrigin = geo.Point{Lat: 33.7756, Lon: -84.3963}
+
+// eastOf returns a point m meters east of the origin.
+func eastOf(m float64) geo.Point { return offsetPoint(testOrigin, m, 0) }
+
+func TestAddNodeAndEdgeBasics(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddNode(1, testOrigin); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(1, testOrigin); !errors.Is(err, ErrNodeExists) {
+		t.Errorf("duplicate node: %v", err)
+	}
+	if err := g.AddNode(2, eastOf(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2); !errors.Is(err, ErrEdgeExists) {
+		t.Errorf("duplicate edge: %v", err)
+	}
+	if err := g.AddEdge(1, 1); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self loop: %v", err)
+	}
+	if err := g.AddEdge(1, 99); !errors.Is(err, ErrNodeNotFound) {
+		t.Errorf("missing target: %v", err)
+	}
+	if !g.HasEdge(1, 2) || g.HasEdge(2, 1) {
+		t.Error("edge direction wrong")
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Errorf("counts %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestAddRoadIsBidirectional(t *testing.T) {
+	g := NewGraph()
+	mustAdd(t, g.AddNode(1, testOrigin))
+	mustAdd(t, g.AddNode(2, eastOf(100)))
+	mustAdd(t, g.AddRoad(1, 2))
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Error("road should add both lanes")
+	}
+}
+
+func mustAdd(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutNeighborsDeterministic(t *testing.T) {
+	g := NewGraph()
+	mustAdd(t, g.AddNode(5, testOrigin))
+	for _, id := range []NodeID{9, 2, 7, 1} {
+		mustAdd(t, g.AddNode(id, eastOf(float64(id)*10)))
+		mustAdd(t, g.AddEdge(5, id))
+	}
+	got := g.OutNeighbors(5)
+	want := []NodeID{1, 2, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("neighbors = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEdgeLengthAndBearing(t *testing.T) {
+	g := NewGraph()
+	mustAdd(t, g.AddNode(1, testOrigin))
+	mustAdd(t, g.AddNode(2, eastOf(200)))
+	mustAdd(t, g.AddEdge(1, 2))
+	l, err := g.EdgeLengthMeters(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l < 195 || l > 205 {
+		t.Errorf("length = %v, want ~200", l)
+	}
+	b, err := g.EdgeBearing(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.AngularDiffDegrees(b, 90) > 1 {
+		t.Errorf("bearing = %v, want ~90", b)
+	}
+	if _, err := g.EdgeLengthMeters(2, 1); !errors.Is(err, ErrEdgeNotFound) {
+		t.Errorf("reverse lane should not exist: %v", err)
+	}
+}
+
+func TestCameraAtNode(t *testing.T) {
+	g := NewGraph()
+	mustAdd(t, g.AddNode(1, testOrigin))
+	mustAdd(t, g.AddNode(2, eastOf(100)))
+	if err := g.PlaceCameraAtNode("camA", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PlaceCameraAtNode("camA", 2); !errors.Is(err, ErrCameraExists) {
+		t.Errorf("duplicate camera id: %v", err)
+	}
+	if err := g.PlaceCameraAtNode("camB", 1); !errors.Is(err, ErrCameraOccupied) {
+		t.Errorf("occupied node: %v", err)
+	}
+	if err := g.PlaceCameraAtNode("", 2); err == nil {
+		t.Error("empty id should error")
+	}
+	place, err := g.CameraPlaceOf("camA")
+	if err != nil || place.OnEdge() || place.AtNode != 1 {
+		t.Errorf("place = %+v err %v", place, err)
+	}
+	pos, err := g.CameraPosition("camA")
+	if err != nil || pos != testOrigin {
+		t.Errorf("pos = %v err %v", pos, err)
+	}
+}
+
+func TestCameraOnEdge(t *testing.T) {
+	g := NewGraph()
+	mustAdd(t, g.AddNode(1, testOrigin))
+	mustAdd(t, g.AddNode(2, eastOf(100)))
+	mustAdd(t, g.AddRoad(1, 2))
+	if err := g.PlaceCameraOnEdge("camC", 1, 2, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PlaceCameraOnEdge("camD", 1, 2, 0.3); !errors.Is(err, ErrDuplicateOnEdge) {
+		t.Errorf("same frac: %v", err)
+	}
+	if err := g.PlaceCameraOnEdge("camD", 1, 2, 1.5); !errors.Is(err, ErrBadFraction) {
+		t.Errorf("bad frac: %v", err)
+	}
+	if err := g.PlaceCameraOnEdge("camD", 1, 2, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	e, err := g.Edge(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := e.CameraIDs()
+	if len(ids) != 2 || ids[0] != "camC" || ids[1] != "camD" {
+		t.Errorf("edge cameras = %v, want sorted by travel order", ids)
+	}
+	pos, err := g.CameraPosition("camD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pos.DistanceMeters(eastOf(70)); d > 1 {
+		t.Errorf("camD position off by %vm", d)
+	}
+}
+
+func TestRemoveCamera(t *testing.T) {
+	g := NewGraph()
+	mustAdd(t, g.AddNode(1, testOrigin))
+	mustAdd(t, g.AddNode(2, eastOf(100)))
+	mustAdd(t, g.AddRoad(1, 2))
+	mustAdd(t, g.PlaceCameraAtNode("camA", 1))
+	mustAdd(t, g.PlaceCameraOnEdge("camC", 1, 2, 0.5))
+	if err := g.RemoveCamera("camA"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveCamera("camA"); !errors.Is(err, ErrCameraNotFound) {
+		t.Errorf("double remove: %v", err)
+	}
+	n, err := g.Node(1)
+	if err != nil || n.CameraID != "" {
+		t.Error("node camera not cleared")
+	}
+	// The node can host a new camera now.
+	if err := g.PlaceCameraAtNode("camB", 1); err != nil {
+		t.Errorf("re-place after remove: %v", err)
+	}
+	if err := g.RemoveCamera("camC"); err != nil {
+		t.Fatal(err)
+	}
+	e, err := g.Edge(1, 2)
+	if err != nil || len(e.CameraIDs()) != 0 {
+		t.Error("edge camera not cleared")
+	}
+}
+
+func TestNearestNode(t *testing.T) {
+	g := NewGraph()
+	if _, err := g.NearestNode(testOrigin); err == nil {
+		t.Error("empty graph should error")
+	}
+	mustAdd(t, g.AddNode(1, testOrigin))
+	mustAdd(t, g.AddNode(2, eastOf(500)))
+	got, err := g.NearestNode(eastOf(400))
+	if err != nil || got != 2 {
+		t.Errorf("nearest = %v err %v", got, err)
+	}
+	got, err = g.NearestNode(eastOf(100))
+	if err != nil || got != 1 {
+		t.Errorf("nearest = %v err %v", got, err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := NewGraph()
+	mustAdd(t, g.AddNode(1, testOrigin))
+	mustAdd(t, g.AddNode(2, eastOf(100)))
+	mustAdd(t, g.AddRoad(1, 2))
+	mustAdd(t, g.PlaceCameraAtNode("camA", 1))
+	c := g.Clone()
+	mustAdd(t, c.RemoveCamera("camA"))
+	if _, err := g.CameraPlaceOf("camA"); err != nil {
+		t.Error("mutating clone affected original")
+	}
+	mustAdd(t, c.PlaceCameraOnEdge("camX", 1, 2, 0.5))
+	e, err := g.Edge(1, 2)
+	if err != nil || len(e.CameraIDs()) != 0 {
+		t.Error("clone shares edge camera lists")
+	}
+}
+
+func TestCameraIDsSorted(t *testing.T) {
+	g := NewGraph()
+	mustAdd(t, g.AddNode(1, testOrigin))
+	mustAdd(t, g.AddNode(2, eastOf(100)))
+	mustAdd(t, g.AddNode(3, eastOf(200)))
+	mustAdd(t, g.PlaceCameraAtNode("z", 1))
+	mustAdd(t, g.PlaceCameraAtNode("a", 2))
+	mustAdd(t, g.PlaceCameraAtNode("m", 3))
+	ids := g.CameraIDs()
+	if ids[0] != "a" || ids[1] != "m" || ids[2] != "z" {
+		t.Errorf("ids = %v", ids)
+	}
+}

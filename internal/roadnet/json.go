@@ -1,0 +1,138 @@
+package roadnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geo"
+)
+
+// Spec is the on-disk JSON representation of a road network, playing the
+// role OSMnx's base map export plays in the paper (Section 4.3).
+type Spec struct {
+	Nodes   []NodeSpec   `json:"nodes"`
+	Edges   []EdgeSpec   `json:"edges"`
+	Cameras []CameraSpec `json:"cameras,omitempty"`
+}
+
+// NodeSpec describes one intersection.
+type NodeSpec struct {
+	ID  NodeID    `json:"id"`
+	Pos geo.Point `json:"pos"`
+}
+
+// EdgeSpec describes one lane. TwoWay expands to a pair of directed lanes.
+type EdgeSpec struct {
+	From   NodeID `json:"from"`
+	To     NodeID `json:"to"`
+	TwoWay bool   `json:"twoWay,omitempty"`
+}
+
+// CameraSpec describes one camera placement: either AtNode, or on the lane
+// From->To at fractional position Frac.
+type CameraSpec struct {
+	ID     string  `json:"id"`
+	AtNode *NodeID `json:"atNode,omitempty"`
+	From   *NodeID `json:"from,omitempty"`
+	To     *NodeID `json:"to,omitempty"`
+	Frac   float64 `json:"frac,omitempty"`
+}
+
+// FromSpec materializes a graph from a spec.
+func FromSpec(spec Spec) (*Graph, error) {
+	g := NewGraph()
+	for _, n := range spec.Nodes {
+		if err := g.AddNode(n.ID, n.Pos); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range spec.Edges {
+		if e.TwoWay {
+			if err := g.AddRoad(e.From, e.To); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := g.AddEdge(e.From, e.To); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range spec.Cameras {
+		switch {
+		case c.AtNode != nil:
+			if err := g.PlaceCameraAtNode(c.ID, *c.AtNode); err != nil {
+				return nil, err
+			}
+		case c.From != nil && c.To != nil:
+			if err := g.PlaceCameraOnEdge(c.ID, *c.From, *c.To, c.Frac); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("roadnet: camera %q has no placement", c.ID)
+		}
+	}
+	return g, nil
+}
+
+// ToSpec serializes the graph to a spec. Two-way roads are emitted as a
+// single TwoWay edge entry.
+func (g *Graph) ToSpec() Spec {
+	var spec Spec
+	for _, id := range g.NodeIDs() {
+		n := g.nodes[id]
+		spec.Nodes = append(spec.Nodes, NodeSpec{ID: n.ID, Pos: n.Pos})
+		if n.CameraID != "" {
+			at := n.ID
+			spec.Cameras = append(spec.Cameras, CameraSpec{ID: n.CameraID, AtNode: &at})
+		}
+	}
+	emitted := make(map[edgeKey]bool, len(g.edges))
+	for _, from := range g.NodeIDs() {
+		for _, k := range g.out[from] {
+			if emitted[k] {
+				continue
+			}
+			rev := edgeKey{from: k.to, to: k.from}
+			if _, ok := g.edges[rev]; ok && !emitted[rev] && k.from < k.to {
+				spec.Edges = append(spec.Edges, EdgeSpec{From: k.from, To: k.to, TwoWay: true})
+				emitted[k] = true
+				emitted[rev] = true
+				continue
+			}
+			if !emitted[k] {
+				spec.Edges = append(spec.Edges, EdgeSpec{From: k.from, To: k.to})
+				emitted[k] = true
+			}
+		}
+	}
+	for _, camID := range g.CameraIDs() {
+		place := g.cameras[camID]
+		if !place.onEdge {
+			continue // node cameras were emitted with their node
+		}
+		from, to := place.OnEdgeFrom, place.OnEdgeTo
+		spec.Cameras = append(spec.Cameras, CameraSpec{ID: camID, From: &from, To: &to, Frac: place.Frac})
+	}
+	return spec
+}
+
+// WriteJSON writes the graph as indented JSON.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(g.ToSpec()); err != nil {
+		return fmt.Errorf("roadnet: encode: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a graph from JSON produced by WriteJSON (or written by
+// hand).
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var spec Spec
+	if err := json.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("roadnet: decode: %w", err)
+	}
+	return FromSpec(spec)
+}

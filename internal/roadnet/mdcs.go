@@ -1,0 +1,265 @@
+package roadnet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+)
+
+// MDCSOptions tune the downstream-set computation.
+type MDCSOptions struct {
+	// IncludeSelf adds the querying camera to its own MDCS, supporting
+	// U-turning vehicles that re-enter the same field of view (the
+	// paper's Section 3.2 footnote describes exactly this extension).
+	IncludeSelf bool
+}
+
+// MDCS computes the minimum downstream camera set for a camera and a
+// vehicle moving direction (paper Section 3.3): the set of cameras the
+// vehicle could reach first before any other camera in the system. It is
+// a depth-first search from the camera's location; each branch returns as
+// soon as it visits a camera, whether on an intersection or along a lane
+// (Section 4.3). The querying camera itself never appears in its own MDCS
+// (U-turns are out of scope, Section 3.2 footnote); use MDCSOpts with
+// IncludeSelf for U-turn support.
+func (g *Graph) MDCS(cameraID string, dir geo.Direction) ([]string, error) {
+	return g.MDCSOpts(cameraID, dir, MDCSOptions{})
+}
+
+// MDCSOpts is MDCS with explicit options.
+func (g *Graph) MDCSOpts(cameraID string, dir geo.Direction, opts MDCSOptions) ([]string, error) {
+	place, err := g.CameraPlaceOf(cameraID)
+	if err != nil {
+		return nil, err
+	}
+	if !dir.Valid() {
+		return nil, fmt.Errorf("roadnet: invalid direction %v", dir)
+	}
+
+	found := make(map[string]bool)
+	visited := make(map[NodeID]bool)
+
+	if place.onEdge {
+		g.mdcsFromEdgeCamera(place, dir, visited, found)
+	} else {
+		for _, k := range g.matchingOutEdges(place.AtNode, dir) {
+			g.traverse(k.from, k.to, 0, visited, found, cameraID)
+		}
+	}
+
+	if opts.IncludeSelf {
+		found[cameraID] = true
+	} else {
+		delete(found, cameraID)
+	}
+	out := make([]string, 0, len(found))
+	for id := range found {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// mdcsFromEdgeCamera handles cameras that sit along a lane: the vehicle
+// either continues forward along the lane or travels the reverse lane (if
+// one exists), chosen by whichever orientation is closer to dir.
+func (g *Graph) mdcsFromEdgeCamera(place CameraPlace, dir geo.Direction, visited map[NodeID]bool, found map[string]bool) {
+	fwdBearing, err := g.EdgeBearing(place.OnEdgeFrom, place.OnEdgeTo)
+	if err != nil {
+		return
+	}
+	fwdDiff := geo.AngularDiffDegrees(dir.Bearing(), fwdBearing)
+	revDiff := geo.AngularDiffDegrees(dir.Bearing(), fwdBearing+180)
+	if fwdDiff <= revDiff {
+		// The starting node of the forward traversal counts as visited so
+		// branches cannot loop back through it.
+		visited[place.OnEdgeFrom] = true
+		g.traverse(place.OnEdgeFrom, place.OnEdgeTo, place.Frac, visited, found, place.ID)
+		return
+	}
+	if !g.HasEdge(place.OnEdgeTo, place.OnEdgeFrom) {
+		return // one-way lane; the vehicle cannot travel against it
+	}
+	visited[place.OnEdgeTo] = true
+	g.traverse(place.OnEdgeTo, place.OnEdgeFrom, 1-place.Frac, visited, found, place.ID)
+}
+
+// matchingOutEdges returns the outgoing lanes of a node whose quantized
+// bearing matches dir. When no lane matches exactly, the adjacent compass
+// sectors are tried (nearest first) so that slightly misestimated vehicle
+// directions still route to the right road.
+func (g *Graph) matchingOutEdges(node NodeID, dir geo.Direction) []edgeKey {
+	byDir := make(map[geo.Direction][]edgeKey)
+	for _, k := range g.out[node] {
+		b, err := g.EdgeBearing(k.from, k.to)
+		if err != nil {
+			continue
+		}
+		d := geo.DirectionFromBearing(b)
+		byDir[d] = append(byDir[d], k)
+	}
+	if edges, ok := byDir[dir]; ok {
+		return edges
+	}
+	// Try the two neighboring sectors, preferring the one whose edges are
+	// angularly closer to the requested direction.
+	prev := dir - 1
+	if !prev.Valid() {
+		prev = geo.NorthWest
+	}
+	next := dir + 1
+	if !next.Valid() {
+		next = geo.North
+	}
+	candidates := append(append([]edgeKey(nil), byDir[prev]...), byDir[next]...)
+	if len(candidates) == 0 {
+		return nil
+	}
+	best := candidates[:0]
+	bestDiff := 361.0
+	for _, k := range candidates {
+		b, err := g.EdgeBearing(k.from, k.to)
+		if err != nil {
+			continue
+		}
+		diff := geo.AngularDiffDegrees(b, dir.Bearing())
+		switch {
+		case diff < bestDiff-1e-9:
+			bestDiff = diff
+			best = append(candidates[:0:0], k)
+		case diff <= bestDiff+1e-9:
+			best = append(best, k)
+		}
+	}
+	return best
+}
+
+// traverse walks the lane from -> to starting at fractional position
+// startFrac. It stops the branch at the first camera encountered (on the
+// lane or at the target intersection); otherwise it recurses into the
+// target's outgoing lanes, excluding the immediate U-turn.
+func (g *Graph) traverse(from, to NodeID, startFrac float64, visited map[NodeID]bool, found map[string]bool, selfID string) {
+	if _, ok := g.edges[edgeKey{from: from, to: to}]; !ok {
+		return
+	}
+	for _, c := range g.roadCameras(from, to) {
+		if c.frac > startFrac && c.id != selfID {
+			found[c.id] = true
+			return
+		}
+	}
+	node := g.nodes[to]
+	if node.CameraID != "" && node.CameraID != selfID {
+		found[node.CameraID] = true
+		return
+	}
+	if visited[to] {
+		return
+	}
+	visited[to] = true
+	for _, k := range g.out[to] {
+		if k.to == from {
+			continue // no immediate U-turn
+		}
+		g.traverse(k.from, k.to, 0, visited, found, selfID)
+	}
+}
+
+// roadCameras returns every camera physically on the road between from and
+// to — whichever directed lane it was registered on — with positions
+// expressed as travel fractions in the from -> to direction and sorted in
+// travel order. A camera watching a two-way road is reachable from either
+// direction (paper Figure 8 treats the lane's camera list as a property of
+// the road segment).
+func (g *Graph) roadCameras(from, to NodeID) []edgeCamera {
+	var out []edgeCamera
+	if e, ok := g.edges[edgeKey{from: from, to: to}]; ok {
+		out = append(out, e.cameras...)
+	}
+	if rev, ok := g.edges[edgeKey{from: to, to: from}]; ok {
+		for _, c := range rev.cameras {
+			out = append(out, edgeCamera{id: c.id, frac: 1 - c.frac})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].frac != out[j].frac {
+			return out[i].frac < out[j].frac
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// Directions returns the set of vehicle moving directions that make sense
+// for a camera: the quantized bearings of the roads a vehicle can take
+// away from its location (paper Section 3.3, observation 2).
+func (g *Graph) Directions(cameraID string) ([]geo.Direction, error) {
+	place, err := g.CameraPlaceOf(cameraID)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[geo.Direction]bool)
+	if place.onEdge {
+		if b, err := g.EdgeBearing(place.OnEdgeFrom, place.OnEdgeTo); err == nil {
+			set[geo.DirectionFromBearing(b)] = true
+			if g.HasEdge(place.OnEdgeTo, place.OnEdgeFrom) {
+				set[geo.DirectionFromBearing(b+180)] = true
+			}
+		}
+	} else {
+		for _, k := range g.out[place.AtNode] {
+			if b, err := g.EdgeBearing(k.from, k.to); err == nil {
+				set[geo.DirectionFromBearing(b)] = true
+			}
+		}
+	}
+	out := make([]geo.Direction, 0, len(set))
+	for _, d := range geo.AllDirections() {
+		if set[d] {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// MDCSAll computes the full MDCS table for a camera: every meaningful
+// moving direction mapped to its downstream camera set. Directions whose
+// MDCS is empty are included with an empty slice so callers can
+// distinguish "no downstream camera" from "direction not applicable".
+func (g *Graph) MDCSAll(cameraID string) (map[geo.Direction][]string, error) {
+	dirs, err := g.Directions(cameraID)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[geo.Direction][]string, len(dirs))
+	for _, d := range dirs {
+		set, err := g.MDCS(cameraID, d)
+		if err != nil {
+			return nil, err
+		}
+		out[d] = set
+	}
+	return out, nil
+}
+
+// AverageMDCSSize returns the mean MDCS cardinality across every installed
+// camera and each of its applicable directions. This is the quantity
+// plotted in the paper's Figure 12(a).
+func (g *Graph) AverageMDCSSize() (float64, error) {
+	total, count := 0, 0
+	for _, cam := range g.CameraIDs() {
+		table, err := g.MDCSAll(cam)
+		if err != nil {
+			return 0, err
+		}
+		for _, set := range table {
+			total += len(set)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, nil
+	}
+	return float64(total) / float64(count), nil
+}

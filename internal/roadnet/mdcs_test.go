@@ -1,0 +1,341 @@
+package roadnet
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// northOf returns a point m meters north of the origin.
+func northOf(m float64) geo.Point { return offsetPoint(testOrigin, 0, m) }
+
+// at returns a point east/north of the origin.
+func at(eastM, northM float64) geo.Point { return offsetPoint(testOrigin, eastM, northM) }
+
+// buildCorridor builds 0 -- 1 -- 2 -- 3 -- 4 west-to-east two-way, with
+// cameras at nodes 0, 2, 4.
+func buildCorridor(t *testing.T) *Graph {
+	t.Helper()
+	g, ids, err := Corridor(5, 100, testOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2, 4} {
+		if err := g.PlaceCameraAtNode(camName(i), ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func camName(i int) string { return string(rune('A' + i)) }
+
+func wantMDCS(t *testing.T, g *Graph, cam string, dir geo.Direction, want ...string) {
+	t.Helper()
+	got, err := g.MDCS(cam, dir)
+	if err != nil {
+		t.Fatalf("MDCS(%s, %v): %v", cam, dir, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("MDCS(%s, %v) = %v, want %v", cam, dir, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MDCS(%s, %v) = %v, want %v", cam, dir, got, want)
+		}
+	}
+}
+
+func TestMDCSCorridor(t *testing.T) {
+	g := buildCorridor(t)
+	// Camera C (node 2): east -> E (node 4), west -> A (node 0). The
+	// unequipped nodes 1 and 3 are passed through.
+	wantMDCS(t, g, "C", geo.East, "E")
+	wantMDCS(t, g, "C", geo.West, "A")
+	// End cameras: nothing beyond the corridor.
+	wantMDCS(t, g, "A", geo.West)
+	wantMDCS(t, g, "E", geo.East)
+	wantMDCS(t, g, "A", geo.East, "C")
+}
+
+func TestMDCSInvalidInputs(t *testing.T) {
+	g := buildCorridor(t)
+	if _, err := g.MDCS("nope", geo.East); err == nil {
+		t.Error("unknown camera should error")
+	}
+	if _, err := g.MDCS("A", geo.DirectionInvalid); err == nil {
+		t.Error("invalid direction should error")
+	}
+}
+
+// TestMDCSBranching reproduces the paper's Figure 3: camera A upstream of
+// an unequipped intersection where the road forks toward cameras B and C,
+// so MDCS(A) = {B, C}.
+func TestMDCSBranching(t *testing.T) {
+	g := NewGraph()
+	// A(0) -> junction(1) -> B(2) straight east, and junction -> C(3) north.
+	mustAdd(t, g.AddNode(0, testOrigin))
+	mustAdd(t, g.AddNode(1, at(100, 0)))
+	mustAdd(t, g.AddNode(2, at(200, 0)))
+	mustAdd(t, g.AddNode(3, at(100, 100)))
+	mustAdd(t, g.AddRoad(0, 1))
+	mustAdd(t, g.AddRoad(1, 2))
+	mustAdd(t, g.AddRoad(1, 3))
+	mustAdd(t, g.PlaceCameraAtNode("A", 0))
+	mustAdd(t, g.PlaceCameraAtNode("B", 2))
+	mustAdd(t, g.PlaceCameraAtNode("C", 3))
+	wantMDCS(t, g, "A", geo.East, "B", "C")
+	// From B heading west, the DFS passes the junction; branch north finds
+	// C, branch west finds A.
+	wantMDCS(t, g, "B", geo.West, "A", "C")
+}
+
+// TestMDCSFigure4 reproduces the paper's Figure 4 semantics: removing a
+// camera reroutes the MDCS past the now-unequipped vertex, and adding a
+// camera shields what lies beyond it.
+func TestMDCSFigure4(t *testing.T) {
+	// Layout (grid, two-way roads unless noted):
+	//   D(0) -- x(1) -- B(2)
+	//    |       |       |
+	//   C(3) -- x(4) -- x(5)
+	// D at top-left; DFS east from D crosses vertex 1 and stops at B;
+	// DFS south stops at C.
+	build := func() *Graph {
+		g := NewGraph()
+		mustAdd(t, g.AddNode(0, at(0, 100)))
+		mustAdd(t, g.AddNode(1, at(100, 100)))
+		mustAdd(t, g.AddNode(2, at(200, 100)))
+		mustAdd(t, g.AddNode(3, at(0, 0)))
+		mustAdd(t, g.AddNode(4, at(100, 0)))
+		mustAdd(t, g.AddNode(5, at(200, 0)))
+		mustAdd(t, g.AddRoad(0, 1))
+		mustAdd(t, g.AddRoad(1, 2))
+		mustAdd(t, g.AddRoad(0, 3))
+		mustAdd(t, g.AddRoad(1, 4))
+		mustAdd(t, g.AddRoad(2, 5))
+		mustAdd(t, g.AddRoad(3, 4))
+		mustAdd(t, g.AddRoad(4, 5))
+		mustAdd(t, g.PlaceCameraAtNode("D", 0))
+		mustAdd(t, g.PlaceCameraAtNode("B", 2))
+		mustAdd(t, g.PlaceCameraAtNode("C", 3))
+		return g
+	}
+
+	g := build()
+	// From D east: through vertex 1; the straight branch hits B; the
+	// branch south through 4 continues to 5 then up to 2 = B again, and
+	// west to 3 = C. DFS visited-set semantics: the south branch from 1
+	// explores 4, finds C at 3 and B via 5->2.
+	got, err := g.MDCS("D", geo.East)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || !contains(got, "B") {
+		t.Errorf("MDCS(D, E) = %v, must contain B", got)
+	}
+	wantMDCS(t, g, "D", geo.South, "C")
+
+	// Remove B: now the DFS east from D keeps going past vertex 2.
+	mustAdd(t, g.RemoveCamera("B"))
+	got, err = g.MDCS("D", geo.East)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contains(got, "B") {
+		t.Errorf("removed camera still in MDCS: %v", got)
+	}
+	if !contains(got, "C") {
+		t.Errorf("MDCS(D, E) after removing B = %v, want C reachable via the loop", got)
+	}
+
+	// Add a camera E at vertex 1: it shields everything beyond it.
+	mustAdd(t, g.PlaceCameraAtNode("E", 1))
+	wantMDCS(t, g, "D", geo.East, "E")
+}
+
+func contains(list []string, v string) bool {
+	for _, s := range list {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMDCSOneWay checks that one-way lanes block reverse travel.
+func TestMDCSOneWay(t *testing.T) {
+	g := NewGraph()
+	mustAdd(t, g.AddNode(0, testOrigin))
+	mustAdd(t, g.AddNode(1, at(100, 0)))
+	mustAdd(t, g.AddEdge(0, 1)) // one-way east
+	mustAdd(t, g.PlaceCameraAtNode("A", 0))
+	mustAdd(t, g.PlaceCameraAtNode("B", 1))
+	wantMDCS(t, g, "A", geo.East, "B")
+	wantMDCS(t, g, "B", geo.West) // cannot go against the one-way
+}
+
+// TestMDCSEdgeCameras reproduces the paper's Figure 8: cameras A at vertex
+// 1 and B at vertex 2, cameras C and D along the lane between them (C
+// close to 1, D close to 2). DFS from B toward 1 returns D.
+func TestMDCSEdgeCameras(t *testing.T) {
+	g := NewGraph()
+	mustAdd(t, g.AddNode(1, testOrigin))
+	mustAdd(t, g.AddNode(2, at(300, 0)))
+	mustAdd(t, g.AddRoad(1, 2))
+	mustAdd(t, g.PlaceCameraAtNode("A", 1))
+	mustAdd(t, g.PlaceCameraAtNode("B", 2))
+	mustAdd(t, g.PlaceCameraOnEdge("C", 1, 2, 0.3))
+	mustAdd(t, g.PlaceCameraOnEdge("D", 1, 2, 0.7))
+
+	wantMDCS(t, g, "B", geo.West, "D")
+	wantMDCS(t, g, "A", geo.East, "C")
+	// The edge cameras themselves: C eastward sees D; D eastward sees B.
+	wantMDCS(t, g, "C", geo.East, "D")
+	wantMDCS(t, g, "D", geo.East, "B")
+	// And westward: D sees C; C sees A.
+	wantMDCS(t, g, "D", geo.West, "C")
+	wantMDCS(t, g, "C", geo.West, "A")
+}
+
+func TestMDCSEdgeCameraOnOneWay(t *testing.T) {
+	g := NewGraph()
+	mustAdd(t, g.AddNode(1, testOrigin))
+	mustAdd(t, g.AddNode(2, at(300, 0)))
+	mustAdd(t, g.AddEdge(1, 2)) // one-way east
+	mustAdd(t, g.PlaceCameraAtNode("B", 2))
+	mustAdd(t, g.PlaceCameraOnEdge("C", 1, 2, 0.5))
+	wantMDCS(t, g, "C", geo.East, "B")
+	wantMDCS(t, g, "C", geo.West) // nothing upstream on a one-way
+}
+
+func TestMDCSDirectionFallbackToAdjacentSector(t *testing.T) {
+	// A road bearing ~40 degrees quantizes to NE; a vehicle estimated as
+	// heading E (adjacent sector) should still route onto it.
+	g := NewGraph()
+	mustAdd(t, g.AddNode(0, testOrigin))
+	mustAdd(t, g.AddNode(1, at(100, 120))) // bearing ~40 deg
+	mustAdd(t, g.AddRoad(0, 1))
+	mustAdd(t, g.PlaceCameraAtNode("A", 0))
+	mustAdd(t, g.PlaceCameraAtNode("B", 1))
+	wantMDCS(t, g, "A", geo.NorthEast, "B")
+	wantMDCS(t, g, "A", geo.East, "B")  // adjacent sector fallback
+	wantMDCS(t, g, "A", geo.North, "B") // other adjacent sector
+	wantMDCS(t, g, "A", geo.South)      // opposite: no fallback
+}
+
+func TestMDCSCycleTermination(t *testing.T) {
+	// A camera-free ring attached to one camera: the DFS must terminate
+	// and return empty rather than loop.
+	g := NewGraph()
+	mustAdd(t, g.AddNode(0, testOrigin))
+	mustAdd(t, g.AddNode(1, at(100, 0)))
+	mustAdd(t, g.AddNode(2, at(200, 50)))
+	mustAdd(t, g.AddNode(3, at(100, 100)))
+	mustAdd(t, g.AddRoad(0, 1))
+	mustAdd(t, g.AddRoad(1, 2))
+	mustAdd(t, g.AddRoad(2, 3))
+	mustAdd(t, g.AddRoad(3, 1))
+	mustAdd(t, g.PlaceCameraAtNode("A", 0))
+	wantMDCS(t, g, "A", geo.East) // empty, but terminates
+}
+
+func TestDirections(t *testing.T) {
+	g := buildCorridor(t)
+	dirs, err := g.Directions("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 2 || dirs[0] != geo.East || dirs[1] != geo.West {
+		t.Errorf("Directions(C) = %v", dirs)
+	}
+	dirs, err = g.Directions("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 has outgoing lanes only east.
+	if len(dirs) != 1 || dirs[0] != geo.East {
+		t.Errorf("Directions(A) = %v", dirs)
+	}
+}
+
+func TestMDCSAll(t *testing.T) {
+	g := buildCorridor(t)
+	table, err := g.MDCSAll("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 2 {
+		t.Fatalf("table = %v", table)
+	}
+	if len(table[geo.East]) != 1 || table[geo.East][0] != "E" {
+		t.Errorf("east = %v", table[geo.East])
+	}
+	if len(table[geo.West]) != 1 || table[geo.West][0] != "A" {
+		t.Errorf("west = %v", table[geo.West])
+	}
+}
+
+func TestAverageMDCSSizeDropsWithDensity(t *testing.T) {
+	// On a grid, denser camera deployment shrinks the average MDCS.
+	g, ids, err := Grid(4, 4, 100, testOrigin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sparse: cameras at three corners; the DFS from each fans out over
+	// the camera-free interior and finds multiple peers per direction.
+	sparseCams := map[int]bool{0: true, 3: true, 12: true}
+	for i := range sparseCams {
+		mustAdd(t, g.PlaceCameraAtNode(camIDForGrid(i), ids[i]))
+	}
+	sparse, err := g.AverageMDCSSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse <= 1 {
+		t.Fatalf("sparse average = %v, want > 1", sparse)
+	}
+	// Dense: a camera at every intersection.
+	for i, id := range ids {
+		if sparseCams[i] {
+			continue
+		}
+		mustAdd(t, g.PlaceCameraAtNode(camIDForGrid(i), id))
+	}
+	dense, err := g.AverageMDCSSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense >= sparse {
+		t.Errorf("average MDCS should shrink with density: sparse=%v dense=%v", sparse, dense)
+	}
+	// Fully equipped grid: every direction leads to exactly the adjacent
+	// camera, so the average is exactly 1.
+	if dense != 1 {
+		t.Errorf("fully equipped grid average = %v, want 1", dense)
+	}
+}
+
+func camIDForGrid(i int) string { return "g" + string(rune('a'+i)) }
+
+func TestAverageMDCSSizeEmptyGraph(t *testing.T) {
+	g := NewGraph()
+	avg, err := g.AverageMDCSSize()
+	if err != nil || avg != 0 {
+		t.Errorf("empty graph avg = %v err %v", avg, err)
+	}
+}
+
+func TestMDCSIncludeSelfUTurn(t *testing.T) {
+	g := buildCorridor(t)
+	// The paper's footnote: U-turn support = the camera joins its own
+	// MDCS.
+	got, err := g.MDCSOpts("C", geo.East, MDCSOptions{IncludeSelf: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "C" || got[1] != "E" {
+		t.Errorf("MDCS with U-turn = %v, want [C E]", got)
+	}
+	// Default behaviour unchanged.
+	wantMDCS(t, g, "C", geo.East, "E")
+}

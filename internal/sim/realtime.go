@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"repro/internal/vision"
+)
+
+// RealtimeSource adapts a simulated camera to a wall-clock frame source:
+// each Next call sleeps until the next frame instant and renders the
+// world at the corresponding virtual time. It lets the live TCP runtime
+// (cmd/coral-node) consume synthetic traffic as if it were a real camera
+// stream.
+type RealtimeSource struct {
+	camera   *Camera
+	interval time.Duration
+	start    time.Time
+	deadline time.Time
+	tick     int64
+	now      func() time.Time
+	sleep    func(time.Duration)
+}
+
+// NewRealtimeSource wraps a camera at its spec's FPS, ending the stream
+// after duration. Virtual time zero corresponds to the moment of this
+// call.
+func NewRealtimeSource(camera *Camera, duration time.Duration) (*RealtimeSource, error) {
+	return NewRealtimeSourceAt(camera, time.Now(), duration)
+}
+
+// NewRealtimeSourceAt anchors virtual time zero at start, which may be in
+// the future: processes on different machines sharing the same start
+// instant then render the same world in lock-step, enabling cross-camera
+// re-identification over a real network.
+func NewRealtimeSourceAt(camera *Camera, start time.Time, duration time.Duration) (*RealtimeSource, error) {
+	if camera == nil {
+		return nil, errors.New("sim: nil camera")
+	}
+	if duration <= 0 {
+		return nil, errors.New("sim: non-positive stream duration")
+	}
+	return &RealtimeSource{
+		camera:   camera,
+		interval: time.Duration(float64(time.Second) / camera.spec.FPS),
+		start:    start,
+		deadline: start.Add(duration),
+		now:      time.Now,
+		sleep:    time.Sleep,
+	}, nil
+}
+
+// Next blocks until the next frame instant and returns the rendered
+// frame; io.EOF after the configured duration.
+func (s *RealtimeSource) Next() (*vision.Frame, error) {
+	due := s.start.Add(time.Duration(s.tick) * s.interval)
+	if due.After(s.deadline) {
+		return nil, io.EOF
+	}
+	if wait := due.Sub(s.now()); wait > 0 {
+		s.sleep(wait)
+	}
+	s.tick++
+	return s.camera.Render(due.Sub(s.start)), nil
+}

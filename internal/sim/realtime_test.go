@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/geo"
+	"repro/internal/imaging"
+	"repro/internal/roadnet"
+	"repro/internal/vision"
+)
+
+func newRealtimeFixture(t *testing.T) *Camera {
+	t.Helper()
+	g, ids, err := roadnet.Corridor(3, 200, geo.Point{Lat: 33.7756, Lon: -84.3963})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(WorldConfig{Sim: des.New(epoch), Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddVehicle(VehicleSpec{ID: "v", Color: imaging.Red, SpeedMPS: 20, Route: ids}); err != nil {
+		t.Fatal(err)
+	}
+	node, err := g.Node(ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam, err := w.AddCamera(DefaultCameraSpec("rt", node.Pos, 0), func(*vision.Frame) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cam
+}
+
+func TestRealtimeSourceValidation(t *testing.T) {
+	cam := newRealtimeFixture(t)
+	if _, err := NewRealtimeSource(nil, time.Second); err == nil {
+		t.Error("nil camera accepted")
+	}
+	if _, err := NewRealtimeSource(cam, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestRealtimeSourceStreamsAndEnds(t *testing.T) {
+	cam := newRealtimeFixture(t)
+	// Virtual clock injection: no real sleeping.
+	now := time.Unix(1000, 0)
+	src, err := NewRealtimeSourceAt(cam, now, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept time.Duration
+	src.now = func() time.Time { return now }
+	src.sleep = func(d time.Duration) {
+		slept += d
+		now = now.Add(d)
+	}
+
+	var frames int
+	var lastSeq int64 = -1
+	for {
+		f, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Seq != lastSeq+1 {
+			t.Fatalf("seq jumped %d -> %d", lastSeq, f.Seq)
+		}
+		lastSeq = f.Seq
+		frames++
+		if frames > 100 {
+			t.Fatal("stream never ended")
+		}
+	}
+	// 15 FPS over 1 s plus the frame at t=0: 16 frames.
+	if frames < 15 || frames > 16 {
+		t.Errorf("frames = %d, want ~15", frames)
+	}
+	if slept < 900*time.Millisecond {
+		t.Errorf("slept %v, should pace frames across the second", slept)
+	}
+}
+
+func TestRealtimeSourceFutureEpoch(t *testing.T) {
+	cam := newRealtimeFixture(t)
+	now := time.Unix(1000, 0)
+	start := now.Add(2 * time.Second) // epoch in the future
+	src, err := NewRealtimeSourceAt(cam, start, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var firstSleep time.Duration
+	src.now = func() time.Time { return now }
+	src.sleep = func(d time.Duration) {
+		if firstSleep == 0 {
+			firstSleep = d
+		}
+		now = now.Add(d)
+	}
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if firstSleep < 1900*time.Millisecond {
+		t.Errorf("first sleep = %v, should wait for the shared epoch", firstSleep)
+	}
+}

@@ -1,0 +1,116 @@
+package tracker
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/imaging"
+	"repro/internal/vision"
+)
+
+// CentroidTracker is the naive nearest-centroid baseline used by the
+// design-space ablations (paper Section 4.1.5 compares tracker choices).
+// It matches each detection to the closest live track centroid within
+// MaxDistancePx, with no motion model, so it confuses crossing vehicles
+// that SORT keeps apart.
+type CentroidTracker struct {
+	maxDistance float64
+	maxAge      int
+	nextID      int64
+	tracks      []*centroidTrack
+}
+
+type centroidTrack struct {
+	id              int64
+	last            imaging.Rect
+	timeSinceUpdate int
+	tracklet        []Observation
+	hits            int
+}
+
+// NewCentroidTracker returns a centroid tracker with the given match
+// radius in pixels and the same MaxAge semantics as SORT.
+func NewCentroidTracker(maxDistancePx float64, maxAge int) (*CentroidTracker, error) {
+	if maxDistancePx <= 0 {
+		return nil, fmt.Errorf("tracker: max distance %v must be positive", maxDistancePx)
+	}
+	if maxAge < 1 {
+		return nil, fmt.Errorf("tracker: max age %d must be >= 1", maxAge)
+	}
+	return &CentroidTracker{maxDistance: maxDistancePx, maxAge: maxAge, nextID: 1}, nil
+}
+
+// Update matches detections to tracks greedily by centroid distance and
+// returns the same shape of result as the SORT tracker.
+func (ct *CentroidTracker) Update(seq int64, dets []vision.Detection) (UpdateResult, error) {
+	for _, t := range ct.tracks {
+		t.timeSinceUpdate++
+	}
+	usedTrack := make([]bool, len(ct.tracks))
+	res := UpdateResult{Assignments: make([]Assignment, 0, len(dets))}
+
+	for i, d := range dets {
+		best, bestDist := -1, ct.maxDistance
+		for j, t := range ct.tracks {
+			if usedTrack[j] {
+				continue
+			}
+			dx := d.Box.CenterX() - t.last.CenterX()
+			dy := d.Box.CenterY() - t.last.CenterY()
+			dist := math.Hypot(dx, dy)
+			if dist <= bestDist {
+				best, bestDist = j, dist
+			}
+		}
+		if best >= 0 {
+			t := ct.tracks[best]
+			usedTrack[best] = true
+			t.last = d.Box
+			t.timeSinceUpdate = 0
+			t.hits++
+			t.tracklet = append(t.tracklet, Observation{Seq: seq, Box: d.Box, TruthID: d.TruthID, DetsIndex: i})
+			res.Assignments = append(res.Assignments, Assignment{DetIndex: i, TrackID: t.id})
+			continue
+		}
+		t := &centroidTrack{
+			id:   ct.nextID,
+			last: d.Box,
+			hits: 1,
+			tracklet: []Observation{
+				{Seq: seq, Box: d.Box, TruthID: d.TruthID, DetsIndex: i},
+			},
+		}
+		ct.nextID++
+		ct.tracks = append(ct.tracks, t)
+		res.Assignments = append(res.Assignments, Assignment{DetIndex: i, TrackID: t.id, IsNew: true})
+	}
+
+	live := ct.tracks[:0]
+	for _, t := range ct.tracks {
+		if t.timeSinceUpdate > ct.maxAge {
+			res.Departed = append(res.Departed, t.toTrack())
+			continue
+		}
+		live = append(live, t)
+	}
+	for i := len(live); i < len(ct.tracks); i++ {
+		ct.tracks[i] = nil
+	}
+	ct.tracks = live
+	res.Active = len(ct.tracks)
+	return res, nil
+}
+
+// Flush retires every live track.
+func (ct *CentroidTracker) Flush() []*Track {
+	out := make([]*Track, 0, len(ct.tracks))
+	for _, t := range ct.tracks {
+		out = append(out, t.toTrack())
+	}
+	ct.tracks = nil
+	return out
+}
+
+func (t *centroidTrack) toTrack() *Track {
+	return &Track{ID: t.id, Hits: t.hits, Tracklet: t.tracklet}
+}

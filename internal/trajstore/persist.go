@@ -1,0 +1,233 @@
+package trajstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+const (
+	walFileName      = "trajstore.wal"
+	snapshotFileName = "trajstore.snapshot.json"
+)
+
+// walRecord is one append-only log entry.
+type walRecord struct {
+	Op     string  `json:"op"` // "v" or "e"
+	Vertex *Vertex `json:"vertex,omitempty"`
+	Edge   *Edge   `json:"edge,omitempty"`
+}
+
+// snapshot is the compacted on-disk state.
+type snapshot struct {
+	NextID   int64    `json:"nextId"`
+	Vertices []Vertex `json:"vertices"`
+	Edges    []Edge   `json:"edges"`
+}
+
+// persister owns the WAL file handle. Store methods call it while holding
+// the store lock, so it needs no locking of its own.
+type persister struct {
+	dir string
+	f   *os.File
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+func newPersister(dir string) (*persister, error) {
+	f, err := os.OpenFile(filepath.Join(dir, walFileName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trajstore: open wal: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	return &persister{dir: dir, f: f, w: w, enc: json.NewEncoder(w)}, nil
+}
+
+func (p *persister) logVertex(v Vertex) error {
+	return p.log(walRecord{Op: "v", Vertex: &v})
+}
+
+func (p *persister) logEdge(e Edge) error {
+	return p.log(walRecord{Op: "e", Edge: &e})
+}
+
+func (p *persister) log(rec walRecord) error {
+	if err := p.enc.Encode(rec); err != nil {
+		return fmt.Errorf("trajstore: wal append: %w", err)
+	}
+	if err := p.w.Flush(); err != nil {
+		return fmt.Errorf("trajstore: wal flush: %w", err)
+	}
+	return nil
+}
+
+func (p *persister) close() error {
+	if err := p.w.Flush(); err != nil {
+		_ = p.f.Close()
+		return fmt.Errorf("trajstore: wal flush: %w", err)
+	}
+	if err := p.f.Close(); err != nil {
+		return fmt.Errorf("trajstore: wal close: %w", err)
+	}
+	return nil
+}
+
+// Open loads (or creates) a persistent store in dir: the snapshot is read
+// first, then the WAL is replayed on top, then new writes append to the
+// WAL.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("trajstore: empty directory; use NewMemStore for in-memory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trajstore: mkdir: %w", err)
+	}
+	s := NewMemStore()
+	if err := s.loadSnapshot(filepath.Join(dir, snapshotFileName)); err != nil {
+		return nil, err
+	}
+	if err := s.replayWAL(filepath.Join(dir, walFileName)); err != nil {
+		return nil, err
+	}
+	p, err := newPersister(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.persist = p
+	return s, nil
+}
+
+func (s *Store) loadSnapshot(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("trajstore: open snapshot: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	var snap snapshot
+	if err := json.NewDecoder(f).Decode(&snap); err != nil {
+		return fmt.Errorf("trajstore: decode snapshot: %w", err)
+	}
+	return s.restore(snap)
+}
+
+func (s *Store) restore(snap snapshot) error {
+	for i := range snap.Vertices {
+		v := snap.Vertices[i]
+		s.vertices[v.ID] = &v
+		if v.ID >= s.nextID {
+			s.nextID = v.ID + 1
+		}
+	}
+	if snap.NextID > s.nextID {
+		s.nextID = snap.NextID
+	}
+	for _, e := range snap.Edges {
+		s.out[e.From] = append(s.out[e.From], e)
+		s.in[e.To] = append(s.in[e.To], e)
+	}
+	return nil
+}
+
+func (s *Store) replayWAL(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("trajstore: open wal: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	dec := json.NewDecoder(bufio.NewReader(f))
+	for {
+		var rec walRecord
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			// A torn tail write is expected after a crash; stop replay at
+			// the first damaged record.
+			return nil
+		}
+		switch rec.Op {
+		case "v":
+			if rec.Vertex == nil {
+				continue
+			}
+			v := *rec.Vertex
+			s.vertices[v.ID] = &v
+			if v.ID >= s.nextID {
+				s.nextID = v.ID + 1
+			}
+		case "e":
+			if rec.Edge == nil {
+				continue
+			}
+			e := *rec.Edge
+			if _, ok := s.vertices[e.From]; !ok {
+				continue
+			}
+			if _, ok := s.vertices[e.To]; !ok {
+				continue
+			}
+			s.out[e.From] = append(s.out[e.From], e)
+			s.in[e.To] = append(s.in[e.To], e)
+		}
+	}
+}
+
+// Compact writes the current state as a snapshot and truncates the WAL.
+// Safe to call while the store is serving writes.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.persist == nil {
+		return errors.New("trajstore: in-memory store has nothing to compact")
+	}
+	snap := snapshot{NextID: s.nextID}
+	for _, v := range s.vertices {
+		snap.Vertices = append(snap.Vertices, *v)
+	}
+	for _, es := range s.out {
+		snap.Edges = append(snap.Edges, es...)
+	}
+
+	tmp := filepath.Join(s.persist.dir, snapshotFileName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("trajstore: create snapshot: %w", err)
+	}
+	if err := json.NewEncoder(f).Encode(snap); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("trajstore: write snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trajstore: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.persist.dir, snapshotFileName)); err != nil {
+		return fmt.Errorf("trajstore: install snapshot: %w", err)
+	}
+
+	// Truncate the WAL now that its contents are in the snapshot.
+	if err := s.persist.close(); err != nil {
+		return err
+	}
+	if err := os.Truncate(filepath.Join(s.persist.dir, walFileName), 0); err != nil {
+		return fmt.Errorf("trajstore: truncate wal: %w", err)
+	}
+	p, err := newPersister(s.persist.dir)
+	if err != nil {
+		return err
+	}
+	s.persist = p
+	return nil
+}

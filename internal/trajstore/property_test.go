@@ -1,0 +1,187 @@
+package trajstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestTraceInvariantsOnRandomDAGs checks structural invariants of
+// trajectory traversal over randomly generated acyclic graphs:
+// every returned path starts at the query vertex, follows real edges,
+// never repeats a vertex, and is maximal (its endpoint has no unexplored
+// continuation) unless a limit was hit.
+func TestTraceInvariantsOnRandomDAGs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewMemStore()
+		n := 2 + rng.Intn(20)
+		ids := make([]int64, n)
+		for i := 0; i < n; i++ {
+			id, err := s.AddVertex(event("c#" + string(rune('A'+i))))
+			if err != nil {
+				return false
+			}
+			ids[i] = id
+		}
+		// Forward edges only (i -> j with i < j): acyclic by construction.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.15 {
+					if err := s.AddEdge(ids[i], ids[j], rng.Float64()); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		start := ids[rng.Intn(n)]
+		limits := TraceLimits{MaxDepth: 32, MaxPaths: 64}
+		paths, err := s.TraceForward(start, limits)
+		if err != nil {
+			return false
+		}
+		if len(paths) == 0 {
+			return false // at minimum the single-vertex path
+		}
+		for _, p := range paths {
+			if len(p) == 0 || p[0] != start {
+				return false
+			}
+			seen := map[int64]bool{}
+			for i, v := range p {
+				if seen[v] {
+					return false // repeated vertex
+				}
+				seen[v] = true
+				if i > 0 {
+					if !hasEdge(s, p[i-1], v) {
+						return false // phantom edge
+					}
+				}
+			}
+			// Maximality: the path endpoint has no outgoing edge to an
+			// unvisited vertex, unless the depth limit cut it short.
+			if len(p) < limits.MaxDepth {
+				for _, e := range s.OutEdges(p[len(p)-1]) {
+					if !seen[e.To] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func hasEdge(s *Store, from, to int64) bool {
+	for _, e := range s.OutEdges(from) {
+		if e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBackwardIsReverseOfForward: on a simple chain, tracing backward
+// from the end visits the same vertices as tracing forward from the
+// start, reversed.
+func TestBackwardIsReverseOfForward(t *testing.T) {
+	f := func(rawLen uint8) bool {
+		n := 2 + int(rawLen%10)
+		s := NewMemStore()
+		ids := make([]int64, n)
+		for i := range ids {
+			id, err := s.AddVertex(event("c#" + string(rune('0'+i))))
+			if err != nil {
+				return false
+			}
+			ids[i] = id
+		}
+		for i := 0; i+1 < n; i++ {
+			if err := s.AddEdge(ids[i], ids[i+1], 0.1); err != nil {
+				return false
+			}
+		}
+		fwd, err := s.TraceForward(ids[0], DefaultTraceLimits())
+		if err != nil || len(fwd) != 1 {
+			return false
+		}
+		back, err := s.TraceBackward(ids[n-1], DefaultTraceLimits())
+		if err != nil || len(back) != 1 {
+			return false
+		}
+		if len(fwd[0]) != n || len(back[0]) != n {
+			return false
+		}
+		for i := range fwd[0] {
+			if fwd[0][i] != back[0][n-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPersistenceEquivalence: a store reloaded from disk answers
+// trajectory queries identically to the original.
+func TestPersistenceEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	var ids []int64
+	for i := 0; i < 25; i++ {
+		id, err := s.AddVertex(event("c#" + string(rune('a'+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i := 0; i < 25; i++ {
+		for j := i + 1; j < 25; j++ {
+			if rng.Float64() < 0.1 {
+				if err := s.AddEdge(ids[i], ids[j], rng.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	want, err := s.Trajectory(ids[5], DefaultTraceLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reloaded, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = reloaded.Close() }()
+	got, err := reloaded.Trajectory(ids[5], DefaultTraceLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("paths %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("path %d lengths differ", i)
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("path %d differs at %d", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package trajstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/protocol"
+)
+
+// Request ops for the trajectory store wire protocol.
+const (
+	opAddVertex   = "add_vertex"
+	opAddEdge     = "add_edge"
+	opGetVertex   = "get_vertex"
+	opFindByEvent = "find_by_event"
+	opTrajectory  = "trajectory"
+	opStats       = "stats"
+	opOutEdges    = "out_edges"
+	opInEdges     = "in_edges"
+)
+
+// request is one client -> server call.
+type request struct {
+	Op      string                   `json:"op"`
+	Event   *protocol.DetectionEvent `json:"event,omitempty"`
+	From    int64                    `json:"from,omitempty"`
+	To      int64                    `json:"to,omitempty"`
+	Weight  float64                  `json:"weight,omitempty"`
+	ID      int64                    `json:"id,omitempty"`
+	EventID protocol.EventID         `json:"eventId,omitempty"`
+	Limits  *TraceLimits             `json:"limits,omitempty"`
+}
+
+// response is one server -> client reply.
+type response struct {
+	OK       bool      `json:"ok"`
+	Err      string    `json:"err,omitempty"`
+	VertexID int64     `json:"vertexId,omitempty"`
+	Vertex   *Vertex   `json:"vertex,omitempty"`
+	Paths    [][]int64 `json:"paths,omitempty"`
+	Vertices int       `json:"vertices,omitempty"`
+	Edges    int       `json:"edges,omitempty"`
+	EdgeList []Edge    `json:"edgeList,omitempty"`
+}
+
+// maxWireBytes bounds one request/response frame.
+const maxWireBytes = 8 << 20
+
+func writeFrame(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("trajstore: marshal frame: %w", err)
+	}
+	if len(data) > maxWireBytes {
+		return fmt.Errorf("trajstore: frame too large: %d", len(data))
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("trajstore: write frame: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("trajstore: write frame: %w", err)
+	}
+	return nil
+}
+
+func readFrame(r io.Reader, v any) error {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("trajstore: read frame length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxWireBytes {
+		return fmt.Errorf("trajstore: frame too large: %d", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return fmt.Errorf("trajstore: read frame: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("trajstore: decode frame: %w", err)
+	}
+	return nil
+}
+
+// Server exposes a Store over TCP with a simple request/response
+// protocol.
+type Server struct {
+	store *Store
+	ln    net.Listener
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// Serve starts a server for the store on addr (use "127.0.0.1:0" for an
+// ephemeral port).
+func Serve(store *Store, addr string) (*Server, error) {
+	if store == nil {
+		return nil, errors.New("trajstore: nil store")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("trajstore: listen %s: %w", addr, err)
+	}
+	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		var req request
+		if err := readFrame(conn, &req); err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req request) response {
+	fail := func(err error) response { return response{Err: err.Error()} }
+	switch req.Op {
+	case opAddVertex:
+		if req.Event == nil {
+			return fail(errors.New("add_vertex requires an event"))
+		}
+		id, err := s.store.AddVertex(*req.Event)
+		if err != nil {
+			return fail(err)
+		}
+		return response{OK: true, VertexID: id}
+	case opAddEdge:
+		if err := s.store.AddEdge(req.From, req.To, req.Weight); err != nil {
+			return fail(err)
+		}
+		return response{OK: true}
+	case opGetVertex:
+		v, err := s.store.Vertex(req.ID)
+		if err != nil {
+			return fail(err)
+		}
+		return response{OK: true, Vertex: &v}
+	case opFindByEvent:
+		v, err := s.store.FindByEventID(req.EventID)
+		if err != nil {
+			return fail(err)
+		}
+		return response{OK: true, Vertex: &v}
+	case opTrajectory:
+		limits := DefaultTraceLimits()
+		if req.Limits != nil {
+			limits = *req.Limits
+		}
+		paths, err := s.store.Trajectory(req.ID, limits)
+		if err != nil {
+			return fail(err)
+		}
+		return response{OK: true, Paths: paths}
+	case opOutEdges:
+		if _, err := s.store.Vertex(req.ID); err != nil {
+			return fail(err)
+		}
+		return response{OK: true, EdgeList: s.store.OutEdges(req.ID)}
+	case opInEdges:
+		if _, err := s.store.Vertex(req.ID); err != nil {
+			return fail(err)
+		}
+		return response{OK: true, EdgeList: s.store.InEdges(req.ID)}
+	case opStats:
+		return response{OK: true, Vertices: s.store.NumVertices(), Edges: s.store.NumEdges()}
+	default:
+		return fail(fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+// Close stops accepting, closes connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a synchronous TCP client for a trajectory store server. It is
+// safe for concurrent use; calls are serialized over one connection.
+type Client struct {
+	mu   sync.Mutex
+	addr string
+	conn net.Conn
+}
+
+// Dial connects to a trajectory store server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("trajstore: dial %s: %w", addr, err)
+	}
+	return &Client{addr: addr, conn: conn}, nil
+}
+
+func (c *Client) do(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		conn, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			return response{}, fmt.Errorf("trajstore: redial %s: %w", c.addr, err)
+		}
+		c.conn = conn
+	}
+	if err := writeFrame(c.conn, req); err != nil {
+		c.resetLocked()
+		return response{}, err
+	}
+	var resp response
+	if err := readFrame(c.conn, &resp); err != nil {
+		c.resetLocked()
+		return response{}, err
+	}
+	if !resp.OK {
+		return response{}, fmt.Errorf("trajstore: server: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+func (c *Client) resetLocked() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// AddVertex inserts a detection event remotely and returns its vertex ID.
+func (c *Client) AddVertex(e protocol.DetectionEvent) (int64, error) {
+	resp, err := c.do(request{Op: opAddVertex, Event: &e})
+	if err != nil {
+		return 0, err
+	}
+	return resp.VertexID, nil
+}
+
+// AddEdge inserts an edge remotely.
+func (c *Client) AddEdge(from, to int64, weight float64) error {
+	_, err := c.do(request{Op: opAddEdge, From: from, To: to, Weight: weight})
+	return err
+}
+
+// Vertex fetches a vertex by ID.
+func (c *Client) Vertex(id int64) (Vertex, error) {
+	resp, err := c.do(request{Op: opGetVertex, ID: id})
+	if err != nil {
+		return Vertex{}, err
+	}
+	return *resp.Vertex, nil
+}
+
+// FindByEventID fetches a vertex by its detection-event ID.
+func (c *Client) FindByEventID(id protocol.EventID) (Vertex, error) {
+	resp, err := c.do(request{Op: opFindByEvent, EventID: id})
+	if err != nil {
+		return Vertex{}, err
+	}
+	return *resp.Vertex, nil
+}
+
+// Trajectory queries the candidate space-time tracks through a vertex.
+func (c *Client) Trajectory(id int64, limits TraceLimits) ([][]int64, error) {
+	resp, err := c.do(request{Op: opTrajectory, ID: id, Limits: &limits})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Paths, nil
+}
+
+// OutEdges fetches a vertex's outgoing edges.
+func (c *Client) OutEdges(id int64) ([]Edge, error) {
+	resp, err := c.do(request{Op: opOutEdges, ID: id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.EdgeList, nil
+}
+
+// InEdges fetches a vertex's incoming edges.
+func (c *Client) InEdges(id int64) ([]Edge, error) {
+	resp, err := c.do(request{Op: opInEdges, ID: id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.EdgeList, nil
+}
+
+// Stats returns the remote vertex and edge counts.
+func (c *Client) Stats() (vertices, edges int, err error) {
+	resp, err := c.do(request{Op: opStats})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Vertices, resp.Edges, nil
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+// Package trajstore implements Coral-Pie's trajectory storage (paper
+// Section 4.2.1): one composite probabilistic graph whose vertices are
+// detection events and whose weighted directed edges link consecutive
+// sightings of (what re-identification believes is) the same vehicle. The
+// paper hosts this in JanusGraph on an edge node; this package provides a
+// from-scratch store with write-ahead-log persistence, snapshot
+// compaction, traversal queries, and a TCP server/client.
+package trajstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/protocol"
+)
+
+// Errors returned by store operations.
+var (
+	ErrVertexNotFound = errors.New("trajstore: vertex not found")
+	ErrEdgeExists     = errors.New("trajstore: edge already exists")
+	ErrClosed         = errors.New("trajstore: store closed")
+)
+
+// Vertex is one detection event in the trajectory graph.
+type Vertex struct {
+	ID    int64                   `json:"id"`
+	Event protocol.DetectionEvent `json:"event"`
+}
+
+// Edge is a weighted directed link between two detection events; the
+// weight is the Bhattacharyya distance of the re-identification match
+// (lower = more confident).
+type Edge struct {
+	From   int64   `json:"from"`
+	To     int64   `json:"to"`
+	Weight float64 `json:"weight"`
+}
+
+// Store is the trajectory graph. All methods are safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	vertices map[int64]*Vertex
+	out      map[int64][]Edge
+	in       map[int64][]Edge
+	nextID   int64
+	closed   bool
+
+	persist *persister // nil for in-memory stores
+}
+
+// NewMemStore returns a purely in-memory store.
+func NewMemStore() *Store {
+	return &Store{
+		vertices: make(map[int64]*Vertex),
+		out:      make(map[int64][]Edge),
+		in:       make(map[int64][]Edge),
+		nextID:   1,
+	}
+}
+
+// AddVertex inserts a detection event and returns its vertex ID.
+func (s *Store) AddVertex(e protocol.DetectionEvent) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	id := s.nextID
+	s.nextID++
+	v := &Vertex{ID: id, Event: e}
+	v.Event.VertexID = id
+	s.vertices[id] = v
+	if s.persist != nil {
+		if err := s.persist.logVertex(*v); err != nil {
+			delete(s.vertices, id)
+			s.nextID--
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// AddEdge links two vertices with a confidence weight. Multiple incoming
+// and outgoing edges per vertex are allowed by design (false positives
+// must not mask true positives), but exact duplicates are rejected.
+func (s *Store) AddEdge(from, to int64, weight float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.vertices[from]; !ok {
+		return fmt.Errorf("%w: %d", ErrVertexNotFound, from)
+	}
+	if _, ok := s.vertices[to]; !ok {
+		return fmt.Errorf("%w: %d", ErrVertexNotFound, to)
+	}
+	for _, e := range s.out[from] {
+		if e.To == to {
+			return fmt.Errorf("%w: %d->%d", ErrEdgeExists, from, to)
+		}
+	}
+	edge := Edge{From: from, To: to, Weight: weight}
+	if s.persist != nil {
+		if err := s.persist.logEdge(edge); err != nil {
+			return err
+		}
+	}
+	s.out[from] = append(s.out[from], edge)
+	s.in[to] = append(s.in[to], edge)
+	return nil
+}
+
+// Vertex returns a vertex by ID.
+func (s *Store) Vertex(id int64) (Vertex, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.vertices[id]
+	if !ok {
+		return Vertex{}, fmt.Errorf("%w: %d", ErrVertexNotFound, id)
+	}
+	return *v, nil
+}
+
+// FindByEventID returns the vertex whose event carries the given ID, which
+// is how a human query ("I saw the vehicle at camera 3 around 10:30")
+// enters the graph.
+func (s *Store) FindByEventID(id protocol.EventID) (Vertex, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, v := range s.vertices {
+		if v.Event.ID == id {
+			return *v, nil
+		}
+	}
+	return Vertex{}, fmt.Errorf("%w: event %q", ErrVertexNotFound, id)
+}
+
+// OutEdges returns a copy of a vertex's outgoing edges, sorted by target.
+func (s *Store) OutEdges(id int64) []Edge {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedEdges(s.out[id], true)
+}
+
+// InEdges returns a copy of a vertex's incoming edges, sorted by source.
+func (s *Store) InEdges(id int64) []Edge {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return sortedEdges(s.in[id], false)
+}
+
+func sortedEdges(edges []Edge, byTo bool) []Edge {
+	out := append([]Edge(nil), edges...)
+	sort.Slice(out, func(i, j int) bool {
+		if byTo {
+			return out[i].To < out[j].To
+		}
+		return out[i].From < out[j].From
+	})
+	return out
+}
+
+// NumVertices returns the vertex count.
+func (s *Store) NumVertices() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.vertices)
+}
+
+// NumEdges returns the edge count.
+func (s *Store) NumEdges() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, es := range s.out {
+		n += len(es)
+	}
+	return n
+}
+
+// TraceLimits bounds trajectory traversals so a pathological graph cannot
+// blow up a query.
+type TraceLimits struct {
+	MaxDepth int
+	MaxPaths int
+}
+
+// DefaultTraceLimits is generous for realistic trajectories.
+func DefaultTraceLimits() TraceLimits {
+	return TraceLimits{MaxDepth: 64, MaxPaths: 256}
+}
+
+// TraceForward enumerates the maximal forward paths from start: every
+// path follows outgoing edges until it reaches a vertex with no outgoing
+// edge (or a limit). The result is a collection of candidate onward
+// trajectories, possibly containing false positives for a human or an
+// analytics layer to prune (paper Section 4.2.1).
+func (s *Store) TraceForward(start int64, limits TraceLimits) ([][]int64, error) {
+	return s.trace(start, limits, true)
+}
+
+// TraceBackward enumerates the maximal backward paths into start.
+func (s *Store) TraceBackward(start int64, limits TraceLimits) ([][]int64, error) {
+	return s.trace(start, limits, false)
+}
+
+func (s *Store) trace(start int64, limits TraceLimits, forward bool) ([][]int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.vertices[start]; !ok {
+		return nil, fmt.Errorf("%w: %d", ErrVertexNotFound, start)
+	}
+	if limits.MaxDepth < 1 {
+		limits.MaxDepth = 1
+	}
+	if limits.MaxPaths < 1 {
+		limits.MaxPaths = 1
+	}
+	var paths [][]int64
+	onPath := map[int64]bool{start: true}
+	var dfs func(path []int64)
+	dfs = func(path []int64) {
+		if len(paths) >= limits.MaxPaths {
+			return
+		}
+		cur := path[len(path)-1]
+		var nexts []Edge
+		if forward {
+			nexts = s.out[cur]
+		} else {
+			nexts = s.in[cur]
+		}
+		extended := false
+		if len(path) < limits.MaxDepth {
+			for _, e := range sortedEdges(nexts, forward) {
+				next := e.To
+				if !forward {
+					next = e.From
+				}
+				if onPath[next] {
+					continue // cycle guard
+				}
+				onPath[next] = true
+				extended = true
+				dfs(append(path, next))
+				delete(onPath, next)
+			}
+		}
+		if !extended {
+			paths = append(paths, append([]int64(nil), path...))
+		}
+	}
+	dfs([]int64{start})
+	return paths, nil
+}
+
+// Trajectory returns the full candidate space-time track through start:
+// each result path runs from a possible origin through start to a
+// possible end, expressed as vertex IDs in time order.
+func (s *Store) Trajectory(start int64, limits TraceLimits) ([][]int64, error) {
+	back, err := s.TraceBackward(start, limits)
+	if err != nil {
+		return nil, err
+	}
+	fwd, err := s.TraceForward(start, limits)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]int64
+	for _, b := range back {
+		// b runs start -> origin; reverse it to time order.
+		rev := make([]int64, len(b))
+		for i, id := range b {
+			rev[len(b)-1-i] = id
+		}
+		for _, f := range fwd {
+			if len(out) >= limits.MaxPaths {
+				return out, nil
+			}
+			path := make([]int64, 0, len(rev)+len(f)-1)
+			path = append(path, rev...)
+			path = append(path, f[1:]...) // skip duplicated start
+			out = append(out, path)
+		}
+	}
+	return out, nil
+}
+
+// Close flushes and closes persistence. Further writes fail with
+// ErrClosed; reads keep working.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.persist != nil {
+		return s.persist.close()
+	}
+	return nil
+}

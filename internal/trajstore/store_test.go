@@ -1,0 +1,441 @@
+package trajstore
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/feature"
+	"repro/internal/protocol"
+)
+
+func event(id string) protocol.DetectionEvent {
+	h := feature.Histogram{Bins: make([]float64, feature.HistogramSize)}
+	h.Bins[0] = 1
+	return protocol.DetectionEvent{
+		ID:        protocol.EventID(id),
+		CameraID:  "cam",
+		Timestamp: time.Date(2020, 12, 7, 0, 0, 0, 0, time.UTC),
+		Histogram: h,
+	}
+}
+
+func TestAddVertexAssignsSequentialIDs(t *testing.T) {
+	s := NewMemStore()
+	id1, err := s.AddVertex(event("cam#1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.AddVertex(event("cam#2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != 1 || id2 != 2 {
+		t.Errorf("ids = %d, %d", id1, id2)
+	}
+	v, err := s.Vertex(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Event.ID != "cam#1" || v.Event.VertexID != id1 {
+		t.Errorf("vertex = %+v", v)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	s := NewMemStore()
+	a, err := s.AddVertex(event("cam#1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.AddVertex(event("cam#2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEdge(a, 999, 0.1); !errors.Is(err, ErrVertexNotFound) {
+		t.Errorf("missing target: %v", err)
+	}
+	if err := s.AddEdge(a, b, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEdge(a, b, 0.2); !errors.Is(err, ErrEdgeExists) {
+		t.Errorf("duplicate edge: %v", err)
+	}
+	if s.NumEdges() != 1 || s.NumVertices() != 2 {
+		t.Errorf("counts %d/%d", s.NumVertices(), s.NumEdges())
+	}
+}
+
+func TestMultipleEdgesPerVertexAllowed(t *testing.T) {
+	// The paper allows multiple in/out edges so false positives do not
+	// mask true positives.
+	s := NewMemStore()
+	a, _ := s.AddVertex(event("c#1"))
+	b, _ := s.AddVertex(event("c#2"))
+	c, _ := s.AddVertex(event("c#3"))
+	if err := s.AddEdge(a, b, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEdge(a, c, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	out := s.OutEdges(a)
+	if len(out) != 2 {
+		t.Errorf("out edges = %v", out)
+	}
+	if len(s.InEdges(b)) != 1 || len(s.InEdges(c)) != 1 {
+		t.Error("in edges wrong")
+	}
+}
+
+func TestFindByEventID(t *testing.T) {
+	s := NewMemStore()
+	if _, err := s.AddVertex(event("cam#7")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.FindByEventID("cam#7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID != 1 {
+		t.Errorf("found id = %d", v.ID)
+	}
+	if _, err := s.FindByEventID("nope#1"); !errors.Is(err, ErrVertexNotFound) {
+		t.Errorf("missing event: %v", err)
+	}
+}
+
+// buildChain creates a linear trajectory v1 -> v2 -> ... -> vn.
+func buildChain(t *testing.T, s *Store, n int) []int64 {
+	t.Helper()
+	ids := make([]int64, n)
+	for i := 0; i < n; i++ {
+		id, err := s.AddVertex(event("cam#" + string(rune('0'+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := s.AddEdge(ids[i], ids[i+1], 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ids
+}
+
+func TestTraceForwardLinear(t *testing.T) {
+	s := NewMemStore()
+	ids := buildChain(t, s, 4)
+	paths, err := s.TraceForward(ids[0], DefaultTraceLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || len(paths[0]) != 4 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for i, id := range ids {
+		if paths[0][i] != id {
+			t.Errorf("path = %v", paths[0])
+			break
+		}
+	}
+}
+
+func TestTraceBackwardLinear(t *testing.T) {
+	s := NewMemStore()
+	ids := buildChain(t, s, 4)
+	paths, err := s.TraceBackward(ids[3], DefaultTraceLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || len(paths[0]) != 4 {
+		t.Fatalf("paths = %v", paths)
+	}
+	if paths[0][0] != ids[3] || paths[0][3] != ids[0] {
+		t.Errorf("backward path = %v", paths[0])
+	}
+}
+
+func TestTraceForkProducesMultiplePaths(t *testing.T) {
+	s := NewMemStore()
+	a, _ := s.AddVertex(event("c#1"))
+	b, _ := s.AddVertex(event("c#2"))
+	c, _ := s.AddVertex(event("c#3"))
+	d, _ := s.AddVertex(event("c#4"))
+	if err := s.AddEdge(a, b, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEdge(a, c, 0.4); err != nil { // false-positive branch
+		t.Fatal(err)
+	}
+	if err := s.AddEdge(b, d, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := s.TraceForward(a, DefaultTraceLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestTrajectoryThroughMiddle(t *testing.T) {
+	s := NewMemStore()
+	ids := buildChain(t, s, 5)
+	paths, err := s.Trajectory(ids[2], DefaultTraceLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || len(paths[0]) != 5 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for i, id := range ids {
+		if paths[0][i] != id {
+			t.Errorf("trajectory = %v, want %v", paths[0], ids)
+			break
+		}
+	}
+}
+
+func TestTraceCycleTerminates(t *testing.T) {
+	s := NewMemStore()
+	a, _ := s.AddVertex(event("c#1"))
+	b, _ := s.AddVertex(event("c#2"))
+	if err := s.AddEdge(a, b, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEdge(b, a, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := s.TraceForward(a, DefaultTraceLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || len(paths[0]) != 2 {
+		t.Errorf("cycle paths = %v", paths)
+	}
+}
+
+func TestTraceLimitsRespected(t *testing.T) {
+	s := NewMemStore()
+	ids := buildChain(t, s, 10)
+	paths, err := s.TraceForward(ids[0], TraceLimits{MaxDepth: 3, MaxPaths: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths[0]) != 3 {
+		t.Errorf("depth-limited path = %v", paths[0])
+	}
+	if _, err := s.TraceForward(999, DefaultTraceLimits()); !errors.Is(err, ErrVertexNotFound) {
+		t.Errorf("missing start: %v", err)
+	}
+}
+
+func TestCloseBlocksWrites(t *testing.T) {
+	s := NewMemStore()
+	id, err := s.AddVertex(event("c#1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if _, err := s.AddVertex(event("c#2")); !errors.Is(err, ErrClosed) {
+		t.Errorf("write after close: %v", err)
+	}
+	// Reads still work.
+	if _, err := s.Vertex(id); err != nil {
+		t.Errorf("read after close: %v", err)
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := buildChain(t, s, 3)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s2.Close() }()
+	if s2.NumVertices() != 3 || s2.NumEdges() != 2 {
+		t.Fatalf("reloaded %d vertices %d edges", s2.NumVertices(), s2.NumEdges())
+	}
+	paths, err := s2.TraceForward(ids[0], DefaultTraceLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || len(paths[0]) != 3 {
+		t.Errorf("reloaded paths = %v", paths)
+	}
+	// IDs keep growing after reload (no reuse).
+	id, err := s2.AddVertex(event("c#9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 4 {
+		t.Errorf("next id after reload = %d, want 4", id)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildChain(t, s, 5)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Writes continue after compaction.
+	if _, err := s.AddVertex(event("c#x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s2.Close() }()
+	if s2.NumVertices() != 6 || s2.NumEdges() != 4 {
+		t.Errorf("after compact+reload: %d vertices %d edges", s2.NumVertices(), s2.NumEdges())
+	}
+}
+
+func TestCompactInMemoryErrors(t *testing.T) {
+	s := NewMemStore()
+	if err := s.Compact(); err == nil {
+		t.Error("compacting an in-memory store should error")
+	}
+}
+
+func TestOpenEmptyDirErrors(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("empty dir should error")
+	}
+}
+
+func TestServerClientRoundTrip(t *testing.T) {
+	store := NewMemStore()
+	srv, err := Serve(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	a, err := cl.AddVertex(event("cam#1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cl.AddVertex(event("cam#2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddEdge(a, b, 0.15); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl.Vertex(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Event.ID != "cam#1" {
+		t.Errorf("vertex = %+v", v)
+	}
+	fv, err := cl.FindByEventID("cam#2")
+	if err != nil || fv.ID != b {
+		t.Errorf("find = %+v err %v", fv, err)
+	}
+	paths, err := cl.Trajectory(a, DefaultTraceLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || len(paths[0]) != 2 {
+		t.Errorf("paths = %v", paths)
+	}
+	nv, ne, err := cl.Stats()
+	if err != nil || nv != 2 || ne != 1 {
+		t.Errorf("stats = %d/%d err %v", nv, ne, err)
+	}
+}
+
+func TestClientErrorsPropagate(t *testing.T) {
+	store := NewMemStore()
+	srv, err := Serve(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+
+	if _, err := cl.Vertex(42); err == nil {
+		t.Error("missing vertex should error")
+	}
+	if err := cl.AddEdge(1, 2, 0.5); err == nil {
+		t.Error("edge between missing vertices should error")
+	}
+	// The connection survives server-side errors.
+	if _, err := cl.AddVertex(event("cam#1")); err != nil {
+		t.Errorf("connection broken after error: %v", err)
+	}
+}
+
+func TestClientReconnects(t *testing.T) {
+	store := NewMemStore()
+	srv, err := Serve(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cl.Close() }()
+	if _, err := cl.AddVertex(event("cam#1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := Serve(store, addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer func() { _ = srv2.Close() }()
+	// First call may fail on the stale connection; the next must recover.
+	var ok bool
+	for i := 0; i < 5; i++ {
+		if _, err := cl.AddVertex(event("cam#2")); err == nil {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Error("client never reconnected")
+	}
+}

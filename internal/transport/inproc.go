@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/protocol"
+)
+
+// Bus is an in-process network. Endpoints register by name; Send routes
+// envelopes to the destination's handler, either synchronously or — when
+// the bus is attached to a discrete-event simulator — after a simulated
+// network latency.
+type Bus struct {
+	mu        sync.Mutex
+	endpoints map[string]*busEndpoint
+	sim       *des.Simulator
+	latency   time.Duration
+	lossRate  float64
+	lossRNG   *rand.Rand
+	dropped   int64
+}
+
+// NewBus returns a bus that delivers synchronously (zero latency) on the
+// caller's goroutine.
+func NewBus() *Bus {
+	return &Bus{endpoints: make(map[string]*busEndpoint)}
+}
+
+// NewSimBus returns a bus that schedules deliveries on the simulator,
+// latency after each send. All endpoint handlers then run on the
+// simulator's goroutine, which is what makes large-scale experiments
+// deterministic.
+func NewSimBus(sim *des.Simulator, latency time.Duration) *Bus {
+	return &Bus{
+		endpoints: make(map[string]*busEndpoint),
+		sim:       sim,
+		latency:   latency,
+	}
+}
+
+// Endpoint registers (or returns an error for a duplicate) endpoint name.
+func (b *Bus) Endpoint(name string) (Endpoint, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if name == "" {
+		return nil, fmt.Errorf("transport: empty endpoint name")
+	}
+	if _, ok := b.endpoints[name]; ok {
+		return nil, fmt.Errorf("transport: endpoint %q already registered", name)
+	}
+	ep := &busEndpoint{bus: b, name: name}
+	b.endpoints[name] = ep
+	return ep, nil
+}
+
+// Partition drops the named endpoint from the bus without closing it,
+// simulating a network or camera failure: subsequent sends to it fail,
+// and sends from it fail too — a failed camera neither receives nor
+// emits traffic (in particular, its heartbeats stop reaching the
+// topology server).
+func (b *Bus) Partition(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.endpoints, name)
+}
+
+// attached reports whether the endpoint is still on the bus.
+func (b *Bus) attached(name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.endpoints[name]
+	return ok
+}
+
+// SetLossRate makes the bus silently drop each message with the given
+// probability, for failure-injection tests. The rng must be dedicated to
+// the bus. Rate 0 (the default) disables loss.
+func (b *Bus) SetLossRate(rate float64, rng *rand.Rand) error {
+	if rate < 0 || rate >= 1 {
+		return fmt.Errorf("transport: loss rate %v out of [0,1)", rate)
+	}
+	if rate > 0 && rng == nil {
+		return fmt.Errorf("transport: loss rate needs an RNG")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lossRate = rate
+	b.lossRNG = rng
+	return nil
+}
+
+// Dropped returns how many messages the loss model has discarded.
+func (b *Bus) Dropped() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+func (b *Bus) deliver(to string, env protocol.Envelope) error {
+	b.mu.Lock()
+	if b.lossRate > 0 && b.lossRNG.Float64() < b.lossRate {
+		b.dropped++
+		b.mu.Unlock()
+		return nil // silently lost, like a dropped datagram
+	}
+	ep, ok := b.endpoints[to]
+	var h Handler
+	if ok {
+		h = ep.handler
+	}
+	sim := b.sim
+	latency := b.latency
+	b.mu.Unlock()
+
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAddress, to)
+	}
+	if h == nil {
+		return fmt.Errorf("%w: %q", ErrNoHandler, to)
+	}
+	if sim == nil {
+		h(env)
+		return nil
+	}
+	sim.Schedule(latency, func() {
+		// Re-check at delivery time: the endpoint may have failed while
+		// the message was in flight.
+		b.mu.Lock()
+		cur, stillThere := b.endpoints[to]
+		var handler Handler
+		if stillThere {
+			handler = cur.handler
+		}
+		b.mu.Unlock()
+		if handler != nil {
+			handler(env)
+		}
+	})
+	return nil
+}
+
+type busEndpoint struct {
+	bus    *Bus
+	name   string
+	mu     sync.Mutex
+	closed bool
+
+	handler Handler
+}
+
+var _ Endpoint = (*busEndpoint)(nil)
+
+func (e *busEndpoint) Addr() string { return e.name }
+
+func (e *busEndpoint) SetHandler(h Handler) {
+	e.bus.mu.Lock()
+	defer e.bus.mu.Unlock()
+	e.handler = h
+}
+
+func (e *busEndpoint) Send(addr string, env protocol.Envelope) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if !e.bus.attached(e.name) {
+		return fmt.Errorf("%w: %q is partitioned", ErrClosed, e.name)
+	}
+	return e.bus.deliver(addr, env)
+}
+
+func (e *busEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.bus.Partition(e.name)
+	return nil
+}

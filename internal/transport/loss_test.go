@@ -1,0 +1,62 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/protocol"
+)
+
+func TestSetLossRateValidation(t *testing.T) {
+	bus := NewBus()
+	if err := bus.SetLossRate(-0.1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := bus.SetLossRate(1.0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("rate 1.0 accepted")
+	}
+	if err := bus.SetLossRate(0.5, nil); err == nil {
+		t.Error("missing rng accepted")
+	}
+	if err := bus.SetLossRate(0, nil); err != nil {
+		t.Errorf("disabling loss: %v", err)
+	}
+}
+
+func TestLossRateDropsApproximately(t *testing.T) {
+	sim := des.New(time.Date(2020, 12, 7, 0, 0, 0, 0, time.UTC))
+	bus := NewSimBus(sim, time.Millisecond)
+	if err := bus.SetLossRate(0.3, rand.New(rand.NewSource(9))); err != nil {
+		t.Fatal(err)
+	}
+	a, err := bus.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bus.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := 0
+	b.SetHandler(func(protocol.Envelope) { received++ })
+	const n = 2000
+	env, err := protocol.Seal(protocol.Retire{EventID: "x#1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	rate := float64(n-received) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Errorf("observed loss %v, want ~0.3", rate)
+	}
+	if bus.Dropped() != int64(n-received) {
+		t.Errorf("Dropped() = %d, want %d", bus.Dropped(), n-received)
+	}
+}

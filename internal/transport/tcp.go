@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// dialTimeout bounds outgoing connection establishment.
+const dialTimeout = 5 * time.Second
+
+// TCP is an Endpoint over real TCP sockets: a listener that decodes
+// length-prefixed protocol envelopes, and a cache of outgoing connections
+// that redials on failure. Handlers may be invoked concurrently (one
+// goroutine per inbound connection) and must be safe for concurrent use.
+type TCP struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	handler Handler
+	conns   map[string]net.Conn
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+var _ Endpoint = (*TCP)(nil)
+
+// ListenTCP starts an endpoint listening on addr (use "127.0.0.1:0" for an
+// ephemeral port).
+func ListenTCP(addr string) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		ln:      ln,
+		conns:   make(map[string]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// SetHandler implements Endpoint.
+func (t *TCP) SetHandler(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	for {
+		env, err := protocol.ReadEnvelope(conn)
+		if err != nil {
+			return // EOF, peer reset, or framing error: drop the connection
+		}
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil {
+			h(env)
+		}
+	}
+}
+
+// Send writes the envelope to addr over a cached connection, dialing on
+// demand. A stale cached connection is redialed once.
+func (t *TCP) Send(addr string, env protocol.Envelope) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	conn := t.conns[addr]
+	t.mu.Unlock()
+
+	if conn != nil {
+		if err := t.writeTo(conn, addr, env); err == nil {
+			return nil
+		}
+		// Stale connection: drop it and redial below.
+		t.dropConn(addr, conn)
+	}
+
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		_ = conn.Close()
+		return ErrClosed
+	}
+	if existing, ok := t.conns[addr]; ok {
+		// A concurrent Send won the dial race; reuse its connection.
+		t.mu.Unlock()
+		_ = conn.Close()
+		if err := t.writeTo(existing, addr, env); err == nil {
+			return nil
+		}
+		t.dropConn(addr, existing)
+		return fmt.Errorf("transport: send %s: connection lost", addr)
+	}
+	t.conns[addr] = conn
+	t.mu.Unlock()
+
+	if err := t.writeTo(conn, addr, env); err != nil {
+		t.dropConn(addr, conn)
+		return err
+	}
+	return nil
+}
+
+// writeTo serializes writes per connection via the connection-map lock to
+// keep frames from interleaving.
+func (t *TCP) writeTo(conn net.Conn, addr string, env protocol.Envelope) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conns[addr] != conn && t.conns[addr] != nil {
+		conn = t.conns[addr]
+	}
+	if err := protocol.WriteEnvelope(conn, env); err != nil {
+		return fmt.Errorf("transport: send %s: %w", addr, err)
+	}
+	return nil
+}
+
+func (t *TCP) dropConn(addr string, conn net.Conn) {
+	t.mu.Lock()
+	if t.conns[addr] == conn {
+		delete(t.conns, addr)
+	}
+	t.mu.Unlock()
+	_ = conn.Close()
+}
+
+// Close stops the listener, closes every connection, and waits for the
+// background goroutines to exit.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns)+len(t.inbound))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	for c := range t.inbound {
+		conns = append(conns, c)
+	}
+	t.conns = make(map[string]net.Conn)
+	t.mu.Unlock()
+
+	err := t.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+	if err != nil && !errors.Is(err, io.ErrClosedPipe) {
+		return fmt.Errorf("transport: close listener: %w", err)
+	}
+	return nil
+}

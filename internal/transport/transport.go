@@ -1,0 +1,37 @@
+// Package transport moves protocol envelopes between Coral-Pie components.
+// Two implementations share one interface: an in-process bus used by the
+// deterministic simulation harness (optionally routed through the
+// discrete-event simulator with a configurable network latency), and a
+// TCP transport for real distributed deployments, standing in for the
+// paper's ZeroMQ sockets.
+package transport
+
+import (
+	"errors"
+
+	"repro/internal/protocol"
+)
+
+// Handler consumes an incoming envelope. Implementations are invoked
+// sequentially per endpoint; a handler must not block for long.
+type Handler func(env protocol.Envelope)
+
+// Endpoint is one addressable party on a network.
+type Endpoint interface {
+	// Addr is the address peers use to reach this endpoint.
+	Addr() string
+	// SetHandler installs the incoming-message callback. It must be
+	// called before any peer sends to this endpoint.
+	SetHandler(h Handler)
+	// Send delivers an envelope to a peer address.
+	Send(addr string, env protocol.Envelope) error
+	// Close releases resources and stops background goroutines.
+	Close() error
+}
+
+// Errors shared by transport implementations.
+var (
+	ErrClosed         = errors.New("transport: endpoint closed")
+	ErrUnknownAddress = errors.New("transport: unknown address")
+	ErrNoHandler      = errors.New("transport: destination has no handler")
+)

@@ -1,0 +1,355 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/protocol"
+)
+
+func retireEnv(t *testing.T, id string) protocol.Envelope {
+	t.Helper()
+	env, err := protocol.Seal(protocol.Retire{EventID: protocol.EventID(id)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestBusSynchronousDelivery(t *testing.T) {
+	bus := NewBus()
+	a, err := bus.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bus.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []protocol.Envelope
+	b.SetHandler(func(env protocol.Envelope) { got = append(got, env) })
+	if err := a.Send("b", retireEnv(t, "x#1")); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Type != protocol.TypeRetire {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestBusDuplicateEndpoint(t *testing.T) {
+	bus := NewBus()
+	if _, err := bus.Endpoint("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.Endpoint("a"); err == nil {
+		t.Error("duplicate endpoint should error")
+	}
+	if _, err := bus.Endpoint(""); err == nil {
+		t.Error("empty name should error")
+	}
+}
+
+func TestBusUnknownAddress(t *testing.T) {
+	bus := NewBus()
+	a, err := bus.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("ghost", retireEnv(t, "x#1")); !errors.Is(err, ErrUnknownAddress) {
+		t.Errorf("want ErrUnknownAddress, got %v", err)
+	}
+}
+
+func TestBusNoHandler(t *testing.T) {
+	bus := NewBus()
+	a, err := bus.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.Endpoint("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", retireEnv(t, "x#1")); !errors.Is(err, ErrNoHandler) {
+		t.Errorf("want ErrNoHandler, got %v", err)
+	}
+}
+
+func TestBusClosedEndpoint(t *testing.T) {
+	bus := NewBus()
+	a, err := bus.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bus.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetHandler(func(protocol.Envelope) {})
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if err := a.Send("b", retireEnv(t, "x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close: %v", err)
+	}
+	// Sending to a closed endpoint fails with unknown address.
+	if err := b.Send("a", retireEnv(t, "y")); !errors.Is(err, ErrUnknownAddress) {
+		t.Errorf("send to closed: %v", err)
+	}
+}
+
+func TestSimBusLatency(t *testing.T) {
+	sim := des.New(time.Date(2020, 12, 7, 0, 0, 0, 0, time.UTC))
+	bus := NewSimBus(sim, 10*time.Millisecond)
+	a, err := bus.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bus.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deliveredAt time.Duration = -1
+	b.SetHandler(func(protocol.Envelope) { deliveredAt = sim.Now() })
+	if err := a.Send("b", retireEnv(t, "x")); err != nil {
+		t.Fatal(err)
+	}
+	if deliveredAt != -1 {
+		t.Error("delivery should be deferred to the simulator")
+	}
+	sim.Run()
+	if deliveredAt != 10*time.Millisecond {
+		t.Errorf("delivered at %v, want 10ms", deliveredAt)
+	}
+}
+
+func TestSimBusInFlightMessageToFailedEndpoint(t *testing.T) {
+	sim := des.New(time.Date(2020, 12, 7, 0, 0, 0, 0, time.UTC))
+	bus := NewSimBus(sim, 10*time.Millisecond)
+	a, err := bus.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bus.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := false
+	b.SetHandler(func(protocol.Envelope) { delivered = true })
+	if err := a.Send("b", retireEnv(t, "x")); err != nil {
+		t.Fatal(err)
+	}
+	bus.Partition("b") // b dies while the message is in flight
+	sim.Run()
+	if delivered {
+		t.Error("message delivered to a failed endpoint")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+
+	var mu sync.Mutex
+	var got []protocol.Envelope
+	done := make(chan struct{}, 16)
+	b.SetHandler(func(env protocol.Envelope) {
+		mu.Lock()
+		got = append(got, env)
+		mu.Unlock()
+		done <- struct{}{}
+	})
+
+	for i := 0; i < 3; i++ {
+		if err := a.Send(b.Addr(), retireEnv(t, "x#1")); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for delivery")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Errorf("got %d messages", len(got))
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b.Close() }()
+
+	gotA := make(chan protocol.Envelope, 1)
+	gotB := make(chan protocol.Envelope, 1)
+	a.SetHandler(func(env protocol.Envelope) { gotA <- env })
+	b.SetHandler(func(env protocol.Envelope) { gotB <- env })
+
+	if err := a.Send(b.Addr(), retireEnv(t, "to-b#1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(a.Addr(), retireEnv(t, "to-a#1")); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range []chan protocol.Envelope{gotA, gotB} {
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out")
+		}
+	}
+}
+
+func TestTCPSendToDeadPeerFails(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	dead, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr()
+	if err := dead.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(deadAddr, retireEnv(t, "x")); err == nil {
+		t.Error("send to dead peer should eventually error")
+	}
+}
+
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+
+	b1, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b1.Addr()
+	got := make(chan protocol.Envelope, 8)
+	b1.SetHandler(func(env protocol.Envelope) { got <- env })
+	if err := a.Send(addr, retireEnv(t, "first#1")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first message not delivered")
+	}
+	if err := b1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the peer on the same address.
+	b2, err := ListenTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = b2.Close() }()
+	b2.SetHandler(func(env protocol.Envelope) { got <- env })
+
+	// The cached connection is stale; Send must redial. The first send
+	// may or may not detect staleness immediately (TCP buffering), so try
+	// a few times.
+	delivered := false
+	for i := 0; i < 10 && !delivered; i++ {
+		_ = a.Send(addr, retireEnv(t, "second#1"))
+		select {
+		case <-got:
+			delivered = true
+		case <-time.After(300 * time.Millisecond):
+		}
+	}
+	if !delivered {
+		t.Fatal("message not delivered after peer restart")
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if err := a.Send("127.0.0.1:1", retireEnv(t, "x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close: %v", err)
+	}
+}
+
+func TestTCPConcurrentSenders(t *testing.T) {
+	recv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = recv.Close() }()
+	var count sync.WaitGroup
+	const total = 40
+	count.Add(total)
+	recv.SetHandler(func(protocol.Envelope) { count.Done() })
+
+	sender, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sender.Close() }()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < total/4; j++ {
+				if err := sender.Send(recv.Addr(), retireEnv(t, "c#1")); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		count.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("not all concurrent messages arrived")
+	}
+}

@@ -1,0 +1,246 @@
+package vision
+
+import (
+	"fmt"
+
+	"repro/internal/imaging"
+)
+
+// BlobDetectorConfig parameterizes the pixel-based detector.
+type BlobDetectorConfig struct {
+	// Background is the expected background color (the road surface);
+	// pixels deviating from it by more than Threshold (max channel
+	// difference) are foreground.
+	Background imaging.Color
+	// Threshold is the per-channel deviation above which a pixel counts
+	// as foreground. It must exceed the background texture amplitude.
+	Threshold int
+	// MinArea discards components smaller than this many pixels.
+	MinArea int
+	// MaxArea discards components larger than this many pixels
+	// (0 = unlimited).
+	MaxArea int
+}
+
+// DefaultBlobDetectorConfig is tuned for the simulator's textured asphalt
+// background (amplitude ±16 around the base color).
+func DefaultBlobDetectorConfig() BlobDetectorConfig {
+	return BlobDetectorConfig{
+		Background: imaging.Color{R: 96, G: 96, B: 100},
+		Threshold:  40,
+		MinArea:    12,
+	}
+}
+
+// BlobDetector is a real pixel-driven detector: it thresholds the frame
+// against a background model and extracts connected foreground components
+// as vehicle detections. Unlike SimDetector it never consults ground
+// truth, so the full Coral-Pie pipeline runs on pixels alone — it is the
+// simplest possible occupant of the paper's pluggable detector slot.
+//
+// TruthID attribution for evaluation is recovered afterwards by
+// intersecting detections with frame ground truth (see AttributeTruth);
+// the detector itself is truth-blind.
+type BlobDetector struct {
+	cfg BlobDetectorConfig
+}
+
+var _ Detector = (*BlobDetector)(nil)
+
+// NewBlobDetector validates the config and returns the detector.
+func NewBlobDetector(cfg BlobDetectorConfig) (*BlobDetector, error) {
+	if cfg.Threshold < 1 || cfg.Threshold > 255 {
+		return nil, fmt.Errorf("vision: blob threshold %d out of [1,255]", cfg.Threshold)
+	}
+	if cfg.MinArea < 1 {
+		return nil, fmt.Errorf("vision: blob min area %d must be >= 1", cfg.MinArea)
+	}
+	if cfg.MaxArea < 0 {
+		return nil, fmt.Errorf("vision: blob max area %d must be >= 0", cfg.MaxArea)
+	}
+	return &BlobDetector{cfg: cfg}, nil
+}
+
+// Detect implements Detector by connected-component labeling of the
+// foreground mask (4-connectivity, union-find).
+func (d *BlobDetector) Detect(f *Frame) ([]Detection, error) {
+	if f == nil || f.Image == nil {
+		return nil, fmt.Errorf("vision: nil frame")
+	}
+	img := f.Image
+	w, h := img.Width, img.Height
+
+	// Foreground mask.
+	fg := make([]bool, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if d.isForeground(img.At(x, y)) {
+				fg[y*w+x] = true
+			}
+		}
+	}
+
+	// Union-find over foreground pixels.
+	parent := make([]int32, w*h)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var find func(i int32) int32
+	find = func(i int32) int32 {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := int32(y*w + x)
+			if !fg[i] {
+				continue
+			}
+			parent[i] = i
+			if x > 0 && fg[i-1] {
+				union(i-1, i)
+			}
+			if y > 0 && fg[i-int32(w)] {
+				union(i-int32(w), i)
+			}
+		}
+	}
+
+	// Component bounding boxes.
+	type box struct {
+		minX, minY, maxX, maxY, area int
+	}
+	comps := make(map[int32]*box)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := int32(y*w + x)
+			if !fg[i] {
+				continue
+			}
+			root := find(i)
+			b, ok := comps[root]
+			if !ok {
+				b = &box{minX: x, minY: y, maxX: x, maxY: y}
+				comps[root] = b
+			}
+			if x < b.minX {
+				b.minX = x
+			}
+			if x > b.maxX {
+				b.maxX = x
+			}
+			if y < b.minY {
+				b.minY = y
+			}
+			if y > b.maxY {
+				b.maxY = y
+			}
+			b.area++
+		}
+	}
+
+	var out []Detection
+	for _, b := range comps {
+		if b.area < d.cfg.MinArea {
+			continue
+		}
+		if d.cfg.MaxArea > 0 && b.area > d.cfg.MaxArea {
+			continue
+		}
+		rect := imaging.Rect{X: b.minX, Y: b.minY, W: b.maxX - b.minX + 1, H: b.maxY - b.minY + 1}
+		// Confidence: how solid the component is (filled fraction of its
+		// bounding box); vehicles render as solid rectangles.
+		conf := float64(b.area) / float64(rect.Area())
+		out = append(out, Detection{
+			Box:        rect,
+			Label:      LabelCar,
+			Confidence: conf,
+		})
+	}
+	// Deterministic order: left-to-right, top-to-bottom.
+	sortDetections(out)
+	return out, nil
+}
+
+func (d *BlobDetector) isForeground(c imaging.Color) bool {
+	diff := func(a, b uint8) int {
+		v := int(a) - int(b)
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	m := diff(c.R, d.cfg.Background.R)
+	if v := diff(c.G, d.cfg.Background.G); v > m {
+		m = v
+	}
+	if v := diff(c.B, d.cfg.Background.B); v > m {
+		m = v
+	}
+	return m > d.cfg.Threshold
+}
+
+func sortDetections(dets []Detection) {
+	for i := 1; i < len(dets); i++ {
+		for j := i; j > 0 && less(dets[j], dets[j-1]); j-- {
+			dets[j], dets[j-1] = dets[j-1], dets[j]
+		}
+	}
+}
+
+func less(a, b Detection) bool {
+	if a.Box.X != b.Box.X {
+		return a.Box.X < b.Box.X
+	}
+	return a.Box.Y < b.Box.Y
+}
+
+// AttributeTruth assigns ground-truth identities to truth-blind
+// detections by maximum box IoU against the frame's annotations (used
+// only by the evaluation harness; IoU below minIoU leaves TruthID empty).
+func AttributeTruth(dets []Detection, truth []TruthObject, minIoU float64) []Detection {
+	out := make([]Detection, len(dets))
+	copy(out, dets)
+	for i := range out {
+		best := minIoU
+		for _, obj := range truth {
+			if iou := out[i].Box.IoU(obj.Box); iou >= best {
+				best = iou
+				out[i].TruthID = obj.ID
+			}
+		}
+	}
+	return out
+}
+
+// TruthAttributingDetector wraps a truth-blind detector and attributes
+// ground-truth identities to its output for scoring. The wrapped
+// detector's behaviour is unchanged.
+type TruthAttributingDetector struct {
+	Inner  Detector
+	MinIoU float64
+}
+
+var _ Detector = (*TruthAttributingDetector)(nil)
+
+// Detect implements Detector.
+func (d *TruthAttributingDetector) Detect(f *Frame) ([]Detection, error) {
+	dets, err := d.Inner.Detect(f)
+	if err != nil {
+		return nil, err
+	}
+	minIoU := d.MinIoU
+	if minIoU <= 0 {
+		minIoU = 0.3
+	}
+	return AttributeTruth(dets, f.Truth, minIoU), nil
+}

@@ -1,0 +1,192 @@
+package vision
+
+import (
+	"testing"
+
+	"repro/internal/imaging"
+)
+
+// blobFrame renders the simulator's asphalt texture plus vehicle
+// rectangles.
+func blobFrame(t *testing.T, vehicles ...imaging.Rect) *Frame {
+	t.Helper()
+	img := imaging.MustNewFrame(160, 120)
+	img.FillTexturedBackground(imaging.Color{R: 96, G: 96, B: 100}, 5)
+	f := &Frame{CameraID: "cam", Image: img}
+	for i, box := range vehicles {
+		colors := []imaging.Color{imaging.Red, imaging.Blue, {R: 240, G: 200, B: 40}}
+		img.FillRect(box, colors[i%len(colors)])
+	}
+	return f
+}
+
+func mustBlob(t *testing.T) *BlobDetector {
+	t.Helper()
+	d, err := NewBlobDetector(DefaultBlobDetectorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBlobDetectorValidation(t *testing.T) {
+	bad := DefaultBlobDetectorConfig()
+	bad.Threshold = 0
+	if _, err := NewBlobDetector(bad); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	bad = DefaultBlobDetectorConfig()
+	bad.MinArea = 0
+	if _, err := NewBlobDetector(bad); err == nil {
+		t.Error("zero min area accepted")
+	}
+	bad = DefaultBlobDetectorConfig()
+	bad.MaxArea = -1
+	if _, err := NewBlobDetector(bad); err == nil {
+		t.Error("negative max area accepted")
+	}
+	d := mustBlob(t)
+	if _, err := d.Detect(nil); err == nil {
+		t.Error("nil frame accepted")
+	}
+}
+
+func TestBlobDetectorFindsVehiclesFromPixels(t *testing.T) {
+	d := mustBlob(t)
+	want := []imaging.Rect{
+		{X: 20, Y: 40, W: 18, H: 9},
+		{X: 90, Y: 70, W: 18, H: 9},
+	}
+	f := blobFrame(t, want...)
+	dets, err := d.Detect(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 2 {
+		t.Fatalf("detections = %d, want 2: %+v", len(dets), dets)
+	}
+	for i, det := range dets {
+		if iou := det.Box.IoU(want[i]); iou < 0.9 {
+			t.Errorf("detection %d box %v vs truth %v (IoU %.2f)", i, det.Box, want[i], iou)
+		}
+		if det.Confidence < 0.9 {
+			t.Errorf("solid rectangle confidence = %v", det.Confidence)
+		}
+		if det.Label != LabelCar {
+			t.Errorf("label = %v", det.Label)
+		}
+		if det.TruthID != "" {
+			t.Error("blob detector must be truth-blind")
+		}
+	}
+}
+
+func TestBlobDetectorEmptyRoad(t *testing.T) {
+	d := mustBlob(t)
+	dets, err := d.Detect(blobFrame(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 0 {
+		t.Errorf("textured background produced %d false detections: %+v", len(dets), dets)
+	}
+}
+
+func TestBlobDetectorAreaFilters(t *testing.T) {
+	cfg := DefaultBlobDetectorConfig()
+	cfg.MinArea = 50
+	d, err := NewBlobDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 5x5 speck (25 px) is below MinArea.
+	f := blobFrame(t, imaging.Rect{X: 10, Y: 10, W: 5, H: 5})
+	dets, err := d.Detect(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 0 {
+		t.Errorf("speck should be filtered, got %+v", dets)
+	}
+
+	cfg = DefaultBlobDetectorConfig()
+	cfg.MaxArea = 100
+	d, err = NewBlobDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A huge blob (shadow/lighting artifact) is above MaxArea.
+	f = blobFrame(t, imaging.Rect{X: 10, Y: 10, W: 60, H: 60})
+	dets, err = d.Detect(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 0 {
+		t.Errorf("oversized blob should be filtered, got %+v", dets)
+	}
+}
+
+func TestBlobDetectorMergesTouchingPixelsOnly(t *testing.T) {
+	d := mustBlob(t)
+	// Two vehicles separated by one background column stay distinct.
+	f := blobFrame(t,
+		imaging.Rect{X: 20, Y: 40, W: 10, H: 8},
+		imaging.Rect{X: 35, Y: 40, W: 10, H: 8},
+	)
+	dets, err := d.Detect(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 2 {
+		t.Fatalf("detections = %d, want 2", len(dets))
+	}
+	// Touching vehicles merge into one component (the occlusion failure
+	// mode the paper warns about).
+	f = blobFrame(t,
+		imaging.Rect{X: 20, Y: 40, W: 10, H: 8},
+		imaging.Rect{X: 30, Y: 40, W: 10, H: 8},
+	)
+	dets, err = d.Detect(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("touching vehicles: detections = %d, want 1 merged", len(dets))
+	}
+}
+
+func TestAttributeTruth(t *testing.T) {
+	dets := []Detection{
+		{Box: imaging.Rect{X: 20, Y: 40, W: 18, H: 9}, Label: LabelCar, Confidence: 0.9},
+		{Box: imaging.Rect{X: 120, Y: 10, W: 10, H: 10}, Label: LabelCar, Confidence: 0.9},
+	}
+	truth := []TruthObject{
+		{ID: "veh-1", Label: LabelCar, Box: imaging.Rect{X: 21, Y: 40, W: 18, H: 9}},
+	}
+	out := AttributeTruth(dets, truth, 0.3)
+	if out[0].TruthID != "veh-1" {
+		t.Errorf("overlapping detection not attributed: %+v", out[0])
+	}
+	if out[1].TruthID != "" {
+		t.Errorf("non-overlapping detection attributed: %+v", out[1])
+	}
+	// Originals untouched.
+	if dets[0].TruthID != "" {
+		t.Error("AttributeTruth must not mutate its input")
+	}
+}
+
+func TestTruthAttributingDetectorWrapsBlob(t *testing.T) {
+	blob := mustBlob(t)
+	d := &TruthAttributingDetector{Inner: blob}
+	box := imaging.Rect{X: 20, Y: 40, W: 18, H: 9}
+	f := blobFrame(t, box)
+	f.Truth = []TruthObject{{ID: "veh-9", Label: LabelCar, Box: box}}
+	dets, err := d.Detect(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 || dets[0].TruthID != "veh-9" {
+		t.Errorf("attributed detections = %+v", dets)
+	}
+}

@@ -1,0 +1,189 @@
+// Package vision defines the pluggable computer-vision interfaces of
+// Coral-Pie and the post-processing filters from Section 4.1.2 of the
+// paper: label filtering ({car, bus, truck}), a minimum-confidence
+// threshold, and the context-of-interest (CoI) polygon test.
+//
+// The paper runs MobileNetSSD V2 on an EdgeTPU; this reproduction supplies
+// SimDetector, a ground-truth-driven detector with a calibrated error
+// model, behind the same Detector interface a real model binding would
+// implement.
+package vision
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/imaging"
+)
+
+// Label classifies a detected object. The paper keeps {car, bus, truck}
+// and discards the rest.
+type Label int
+
+// Object labels, mirroring the COCO classes the paper filters on.
+const (
+	LabelUnknown Label = iota
+	LabelCar
+	LabelBus
+	LabelTruck
+	LabelPerson
+	LabelBicycle
+)
+
+var labelNames = [...]string{
+	LabelUnknown: "unknown",
+	LabelCar:     "car",
+	LabelBus:     "bus",
+	LabelTruck:   "truck",
+	LabelPerson:  "person",
+	LabelBicycle: "bicycle",
+}
+
+// String implements fmt.Stringer.
+func (l Label) String() string {
+	if l < LabelUnknown || int(l) >= len(labelNames) {
+		return fmt.Sprintf("Label(%d)", int(l))
+	}
+	return labelNames[l]
+}
+
+// IsVehicle reports whether the label is one of the vehicle classes kept
+// by the paper's post-processing step 1.
+func (l Label) IsVehicle() bool {
+	return l == LabelCar || l == LabelBus || l == LabelTruck
+}
+
+// Detection is one inference output: a bounding box with a label and a
+// confidence score in [0, 1]. TruthID carries the simulator's ground-truth
+// vehicle identity for evaluation only; it is empty for false positives
+// and must never be consulted by the tracking or re-identification logic.
+type Detection struct {
+	Box        imaging.Rect `json:"box"`
+	Label      Label        `json:"label"`
+	Confidence float64      `json:"confidence"`
+	TruthID    string       `json:"truthId,omitempty"`
+}
+
+// TruthObject is the simulator's ground-truth annotation for one object
+// visible in a frame.
+type TruthObject struct {
+	ID    string
+	Label Label
+	Box   imaging.Rect
+}
+
+// Frame is one captured camera frame flowing through the pipeline.
+type Frame struct {
+	CameraID string
+	Seq      int64
+	Time     time.Time
+	Image    *imaging.Frame
+	// Truth holds simulation ground truth. Real deployments leave it nil;
+	// SimDetector and the evaluation harness consume it.
+	Truth []TruthObject
+}
+
+// Detector is the pluggable detection component (paper Section 2.1). A
+// production implementation would wrap an accelerator binding; the
+// reproduction uses SimDetector.
+type Detector interface {
+	// Detect returns the raw detections for a frame, before
+	// post-processing.
+	Detect(f *Frame) ([]Detection, error)
+}
+
+// PointF is a floating-point image coordinate used by CoI polygons.
+type PointF struct {
+	X, Y float64
+}
+
+// CoI is the context-of-interest polygon for a camera: bounding boxes
+// whose centroid falls outside it are discarded because they are usually
+// too blurred for re-identification (paper Section 4.1.2, step 3).
+type CoI struct {
+	vertices []PointF
+}
+
+// NewCoI builds a CoI from polygon vertices in order. It requires at
+// least three vertices.
+func NewCoI(vertices []PointF) (*CoI, error) {
+	if len(vertices) < 3 {
+		return nil, fmt.Errorf("vision: CoI needs >= 3 vertices, have %d", len(vertices))
+	}
+	vs := make([]PointF, len(vertices))
+	copy(vs, vertices)
+	return &CoI{vertices: vs}, nil
+}
+
+// RectCoI builds a rectangular CoI covering the given fractional region of
+// a width×height frame, e.g. margins of 0.15 keep the central 70%.
+func RectCoI(width, height int, marginFrac float64) (*CoI, error) {
+	if marginFrac < 0 || marginFrac >= 0.5 {
+		return nil, fmt.Errorf("vision: margin fraction %v out of [0, 0.5)", marginFrac)
+	}
+	w, h := float64(width), float64(height)
+	mx, my := w*marginFrac, h*marginFrac
+	return NewCoI([]PointF{
+		{X: mx, Y: my},
+		{X: w - mx, Y: my},
+		{X: w - mx, Y: h - my},
+		{X: mx, Y: h - my},
+	})
+}
+
+// Contains reports whether the point lies inside the polygon, using the
+// even-odd ray-casting rule. Points exactly on an edge may fall on either
+// side; camera CoIs do not care.
+func (c *CoI) Contains(p PointF) bool {
+	inside := false
+	n := len(c.vertices)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		vi, vj := c.vertices[i], c.vertices[j]
+		if (vi.Y > p.Y) != (vj.Y > p.Y) {
+			xCross := (vj.X-vi.X)*(p.Y-vi.Y)/(vj.Y-vi.Y) + vi.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Vertices returns a copy of the polygon vertices.
+func (c *CoI) Vertices() []PointF {
+	out := make([]PointF, len(c.vertices))
+	copy(out, c.vertices)
+	return out
+}
+
+// PostProcessConfig parameterizes the paper's 3-step bounding-box filter.
+type PostProcessConfig struct {
+	// MinConfidence is the minimum detection confidence kept (paper
+	// prototype: 0.2).
+	MinConfidence float64
+	// CoI is the context-of-interest polygon; nil keeps every centroid.
+	CoI *CoI
+}
+
+// DefaultMinConfidence is the prototype system's threshold (Section 5.1).
+const DefaultMinConfidence = 0.2
+
+// PostProcess applies the three filtering steps from Section 4.1.2 in
+// order: vehicle label, confidence threshold, centroid-in-CoI. It returns
+// the surviving detections in input order.
+func PostProcess(dets []Detection, cfg PostProcessConfig) []Detection {
+	out := make([]Detection, 0, len(dets))
+	for _, d := range dets {
+		if !d.Label.IsVehicle() {
+			continue
+		}
+		if d.Confidence < cfg.MinConfidence {
+			continue
+		}
+		if cfg.CoI != nil && !cfg.CoI.Contains(PointF{X: d.Box.CenterX(), Y: d.Box.CenterY()}) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

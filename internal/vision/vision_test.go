@@ -1,0 +1,297 @@
+package vision
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/imaging"
+)
+
+func TestLabelString(t *testing.T) {
+	if LabelCar.String() != "car" || LabelBus.String() != "bus" {
+		t.Error("unexpected label names")
+	}
+	if Label(99).String() != "Label(99)" {
+		t.Errorf("out of range: %v", Label(99))
+	}
+}
+
+func TestIsVehicle(t *testing.T) {
+	for _, l := range []Label{LabelCar, LabelBus, LabelTruck} {
+		if !l.IsVehicle() {
+			t.Errorf("%v should be a vehicle", l)
+		}
+	}
+	for _, l := range []Label{LabelPerson, LabelBicycle, LabelUnknown} {
+		if l.IsVehicle() {
+			t.Errorf("%v should not be a vehicle", l)
+		}
+	}
+}
+
+func TestNewCoIValidation(t *testing.T) {
+	if _, err := NewCoI([]PointF{{0, 0}, {1, 1}}); err == nil {
+		t.Error("two vertices should error")
+	}
+	c, err := NewCoI([]PointF{{0, 0}, {10, 0}, {10, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Vertices()) != 3 {
+		t.Error("vertex count wrong")
+	}
+}
+
+func TestCoIContainsTriangle(t *testing.T) {
+	c, err := NewCoI([]PointF{{0, 0}, {10, 0}, {0, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		p    PointF
+		want bool
+	}{
+		{PointF{1, 1}, true},
+		{PointF{3, 3}, true},
+		{PointF{9, 9}, false},
+		{PointF{-1, 5}, false},
+		{PointF{5, -1}, false},
+	}
+	for _, tt := range tests {
+		if got := c.Contains(tt.p); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestCoIContainsConcave(t *testing.T) {
+	// A "U" shaped polygon; the notch must be outside.
+	c, err := NewCoI([]PointF{
+		{0, 0}, {10, 0}, {10, 10}, {7, 10}, {7, 3}, {3, 3}, {3, 10}, {0, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(PointF{1, 5}) {
+		t.Error("left arm should be inside")
+	}
+	if !c.Contains(PointF{8.5, 5}) {
+		t.Error("right arm should be inside")
+	}
+	if c.Contains(PointF{5, 7}) {
+		t.Error("notch should be outside")
+	}
+	if !c.Contains(PointF{5, 1}) {
+		t.Error("bridge should be inside")
+	}
+}
+
+func TestRectCoI(t *testing.T) {
+	c, err := RectCoI(100, 100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(PointF{50, 50}) {
+		t.Error("center should be inside")
+	}
+	if c.Contains(PointF{10, 50}) {
+		t.Error("margin should be outside")
+	}
+	if _, err := RectCoI(100, 100, 0.6); err == nil {
+		t.Error("margin >= 0.5 should error")
+	}
+	if _, err := RectCoI(100, 100, -0.1); err == nil {
+		t.Error("negative margin should error")
+	}
+}
+
+func TestPostProcessThreeSteps(t *testing.T) {
+	coi, err := RectCoI(100, 100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets := []Detection{
+		{Box: imaging.Rect{X: 45, Y: 45, W: 10, H: 10}, Label: LabelCar, Confidence: 0.9},    // keep
+		{Box: imaging.Rect{X: 45, Y: 45, W: 10, H: 10}, Label: LabelPerson, Confidence: 0.9}, // label
+		{Box: imaging.Rect{X: 45, Y: 45, W: 10, H: 10}, Label: LabelCar, Confidence: 0.1},    // confidence
+		{Box: imaging.Rect{X: 0, Y: 0, W: 10, H: 10}, Label: LabelCar, Confidence: 0.9},      // CoI
+		{Box: imaging.Rect{X: 40, Y: 40, W: 20, H: 20}, Label: LabelBus, Confidence: 0.21},   // keep
+	}
+	got := PostProcess(dets, PostProcessConfig{MinConfidence: DefaultMinConfidence, CoI: coi})
+	if len(got) != 2 {
+		t.Fatalf("kept %d detections, want 2: %v", len(got), got)
+	}
+	if got[0].Label != LabelCar || got[1].Label != LabelBus {
+		t.Errorf("wrong detections kept: %v", got)
+	}
+}
+
+func TestPostProcessNilCoI(t *testing.T) {
+	dets := []Detection{
+		{Box: imaging.Rect{X: 0, Y: 0, W: 5, H: 5}, Label: LabelTruck, Confidence: 0.5},
+	}
+	got := PostProcess(dets, PostProcessConfig{MinConfidence: 0.2})
+	if len(got) != 1 {
+		t.Errorf("nil CoI should keep all centroids, got %v", got)
+	}
+}
+
+func newTestFrame(t *testing.T, truth ...TruthObject) *Frame {
+	t.Helper()
+	return &Frame{
+		CameraID: "cam1",
+		Seq:      1,
+		Time:     time.Date(2020, 12, 7, 0, 0, 0, 0, time.UTC),
+		Image:    imaging.MustNewFrame(320, 240),
+		Truth:    truth,
+	}
+}
+
+func TestSimDetectorValidation(t *testing.T) {
+	bad := DefaultSimDetectorConfig(1)
+	bad.MissRate = 1.5
+	if _, err := NewSimDetector(bad); err == nil {
+		t.Error("miss rate > 1 should error")
+	}
+	bad = DefaultSimDetectorConfig(1)
+	bad.FalsePositiveRate = -0.1
+	if _, err := NewSimDetector(bad); err == nil {
+		t.Error("negative FP rate should error")
+	}
+	bad = DefaultSimDetectorConfig(1)
+	bad.BoxJitterPx = -1
+	if _, err := NewSimDetector(bad); err == nil {
+		t.Error("negative jitter should error")
+	}
+}
+
+func TestSimDetectorNilFrame(t *testing.T) {
+	d, err := NewSimDetector(DefaultSimDetectorConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Detect(nil); err == nil {
+		t.Error("nil frame should error")
+	}
+}
+
+func TestSimDetectorNoNoiseReturnsTruth(t *testing.T) {
+	cfg := SimDetectorConfig{Seed: 1, ConfMean: 0.8, ConfStd: 0, MinBoxPx: 1}
+	d, err := NewSimDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := TruthObject{ID: "v1", Label: LabelCar, Box: imaging.Rect{X: 50, Y: 50, W: 20, H: 15}}
+	dets, err := d.Detect(newTestFrame(t, truth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("got %d detections, want 1", len(dets))
+	}
+	if dets[0].Box != truth.Box {
+		t.Errorf("box = %v, want %v", dets[0].Box, truth.Box)
+	}
+	if dets[0].TruthID != "v1" {
+		t.Errorf("truth id = %q", dets[0].TruthID)
+	}
+}
+
+func TestSimDetectorMissRateStatistics(t *testing.T) {
+	cfg := SimDetectorConfig{Seed: 42, MissRate: 0.3, ConfMean: 0.8, MinBoxPx: 1}
+	d, err := NewSimDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := TruthObject{ID: "v1", Label: LabelCar, Box: imaging.Rect{X: 50, Y: 50, W: 20, H: 15}}
+	const n = 5000
+	detected := 0
+	for i := 0; i < n; i++ {
+		dets, err := d.Detect(newTestFrame(t, truth))
+		if err != nil {
+			t.Fatal(err)
+		}
+		detected += len(dets)
+	}
+	rate := float64(detected) / n
+	if rate < 0.65 || rate > 0.75 {
+		t.Errorf("detection rate %v, want ~0.7", rate)
+	}
+}
+
+func TestSimDetectorFalsePositives(t *testing.T) {
+	cfg := SimDetectorConfig{Seed: 7, FalsePositiveRate: 1.0, FalseConfMean: 0.4, MinBoxPx: 1}
+	d, err := NewSimDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets, err := d.Detect(newTestFrame(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("got %d detections from empty truth, want 1 FP", len(dets))
+	}
+	if dets[0].TruthID != "" {
+		t.Error("false positive must have empty TruthID")
+	}
+	if dets[0].Box.Empty() {
+		t.Error("FP box should not be empty")
+	}
+}
+
+func TestSimDetectorDeterministic(t *testing.T) {
+	mk := func() []int {
+		d, err := NewSimDetector(DefaultSimDetectorConfig(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := TruthObject{ID: "v1", Label: LabelCar, Box: imaging.Rect{X: 50, Y: 50, W: 20, H: 15}}
+		var counts []int
+		for i := 0; i < 50; i++ {
+			dets, err := d.Detect(newTestFrame(t, truth))
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts = append(counts, len(dets))
+		}
+		return counts
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must yield identical detection sequences")
+		}
+	}
+}
+
+func TestSimDetectorMinBoxPx(t *testing.T) {
+	cfg := SimDetectorConfig{Seed: 1, MinBoxPx: 10, ConfMean: 0.9}
+	d, err := NewSimDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := TruthObject{ID: "tiny", Label: LabelCar, Box: imaging.Rect{X: 5, Y: 5, W: 4, H: 4}}
+	dets, err := d.Detect(newTestFrame(t, small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 0 {
+		t.Errorf("sub-threshold object should be dropped, got %v", dets)
+	}
+}
+
+func TestPerfectDetector(t *testing.T) {
+	d := PerfectDetector{}
+	truth := TruthObject{ID: "v9", Label: LabelTruck, Box: imaging.Rect{X: 10, Y: 10, W: 30, H: 20}}
+	dets, err := d.Detect(newTestFrame(t, truth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 || dets[0].TruthID != "v9" || dets[0].Box != truth.Box {
+		t.Errorf("PerfectDetector output wrong: %v", dets)
+	}
+	if _, err := d.Detect(nil); err == nil {
+		t.Error("nil frame should error")
+	}
+}
