@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test race vet bench fmt ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./internal/obs/ ./internal/pipeline/
+
+fmt:
+	gofmt -l -w cmd internal examples
+
+ci: build vet race

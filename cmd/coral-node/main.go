@@ -30,6 +30,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/framestore"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/reid"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
@@ -53,6 +54,7 @@ func run() error {
 		trajAddr  = flag.String("trajstore", "127.0.0.1:7001", "trajectory store address")
 		frameAddr = flag.String("framestore", "", "frame store address (empty = do not store frames)")
 		heartbeat = flag.Duration("heartbeat", 2*time.Second, "heartbeat interval")
+		obsListen = flag.String("obs-listen", "127.0.0.1:0", "telemetry HTTP address for /metrics, /healthz, /debug/obs (empty = disabled)")
 
 		cameras   = flag.Int("corridor-cameras", 3, "cameras on the shared demo corridor")
 		index     = flag.Int("corridor-index", 0, "this node's position on the corridor")
@@ -108,6 +110,8 @@ func run() error {
 		return err
 	}
 	defer func() { _ = ep.Close() }()
+	ep.Use(obs.Default())
+	tracer := obs.NewTracer(clock.Real{}, 1024)
 
 	trajClient, err := trajstore.Dial(*trajAddr)
 	if err != nil {
@@ -131,6 +135,8 @@ func run() error {
 		Pool:               reid.DefaultPoolConfig(),
 		TrajStore:          trajClient,
 		Clock:              clock.Real{},
+		Registry:           obs.Default(),
+		Tracer:             tracer,
 	}
 	if *frameAddr != "" {
 		fsClient, err := framestore.NewClient(ep, *frameAddr)
@@ -148,6 +154,15 @@ func run() error {
 		return err
 	}
 	defer func() { _ = node.Topology().Close() }()
+
+	if *obsListen != "" {
+		obsSrv, err := obs.Serve(*obsListen, obs.NewMux(obs.Default(), tracer))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = obsSrv.Close() }()
+		log.Printf("%s telemetry on http://%s/metrics", *id, obsSrv.Addr())
+	}
 
 	epoch := time.Unix(*epochUnix, 0)
 	if *epochUnix == 0 {

@@ -14,12 +14,14 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
 	"repro/internal/trajstore"
@@ -40,6 +42,8 @@ func run() error {
 		heartbeat = flag.Duration("heartbeat", 2*time.Second, "camera heartbeat interval")
 		failSpec  = flag.String("fail", "", "fail a camera mid-run, e.g. cam2@40s")
 		track     = flag.String("track", "veh-00", "vehicle whose trajectory to reconstruct")
+		obsListen = flag.String("obs-listen", "", "telemetry HTTP address for /metrics, /healthz, /debug/obs (empty = disabled)")
+		dumpObs   = flag.Bool("dump-metrics", false, "print the final Prometheus metric snapshot")
 	)
 	flag.Parse()
 
@@ -77,6 +81,15 @@ func run() error {
 		if err := sys.World().AddVehicle(spec); err != nil {
 			return err
 		}
+	}
+
+	if *obsListen != "" {
+		obsSrv, err := obs.Serve(*obsListen, obs.NewMux(sys.Telemetry(), sys.Tracer()))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = obsSrv.Close() }()
+		log.Printf("telemetry on http://%s/metrics", obsSrv.Addr())
 	}
 
 	sys.Start()
@@ -120,6 +133,13 @@ func run() error {
 	fmt.Printf("\ntrajectory graph: %d vertices, %d edges\n", store.NumVertices(), store.NumEdges())
 	if err := printTrajectory(store, *track); err != nil {
 		fmt.Printf("trajectory of %s: %v\n", *track, err)
+	}
+
+	if *dumpObs {
+		fmt.Println("\nfinal metric snapshot:")
+		if err := sys.Telemetry().WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"syscall"
 
 	"repro/internal/framestore"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -26,8 +27,9 @@ func main() {
 
 func run() error {
 	var (
-		listen = flag.String("listen", "127.0.0.1:7002", "address to listen on")
-		dir    = flag.String("dir", "", "persistence directory (empty = in-memory)")
+		listen    = flag.String("listen", "127.0.0.1:7002", "address to listen on")
+		dir       = flag.String("dir", "", "persistence directory (empty = in-memory)")
+		obsListen = flag.String("obs-listen", "127.0.0.1:9092", "telemetry HTTP address for /metrics, /healthz, /debug/obs (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -36,18 +38,29 @@ func run() error {
 		return err
 	}
 	defer func() { _ = store.Close() }()
+	store.Instrument(obs.Default(), nil)
 
 	ep, err := transport.ListenTCP(*listen)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = ep.Close() }()
+	ep.Use(obs.Default())
 
 	srv, err := framestore.NewServer(store, ep)
 	if err != nil {
 		return err
 	}
 	log.Printf("frame store on %s (dir=%q)", ep.Addr(), *dir)
+
+	if *obsListen != "" {
+		obsSrv, err := obs.Serve(*obsListen, obs.NewMux(obs.Default(), nil))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = obsSrv.Close() }()
+		log.Printf("telemetry on http://%s/metrics", obsSrv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

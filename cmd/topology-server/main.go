@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/topology"
 	"repro/internal/transport"
@@ -37,6 +38,7 @@ func run() error {
 		campus    = flag.Bool("campus", false, "use the built-in 37-intersection campus network")
 		heartbeat = flag.Duration("heartbeat", 2*time.Second, "expected camera heartbeat interval")
 		snap      = flag.Float64("snap-meters", 30, "radius for snapping cameras to intersections")
+		obsListen = flag.String("obs-listen", "127.0.0.1:9090", "telemetry HTTP address for /metrics, /healthz, /debug/obs (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -66,10 +68,12 @@ func run() error {
 		return err
 	}
 	defer func() { _ = ep.Close() }()
+	ep.Use(obs.Default())
 
 	srv, err := topology.NewServer(graph, ep, clock.Real{}, topology.ServerConfig{
 		LivenessTimeout:  2 * *heartbeat,
 		SnapToNodeMeters: *snap,
+		Registry:         obs.Default(),
 	})
 	if err != nil {
 		return err
@@ -78,6 +82,15 @@ func run() error {
 		return err
 	}
 	defer func() { _ = srv.Close() }()
+
+	if *obsListen != "" {
+		obsSrv, err := obs.Serve(*obsListen, obs.NewMux(obs.Default(), nil))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = obsSrv.Close() }()
+		log.Printf("telemetry on http://%s/metrics", obsSrv.Addr())
+	}
 
 	log.Printf("topology server on %s (%d intersections, heartbeat %v)",
 		ep.Addr(), graph.NumNodes(), *heartbeat)

@@ -14,6 +14,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trajstore"
 )
 
@@ -25,9 +26,10 @@ func main() {
 
 func run() error {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7001", "address to listen on")
-		dir     = flag.String("dir", "", "persistence directory (empty = in-memory)")
-		compact = flag.Duration("compact-every", 10*time.Minute, "snapshot compaction interval (persistent stores)")
+		listen    = flag.String("listen", "127.0.0.1:7001", "address to listen on")
+		dir       = flag.String("dir", "", "persistence directory (empty = in-memory)")
+		compact   = flag.Duration("compact-every", 10*time.Minute, "snapshot compaction interval (persistent stores)")
+		obsListen = flag.String("obs-listen", "127.0.0.1:9091", "telemetry HTTP address for /metrics, /healthz, /debug/obs (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -44,6 +46,7 @@ func run() error {
 		}
 	}
 	defer func() { _ = store.Close() }()
+	store.Instrument(obs.Default(), nil)
 
 	srv, err := trajstore.Serve(store, *listen)
 	if err != nil {
@@ -51,6 +54,15 @@ func run() error {
 	}
 	defer func() { _ = srv.Close() }()
 	log.Printf("trajectory store on %s (dir=%q, %d vertices)", srv.Addr(), *dir, store.NumVertices())
+
+	if *obsListen != "" {
+		obsSrv, err := obs.Serve(*obsListen, obs.NewMux(obs.Default(), nil))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = obsSrv.Close() }()
+		log.Printf("telemetry on http://%s/metrics", obsSrv.Addr())
+	}
 
 	stopCompact := make(chan struct{})
 	doneCompact := make(chan struct{})

@@ -19,6 +19,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/feature"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/reid"
 	"repro/internal/topology"
@@ -78,6 +79,59 @@ type Config struct {
 	// MaxPendingInforms bounds the memory of the informed-MDCS table used
 	// by the confirming stage; 0 uses a default.
 	MaxPendingInforms int
+
+	// Registry receives the node's telemetry (coralpie_camnode_*,
+	// labeled camera=<CameraID>). Nil uses obs.Default().
+	Registry *obs.Registry
+	// Tracer, when non-nil, records vehicle-handoff spans: a span opens
+	// when an informing notification lands in this node's candidate
+	// pool and closes when the vehicle is re-identified here or the
+	// event is retired by a peer's confirmation.
+	Tracer *obs.Tracer
+}
+
+// nodeMetrics mirror Stats onto the registry, pre-resolved per node.
+type nodeMetrics struct {
+	frames           *obs.Counter
+	detectionsRaw    *obs.Counter
+	detectionsKept   *obs.Counter
+	events           *obs.Counter
+	informsSent      *obs.Counter
+	informsReceived  *obs.Counter
+	confirmsSent     *obs.Counter
+	confirmsReceived *obs.Counter
+	retiresSent      *obs.Counter
+	retiresReceived  *obs.Counter
+	reidMatches      *obs.Counter
+	reidMisses       *obs.Counter
+	vertices         *obs.Counter
+	edges            *obs.Counter
+	sendErrors       *obs.Counter
+}
+
+func newNodeMetrics(reg *obs.Registry, cameraID string) nodeMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	l := []string{"camera", cameraID}
+	c := func(name, help string) *obs.Counter { return reg.Counter(name, help, l...) }
+	return nodeMetrics{
+		frames:           c("coralpie_camnode_frames_total", "frames processed"),
+		detectionsRaw:    c("coralpie_camnode_detections_raw_total", "detector boxes before post-processing"),
+		detectionsKept:   c("coralpie_camnode_detections_kept_total", "detections surviving post-processing"),
+		events:           c("coralpie_camnode_events_total", "detection events generated"),
+		informsSent:      c("coralpie_camnode_informs_sent_total", "informing notifications sent to the MDCS"),
+		informsReceived:  c("coralpie_camnode_informs_received_total", "informing notifications added to the candidate pool"),
+		confirmsSent:     c("coralpie_camnode_confirms_sent_total", "confirmations sent to predecessor cameras"),
+		confirmsReceived: c("coralpie_camnode_confirms_received_total", "confirmations received from downstream cameras"),
+		retiresSent:      c("coralpie_camnode_retires_sent_total", "retire notifications relayed to the MDCS"),
+		retiresReceived:  c("coralpie_camnode_retires_received_total", "retire notifications received"),
+		reidMatches:      c("coralpie_camnode_reid_matches_total", "events re-identified against the candidate pool"),
+		reidMisses:       c("coralpie_camnode_reid_misses_total", "events with no candidate-pool match"),
+		vertices:         c("coralpie_camnode_vertices_total", "trajectory-graph vertices inserted"),
+		edges:            c("coralpie_camnode_edges_total", "trajectory-graph edges inserted"),
+		sendErrors:       c("coralpie_camnode_send_errors_total", "failed sends and frame-store writes"),
+	}
 }
 
 // Stats are the node's lifetime counters.
@@ -110,6 +164,7 @@ type Node struct {
 	cfg Config
 	ep  transport.Endpoint
 	top *topology.Client
+	m   nodeMetrics
 
 	mu       sync.Mutex
 	tracker  *tracker.Tracker
@@ -175,6 +230,7 @@ func New(cfg Config, ep transport.Endpoint) (*Node, error) {
 		cfg:      cfg,
 		ep:       ep,
 		top:      top,
+		m:        newNodeMetrics(cfg.Registry, cfg.CameraID),
 		tracker:  tk,
 		pool:     pool,
 		matcher:  matcher,
@@ -232,6 +288,10 @@ func (n *Node) HandleEnvelope(env protocol.Envelope) {
 
 func (n *Node) handleInform(m protocol.Inform) {
 	now := n.cfg.Clock.Now()
+	n.m.informsReceived.Inc()
+	if n.cfg.Tracer != nil {
+		n.cfg.Tracer.Begin(string(m.Event.ID), "handoff:"+n.cfg.CameraID)
+	}
 	n.mu.Lock()
 	n.stats.InformsReceived++
 	if m.FromAddr != "" {
@@ -255,6 +315,7 @@ func (n *Node) handleInform(m protocol.Inform) {
 // cameras re-identified the vehicle, so every other informed camera can
 // retire the event.
 func (n *Node) handleConfirm(m protocol.Confirm) {
+	n.m.confirmsReceived.Inc()
 	n.mu.Lock()
 	n.stats.ConfirmsReceived++
 	pend, ok := n.pending[m.EventID]
@@ -270,11 +331,16 @@ func (n *Node) handleConfirm(m protocol.Confirm) {
 		if ref.ID == m.ByCameraID || ref.Addr == "" {
 			continue
 		}
-		n.send(ref.Addr, retire, &n.stats.RetiresSent)
+		n.send(ref.Addr, retire, &n.stats.RetiresSent, n.m.retiresSent)
 	}
 }
 
 func (n *Node) handleRetire(m protocol.Retire) {
+	n.m.retiresReceived.Inc()
+	if n.cfg.Tracer != nil {
+		n.cfg.Tracer.Finish(string(m.EventID), "handoff:"+n.cfg.CameraID,
+			"outcome", "retired", "by", m.ByCameraID)
+	}
 	n.mu.Lock()
 	n.stats.RetiresReceived++
 	n.mu.Unlock()
@@ -286,7 +352,7 @@ func (n *Node) handleRetire(m protocol.Retire) {
 // node lock is NOT held across Send: the in-process bus delivers
 // synchronously and the confirming protocol can chain back into this
 // node's handlers.
-func (n *Node) send(addr string, msg any, counter *int64) {
+func (n *Node) send(addr string, msg any, counter *int64, obsCounter *obs.Counter) {
 	env, err := protocol.Seal(msg)
 	if err != nil {
 		return
@@ -299,6 +365,11 @@ func (n *Node) send(addr string, msg any, counter *int64) {
 		*counter++
 	}
 	n.mu.Unlock()
+	if sendErr != nil {
+		n.m.sendErrors.Inc()
+	} else if obsCounter != nil {
+		obsCounter.Inc()
+	}
 }
 
 // ProcessFrame runs the full continuous-processing path on one frame:
@@ -330,6 +401,9 @@ func (n *Node) detect(f *vision.Frame) (kept []vision.Detection, rawCount int, e
 // ingest runs the RPi-2 half: tracking, feature accumulation, event
 // generation, re-identification, communication, and storage.
 func (n *Node) ingest(f *vision.Frame, kept []vision.Detection, rawCount int) error {
+	n.m.frames.Inc()
+	n.m.detectionsRaw.Add(int64(rawCount))
+	n.m.detectionsKept.Add(int64(len(kept)))
 	n.mu.Lock()
 	n.stats.FramesProcessed++
 	n.stats.DetectionsRaw += int64(rawCount)
@@ -396,6 +470,7 @@ func (n *Node) ingest(f *vision.Frame, kept []vision.Detection, rawCount int) er
 		}
 		if err := n.cfg.FrameStore.StoreFrame(rec); err != nil {
 			// Frame storage is off the critical path; count and continue.
+			n.m.sendErrors.Inc()
 			n.mu.Lock()
 			n.stats.SendErrors++
 			n.mu.Unlock()
@@ -459,6 +534,8 @@ func (n *Node) emitEvent(tr *tracker.Track) error {
 		return fmt.Errorf("camnode: vertex insert: %w", err)
 	}
 	ev.VertexID = vid
+	n.m.events.Inc()
+	n.m.vertices.Inc()
 	n.mu.Lock()
 	n.stats.EventsGenerated++
 	n.stats.VerticesInserted++
@@ -471,7 +548,13 @@ func (n *Node) emitEvent(tr *tracker.Track) error {
 	}
 	if matched {
 		up := matchEntry.Event
+		n.m.reidMatches.Inc()
+		if n.cfg.Tracer != nil {
+			n.cfg.Tracer.Finish(string(up.ID), "handoff:"+n.cfg.CameraID,
+				"outcome", "matched", "event", string(ev.ID))
+		}
 		if err := n.cfg.TrajStore.AddEdge(up.VertexID, vid, dist); err == nil {
+			n.m.edges.Inc()
 			n.mu.Lock()
 			n.stats.EdgesInserted++
 			n.stats.ReidMatches++
@@ -485,8 +568,10 @@ func (n *Node) emitEvent(tr *tracker.Track) error {
 				ByCameraID:     n.cfg.CameraID,
 				MatchedEventID: ev.ID,
 				Distance:       dist,
-			}, &n.stats.ConfirmsSent)
+			}, &n.stats.ConfirmsSent, n.m.confirmsSent)
 		}
+	} else {
+		n.m.reidMisses.Inc()
 	}
 
 	// Informing stage: forward the event to the MDCS for its direction.
@@ -499,7 +584,7 @@ func (n *Node) emitEvent(tr *tracker.Track) error {
 				if ref.Addr == "" {
 					continue
 				}
-				n.send(ref.Addr, inform, &n.stats.InformsSent)
+				n.send(ref.Addr, inform, &n.stats.InformsSent, n.m.informsSent)
 				sent = append(sent, ref)
 			}
 			if len(sent) > 0 {

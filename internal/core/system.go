@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/camnode"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/framestore"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/reid"
 	"repro/internal/roadnet"
 	"repro/internal/sim"
@@ -60,6 +62,13 @@ type Config struct {
 	DetectorFactory func(cameraID string) (vision.Detector, error)
 	// Seed drives all randomness derived by the system.
 	Seed int64
+
+	// Registry receives all coralpie_* telemetry from the system's
+	// components. Nil allocates a fresh registry per system (NOT the
+	// process-wide obs.Default()), so two same-seed runs produce
+	// byte-identical metric snapshots and concurrent systems in tests
+	// never share counters.
+	Registry *obs.Registry
 
 	// Vision-stack parameters (zero values use the paper prototype's).
 	Tracker     tracker.Config
@@ -139,6 +148,9 @@ type System struct {
 	rigs     map[string]*cameraRig
 	liveness *des.Ticker
 	started  bool
+
+	reg    *obs.Registry
+	tracer *obs.Tracer
 }
 
 // NewSystem wires the shared services (topology server, stores, network)
@@ -150,7 +162,15 @@ func NewSystem(cfg Config) (*System, error) {
 	cfg.applyDefaults()
 
 	dsim := des.New(cfg.Epoch)
+	simClock := clock.Func(dsim.Time)
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	tracer := obs.NewTracer(simClock, 1024)
+
 	bus := transport.NewSimBus(dsim, cfg.NetworkLatency)
+	bus.Use(reg)
 	if cfg.MessageLossRate > 0 {
 		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x10552a7e))
 		if err := bus.SetLossRate(cfg.MessageLossRate, rng); err != nil {
@@ -166,20 +186,23 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	topoSrv, err := topology.NewServer(cfg.Graph, topoEP, clock.Func(dsim.Time), topology.ServerConfig{
+	topoSrv, err := topology.NewServer(cfg.Graph, topoEP, simClock, topology.ServerConfig{
 		LivenessTimeout:  time.Duration(cfg.LivenessMultiple) * cfg.HeartbeatInterval,
 		SnapToNodeMeters: 30,
+		Registry:         reg,
 	})
 	if err != nil {
 		return nil, err
 	}
 
 	traj := trajstore.NewMemStore()
+	traj.Instrument(reg, simClock)
 
 	frames, err := framestore.OpenStore("")
 	if err != nil {
 		return nil, err
 	}
+	frames.Instrument(reg, simClock)
 	framesEP, err := bus.Endpoint(framestoreAddr)
 	if err != nil {
 		return nil, err
@@ -197,6 +220,8 @@ func NewSystem(cfg Config) (*System, error) {
 		traj:   traj,
 		frames: frames,
 		rigs:   make(map[string]*cameraRig),
+		reg:    reg,
+		tracer: tracer,
 	}, nil
 }
 
@@ -215,6 +240,14 @@ func (s *System) FrameStore() *framestore.Store { return s.frames }
 // TopologyServer exposes the topology server.
 func (s *System) TopologyServer() *topology.Server { return s.topo }
 
+// Telemetry exposes the system's metric registry: every component's
+// coralpie_* metrics land here. Serve it with obs.NewMux, render it with
+// WritePrometheus, or inspect it with Snapshot.
+func (s *System) Telemetry() *obs.Registry { return s.reg }
+
+// Tracer exposes the system's handoff span tracer.
+func (s *System) Tracer() *obs.Tracer { return s.tracer }
+
 // Node returns a camera's processing node.
 func (s *System) Node(cameraID string) (*camnode.Node, error) {
 	rig, ok := s.rigs[cameraID]
@@ -224,12 +257,13 @@ func (s *System) Node(cameraID string) (*camnode.Node, error) {
 	return rig.node, nil
 }
 
-// CameraIDs lists the installed cameras.
+// CameraIDs lists the installed cameras in sorted order.
 func (s *System) CameraIDs() []string {
 	out := make([]string, 0, len(s.rigs))
 	for id := range s.rigs {
 		out = append(out, id)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -277,6 +311,8 @@ func (s *System) AddCamera(cameraID string, pos geo.Point, headingDeg float64) e
 		Pool:               s.cfg.Pool,
 		TrajStore:          s.traj,
 		Clock:              clock.Func(s.sim.Time),
+		Registry:           s.reg,
+		Tracer:             s.tracer,
 	}
 	if s.cfg.StoreFrames {
 		fsClient, err := framestore.NewClient(ep, framestoreAddr)
@@ -348,8 +384,10 @@ func (s *System) Start() {
 		return
 	}
 	s.started = true
-	for _, rig := range s.rigs {
-		s.startRig(rig)
+	// Deterministic order: iterating the rig map directly would register
+	// cameras (and so order their telemetry) differently run to run.
+	for _, id := range s.CameraIDs() {
+		s.startRig(s.rigs[id])
 	}
 	s.liveness = s.sim.Every(s.cfg.LivenessCheckInterval, func() {
 		s.topo.CheckLiveness()
@@ -386,8 +424,8 @@ func (s *System) FailCamera(cameraID string) error {
 // FlushAll retires all live tracks on every camera, emitting their
 // events; call at the end of a bounded experiment.
 func (s *System) FlushAll() error {
-	for id, rig := range s.rigs {
-		if err := rig.node.Flush(); err != nil {
+	for _, id := range s.CameraIDs() {
+		if err := s.rigs[id].node.Flush(); err != nil {
 			return fmt.Errorf("core: flush %s: %w", id, err)
 		}
 	}
@@ -396,9 +434,9 @@ func (s *System) FlushAll() error {
 
 // Stop halts tickers and cameras so the simulator can drain.
 func (s *System) Stop() {
-	for _, rig := range s.rigs {
-		if rig.heartbeat != nil {
-			rig.heartbeat.Stop()
+	for _, id := range s.CameraIDs() {
+		if hb := s.rigs[id].heartbeat; hb != nil {
+			hb.Stop()
 		}
 	}
 	if s.liveness != nil {

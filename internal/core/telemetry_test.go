@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/roadnet"
+	"repro/internal/vision"
+)
+
+// metricValue returns a counter/gauge value from a snapshot, summed over
+// label children, and whether the family exists at all.
+func metricValue(reg *obs.Registry, name string) (int64, bool) {
+	for _, fam := range reg.Snapshot().Families {
+		if fam.Name != name {
+			continue
+		}
+		var total int64
+		for _, m := range fam.Metrics {
+			total += m.Value
+		}
+		return total, true
+	}
+	return 0, false
+}
+
+func buildTelemetrySystem(t *testing.T, seed int64) (*System, []string) {
+	t.Helper()
+	g, ids, err := roadnet.Corridor(3, 150, geo.Point{Lat: 33.7756, Lon: -84.3963})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Config{
+		Graph: g,
+		Seed:  seed,
+		DetectorFactory: func(string) (vision.Detector, error) {
+			return vision.PerfectDetector{}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cams := make([]string, 0, 3)
+	for i, node := range ids {
+		if err := sys.AddCameraAt(camID(i), node, 0); err != nil {
+			t.Fatal(err)
+		}
+		cams = append(cams, camID(i))
+	}
+	for v := 0; v < 2; v++ {
+		addVehicle(t, sys, "veh-"+string(rune('0'+v)), v, ids, time.Duration(v)*10*time.Second)
+	}
+	return sys, cams
+}
+
+// TestFailCameraMovesTelemetry asserts the topology server's telemetry
+// follows a camera failure: the live-camera gauge drops and the eviction
+// counter rises once heartbeat loss is detected.
+func TestFailCameraMovesTelemetry(t *testing.T) {
+	sys, cams := buildTelemetrySystem(t, 7)
+	reg := sys.Telemetry()
+	sys.Start()
+	sys.Run(10 * time.Second)
+
+	live, ok := metricValue(reg, "coralpie_topology_live_cameras")
+	if !ok || live != int64(len(cams)) {
+		t.Fatalf("live cameras gauge = %d (present=%v), want %d", live, ok, len(cams))
+	}
+	if ev, _ := metricValue(reg, "coralpie_topology_evictions_total"); ev != 0 {
+		t.Fatalf("evictions before failure = %d, want 0", ev)
+	}
+
+	if err := sys.FailCamera(cams[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Liveness timeout is 2 heartbeats (4s); run well past it.
+	sys.Run(10 * time.Second)
+
+	live, _ = metricValue(reg, "coralpie_topology_live_cameras")
+	if live != int64(len(cams)-1) {
+		t.Errorf("live cameras gauge after failure = %d, want %d", live, len(cams)-1)
+	}
+	ev, _ := metricValue(reg, "coralpie_topology_evictions_total")
+	if ev != 1 {
+		t.Errorf("evictions after failure = %d, want 1", ev)
+	}
+	sys.Stop()
+}
+
+// TestTelemetryDeterministic runs the same seeded simulation twice and
+// requires byte-identical Prometheus renderings: metric state must be a
+// pure function of the seed, never of map iteration or goroutine timing.
+func TestTelemetryDeterministic(t *testing.T) {
+	render := func() []byte {
+		sys, _ := buildTelemetrySystem(t, 99)
+		sys.Start()
+		sys.Run(sys.World().LastVehicleDone() + 10*time.Second)
+		sys.Stop()
+		if err := sys.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sys.Telemetry().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if len(a) == 0 {
+		t.Fatal("empty metric rendering")
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("same-seed runs rendered different metrics:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/transport"
 )
@@ -42,6 +44,33 @@ type cameraLog struct {
 	mem     map[int64]protocol.FrameRecord
 }
 
+// storeMetrics are the store's pre-resolved telemetry handles.
+type storeMetrics struct {
+	frames    *obs.Counter
+	dupes     *obs.Counter
+	writeErrs *obs.Counter
+	bytes     *obs.Counter
+	flushHist *obs.Histogram
+}
+
+func newStoreMetrics(reg *obs.Registry) storeMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return storeMetrics{
+		frames: reg.Counter("coralpie_framestore_frames_total",
+			"frame records stored"),
+		dupes: reg.Counter("coralpie_framestore_duplicates_total",
+			"re-stores of an existing (camera, seq) ignored"),
+		writeErrs: reg.Counter("coralpie_framestore_write_errors_total",
+			"rejected or failed frame writes"),
+		bytes: reg.Counter("coralpie_framestore_bytes_total",
+			"encoded frame-record bytes appended to logs"),
+		flushHist: reg.Histogram("coralpie_framestore_flush_seconds",
+			"per-frame append+flush latency", nil),
+	}
+}
+
 // Store holds frame records for a set of cameras. Safe for concurrent
 // use.
 type Store struct {
@@ -50,12 +79,32 @@ type Store struct {
 	mu     sync.Mutex
 	logs   map[string]*cameraLog
 	closed bool
+	m      storeMetrics
+	clk    clock.Clock
+}
+
+// Instrument re-homes the store's telemetry (coralpie_framestore_*) onto
+// reg and uses clk for flush-latency timestamps (inject the DES virtual
+// clock in simulations; nil keeps the current clock). Call before
+// traffic flows.
+func (s *Store) Instrument(reg *obs.Registry, clk clock.Clock) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = newStoreMetrics(reg)
+	if clk != nil {
+		s.clk = clk
+	}
 }
 
 // OpenStore opens (or creates) a store rooted at dir; pass "" for a
 // purely in-memory store.
 func OpenStore(dir string) (*Store, error) {
-	s := &Store{dir: dir, logs: make(map[string]*cameraLog)}
+	s := &Store{
+		dir:  dir,
+		logs: make(map[string]*cameraLog),
+		m:    newStoreMetrics(nil),
+		clk:  clock.Real{},
+	}
 	if dir == "" {
 		return s, nil
 	}
@@ -152,51 +201,74 @@ func (s *Store) logFor(camera string) (*cameraLog, error) {
 // ignored (frames are immutable).
 func (s *Store) Put(rec protocol.FrameRecord) error {
 	if rec.CameraID == "" {
+		s.countWriteErr()
 		return errors.New("framestore: record missing camera id")
 	}
 	if rec.Width <= 0 || rec.Height <= 0 || len(rec.Pixels) != rec.Width*rec.Height*3 {
+		s.countWriteErr()
 		return fmt.Errorf("framestore: record %s/%d has inconsistent dimensions", rec.CameraID, rec.Seq)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		s.m.writeErrs.Inc()
 		return ErrClosed
 	}
 	cl, err := s.logFor(rec.CameraID)
 	if err != nil {
+		s.m.writeErrs.Inc()
 		return err
 	}
 	if _, ok := cl.offsets[rec.Seq]; ok {
+		s.m.dupes.Inc()
 		return nil
 	}
 	if cl.mem != nil {
 		cl.mem[rec.Seq] = rec
 		cl.offsets[rec.Seq] = 0
 		cl.seqs = insertSorted(cl.seqs, rec.Seq)
+		s.m.frames.Inc()
 		return nil
 	}
 	data, err := json.Marshal(rec)
 	if err != nil {
+		s.m.writeErrs.Inc()
 		return fmt.Errorf("framestore: marshal: %w", err)
 	}
 	if len(data) > maxRecordBytes {
+		s.m.writeErrs.Inc()
 		return fmt.Errorf("framestore: record too large: %d bytes", len(data))
 	}
+	start := s.clk.Now()
 	var lenBuf [4]byte
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
 	if _, err := cl.writer.Write(lenBuf[:]); err != nil {
+		s.m.writeErrs.Inc()
 		return fmt.Errorf("framestore: append: %w", err)
 	}
 	if _, err := cl.writer.Write(data); err != nil {
+		s.m.writeErrs.Inc()
 		return fmt.Errorf("framestore: append: %w", err)
 	}
 	if err := cl.writer.Flush(); err != nil {
+		s.m.writeErrs.Inc()
 		return fmt.Errorf("framestore: flush: %w", err)
 	}
+	s.m.flushHist.Observe(s.clk.Now().Sub(start).Seconds())
 	cl.offsets[rec.Seq] = cl.size
 	cl.seqs = insertSorted(cl.seqs, rec.Seq)
 	cl.size += int64(4 + len(data))
+	s.m.frames.Inc()
+	s.m.bytes.Add(int64(4 + len(data)))
 	return nil
+}
+
+// countWriteErr increments the write-error counter for validation
+// failures hit before the store lock is taken.
+func (s *Store) countWriteErr() {
+	s.mu.Lock()
+	s.m.writeErrs.Inc()
+	s.mu.Unlock()
 }
 
 func insertSorted(seqs []int64, v int64) []int64 {

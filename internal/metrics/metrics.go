@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -239,14 +240,18 @@ func (r *LatencyRecorder) Percentile(p float64) (time.Duration, error) {
 		return 0, fmt.Errorf("metrics: no samples")
 	}
 	r.sortLocked()
-	rank := int(p/100*float64(len(r.samples))+0.999999) - 1
-	if rank < 0 {
-		rank = 0
+	// Nearest-rank: rank = ceil(p*n/100), computed exactly in integers.
+	// Percentiles are taken at micro-percent precision so that float
+	// artifacts in p itself (30.000000000000004 from 3*10.0, say) do not
+	// bump the rank, while any real excess above a sample boundary does.
+	n := int64(len(r.samples))
+	pScaled := int64(math.Round(p * 1e6)) // micro-percents, exact for any sane p
+	const whole = 100 * 1e6               // 100% in micro-percents
+	rank := int((pScaled*n + whole - 1) / whole)
+	if rank < 1 {
+		rank = 1
 	}
-	if rank >= len(r.samples) {
-		rank = len(r.samples) - 1
-	}
-	return r.samples[rank], nil
+	return r.samples[rank-1], nil
 }
 
 // Max returns the largest sample, or 0 with no samples.

@@ -193,3 +193,74 @@ func TestLatencyRecorder(t *testing.T) {
 		t.Errorf("max after add = %v", r.Max())
 	}
 }
+
+// TestPercentileBoundaries pins the nearest-rank arithmetic at its exact
+// sample boundaries, where the old float implementation (p/100*n +
+// 0.999999) could round the rank up or down by one.
+func TestPercentileBoundaries(t *testing.T) {
+	mk := func(n int) *LatencyRecorder {
+		r := NewLatencyRecorder()
+		for i := 1; i <= n; i++ {
+			r.Add(time.Duration(i) * time.Millisecond)
+		}
+		return r
+	}
+
+	t.Run("single sample", func(t *testing.T) {
+		r := mk(1)
+		for _, p := range []float64{0.001, 50, 100} {
+			got, err := r.Percentile(p)
+			if err != nil || got != time.Millisecond {
+				t.Errorf("p%v = %v err %v, want 1ms", p, got, err)
+			}
+		}
+	})
+
+	t.Run("p100 is the max", func(t *testing.T) {
+		for _, n := range []int{1, 2, 7, 100} {
+			r := mk(n)
+			got, err := r.Percentile(100)
+			if err != nil || got != time.Duration(n)*time.Millisecond {
+				t.Errorf("n=%d p100 = %v err %v", n, got, err)
+			}
+		}
+	})
+
+	t.Run("exact boundary k/n", func(t *testing.T) {
+		// With 10 samples, p=30 is exactly sample 3 by nearest-rank;
+		// 3*10.0 in floats gives p*n/100 = 3.0000000000000004, which the
+		// old fudge turned into rank 4.
+		r := mk(10)
+		got, err := r.Percentile(3 * 10.0)
+		if err != nil || got != 3*time.Millisecond {
+			t.Errorf("p30 of 10 = %v err %v, want 3ms", got, err)
+		}
+		// p=20 on 5 samples -> ceil(1.0) = sample 1.
+		r = mk(5)
+		got, err = r.Percentile(20)
+		if err != nil || got != time.Millisecond {
+			t.Errorf("p20 of 5 = %v err %v, want 1ms", got, err)
+		}
+	})
+
+	t.Run("just above a boundary rounds up", func(t *testing.T) {
+		// Anything strictly above k/n*100 must take sample k+1.
+		r := mk(10)
+		got, err := r.Percentile(30.01)
+		if err != nil || got != 4*time.Millisecond {
+			t.Errorf("p30.01 of 10 = %v err %v, want 4ms", got, err)
+		}
+		got, err = r.Percentile(99.999)
+		if err != nil || got != 10*time.Millisecond {
+			t.Errorf("p99.999 of 10 = %v err %v, want 10ms", got, err)
+		}
+	})
+
+	t.Run("tiny p clamps to first sample", func(t *testing.T) {
+		r := mk(3)
+		got, err := r.Percentile(0.0001)
+		if err != nil || got != time.Millisecond {
+			t.Errorf("p0.0001 of 3 = %v err %v, want 1ms", got, err)
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The instrumentation hot path must stay effectively free: an
+// uncontended Counter.Inc is one atomic add (target < 20ns), and
+// neither counters nor histograms may allocate per observation. Future
+// PRs can diff these numbers to catch overhead regressions.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("coralpie_bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("coralpie_bench_par_total", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("coralpie_bench_gauge", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("coralpie_bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkHistogramObserveDuration(b *testing.B) {
+	h := NewRegistry().Histogram("coralpie_bench_dur_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveDuration(3 * time.Millisecond)
+	}
+}
+
+func TestCounterIncDoesNotAllocate(t *testing.T) {
+	c := NewRegistry().Counter("coralpie_noalloc_total", "")
+	if n := testing.AllocsPerRun(1000, c.Inc); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v per op, want 0", n)
+	}
+}
+
+func TestHistogramObserveDoesNotAllocate(t *testing.T) {
+	h := NewRegistry().Histogram("coralpie_noalloc_seconds", "", nil)
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.001) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per op, want 0", n)
+	}
+}
+
+func TestGaugeDoesNotAllocate(t *testing.T) {
+	g := NewRegistry().Gauge("coralpie_noalloc_gauge", "")
+	if n := testing.AllocsPerRun(1000, func() { g.Add(1) }); n != 0 {
+		t.Fatalf("Gauge.Add allocates %v per op, want 0", n)
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// HealthCheck reports nil while its subsystem is serving.
+type HealthCheck func() error
+
+// NewMux builds the telemetry HTTP handler:
+//
+//   - /metrics    — Prometheus text exposition of reg
+//   - /healthz    — 200 "ok" while every check passes, 503 otherwise
+//   - /debug/obs  — JSON snapshot: metrics plus recent/active spans
+//
+// reg may be nil (Default is used); tr may be nil (span fields are
+// omitted).
+func NewMux(reg *Registry, tr *Tracer, checks ...HealthCheck) *http.ServeMux {
+	if reg == nil {
+		reg = Default()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		for _, check := range checks {
+			if err := check(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, r *http.Request) {
+		type debugState struct {
+			Metrics     Snapshot `json:"metrics"`
+			Spans       []Span   `json:"spans,omitempty"`
+			ActiveSpans int      `json:"active_spans,omitempty"`
+		}
+		state := debugState{Metrics: reg.Snapshot()}
+		if tr != nil {
+			state.Spans = tr.Recent()
+			state.ActiveSpans = tr.ActiveCount()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(state)
+	})
+	return mux
+}
+
+// Server is a running telemetry HTTP listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server for handler on addr ("host:0" picks an
+// ephemeral port; read it back with Addr). It returns once the listener
+// is bound; requests are served on a background goroutine.
+func Serve(addr string, handler http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           handler,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("coralpie_http_total", "hits").Add(2)
+	r.Gauge("coralpie_http_gauge", "").Set(1)
+	r.Histogram("coralpie_http_seconds", "", nil).Observe(0.001)
+
+	srv := httptest.NewServer(NewMux(r, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"coralpie_http_total 2",
+		"coralpie_http_gauge 1",
+		`coralpie_http_seconds_bucket{le="+Inf"} 1`,
+		"# TYPE coralpie_http_seconds histogram",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	healthy := true
+	check := func() error {
+		if !healthy {
+			return errors.New("store offline")
+		}
+		return nil
+	}
+	srv := httptest.NewServer(NewMux(NewRegistry(), nil, check))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy status = %d, want 200", resp.StatusCode)
+	}
+
+	healthy = false
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestDebugObsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("coralpie_dbg_total", "").Inc()
+	tr := NewTracer(clock.Fixed{T: time.Unix(9, 0)}, 4)
+	tr.Begin("veh", "handoff")
+	tr.Finish("veh", "handoff")
+	tr.Begin("lost", "handoff")
+
+	srv := httptest.NewServer(NewMux(r, tr))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var state struct {
+		Metrics     Snapshot `json:"metrics"`
+		Spans       []Span   `json:"spans"`
+		ActiveSpans int      `json:"active_spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Metrics.Families) != 1 || state.Metrics.Families[0].Name != "coralpie_dbg_total" {
+		t.Fatalf("metrics = %+v", state.Metrics)
+	}
+	if len(state.Spans) != 1 || state.Spans[0].Trace != "veh" {
+		t.Fatalf("spans = %+v", state.Spans)
+	}
+	if state.ActiveSpans != 1 {
+		t.Fatalf("active = %d, want 1", state.ActiveSpans)
+	}
+}
+
+// TestDebugObsHistogramJSON guards the +Inf bucket bound: histograms
+// always carry one, encoding/json rejects infinite numbers, and a
+// failed encode used to leave the response body silently empty.
+func TestDebugObsHistogramJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("coralpie_dbg_seconds", "", nil).Observe(0.5)
+
+	srv := httptest.NewServer(NewMux(r, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var state struct {
+		Metrics Snapshot `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		t.Fatalf("debug JSON with histogram: %v", err)
+	}
+	if len(state.Metrics.Families) != 1 {
+		t.Fatalf("families = %+v", state.Metrics.Families)
+	}
+	buckets := state.Metrics.Families[0].Metrics[0].Buckets
+	if len(buckets) == 0 {
+		t.Fatal("no buckets decoded")
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("coralpie_served_total", "").Inc()
+	s, err := Serve("127.0.0.1:0", NewMux(r, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/healthz"); err == nil {
+		t.Fatal("server should be closed")
+	}
+}

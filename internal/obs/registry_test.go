@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("coralpie_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("coralpie_test_gauge", "a gauge")
+	g.Set(7)
+	g.Dec()
+	g.Add(-2)
+	g.Inc()
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestGetOrCreateReturnsSameHandle(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("coralpie_x_total", "", "peer", "p1", "dir", "out")
+	b := r.Counter("coralpie_x_total", "", "dir", "out", "peer", "p1") // label order irrelevant
+	if a != b {
+		t.Fatal("same name+labels should return the same counter")
+	}
+	c := r.Counter("coralpie_x_total", "", "peer", "p2", "dir", "out")
+	if a == c {
+		t.Fatal("different labels should return distinct counters")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("coralpie_mixed", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type mismatch")
+		}
+	}()
+	r.Gauge("coralpie_mixed", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"", "1abc", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for name %q", name)
+				}
+			}()
+			r.Counter(name, "")
+		}()
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("coralpie_lat_seconds", "", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.565) > 1e-9 {
+		t.Fatalf("sum = %v, want 5.565", h.Sum())
+	}
+	snap := r.Snapshot()
+	m := snap.Families[0].Metrics[0]
+	wantCum := []uint64{2, 3, 4, 5} // le=0.01 (0.005 and boundary 0.01), 0.1, 1, +Inf
+	if len(m.Buckets) != len(wantCum) {
+		t.Fatalf("buckets = %d, want %d", len(m.Buckets), len(wantCum))
+	}
+	for i, want := range wantCum {
+		if m.Buckets[i].Count != want {
+			t.Errorf("bucket[%d] = %d, want %d", i, m.Buckets[i].Count, want)
+		}
+	}
+	if !math.IsInf(m.Buckets[len(m.Buckets)-1].UpperBound, 1) {
+		t.Error("last bucket should be +Inf")
+	}
+	if m.Buckets[len(m.Buckets)-1].Count != m.Count {
+		t.Error("+Inf bucket must equal total count")
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("coralpie_d_seconds", "", nil)
+	h.ObserveDuration(250 * time.Millisecond)
+	if math.Abs(h.Sum()-0.25) > 1e-12 {
+		t.Fatalf("sum = %v, want 0.25", h.Sum())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("coralpie_msgs_total", "messages", "peer", `a"b\c`).Add(3)
+	r.Gauge("coralpie_live", "live things").Set(2)
+	h := r.Histogram("coralpie_lag_seconds", "lag", []float64{0.5, 1})
+	h.Observe(0.4)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE coralpie_live gauge\ncoralpie_live 2\n",
+		"# TYPE coralpie_msgs_total counter\n",
+		`coralpie_msgs_total{peer="a\"b\\c"} 3`,
+		`coralpie_lag_seconds_bucket{le="0.5"} 1`,
+		`coralpie_lag_seconds_bucket{le="1"} 1`,
+		`coralpie_lag_seconds_bucket{le="+Inf"} 2`,
+		"coralpie_lag_seconds_sum 2.4",
+		"coralpie_lag_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Rendering twice must be byte-identical (deterministic ordering).
+	var buf2 bytes.Buffer
+	_ = r.WritePrometheus(&buf2)
+	if buf.String() != buf2.String() {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.Counter("coralpie_conc_total", "", "worker", string(rune('a'+i%4)))
+			h := r.Histogram("coralpie_conc_seconds", "", nil)
+			g := r.Gauge("coralpie_conc_gauge", "")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) * 1e-4)
+				g.Add(1)
+				g.Add(-1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	var total int64
+	for _, fam := range snap.Families {
+		switch fam.Name {
+		case "coralpie_conc_total":
+			for _, m := range fam.Metrics {
+				total += m.Value
+			}
+		case "coralpie_conc_seconds":
+			if fam.Metrics[0].Count != 8000 {
+				t.Errorf("histogram count = %d, want 8000", fam.Metrics[0].Count)
+			}
+		}
+	}
+	if total != 8000 {
+		t.Errorf("counter total = %d, want 8000", total)
+	}
+}
+
+func TestDefaultRegistryIsStable(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default must return a stable registry")
+	}
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Span is one completed traced interval. Spans are keyed by a trace ID —
+// in Coral-Pie, the detection-event ID that travels with a vehicle
+// handoff from the informing camera through the MDCS to the
+// re-identifying camera — plus a span name identifying the leg.
+type Span struct {
+	Trace string    `json:"trace"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	Attrs []Label   `json:"attrs,omitempty"`
+}
+
+// Duration returns the span's elapsed time.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Tracer records spans. Begin opens a span keyed by (trace, name);
+// Finish closes it and moves it into a bounded ring of recent spans.
+// Spans that are begun and never finished are evicted FIFO once the
+// active table exceeds its bound, so lost handoffs (vehicles that leave
+// the camera network) cannot leak memory.
+//
+// Timestamps come from the injected clock, so a Tracer driven by the
+// discrete-event simulator's virtual clock produces identical spans on
+// identical runs.
+type Tracer struct {
+	clk clock.Clock
+	max int
+
+	mu        sync.Mutex
+	active    map[string]*Span
+	activeOrd []activeRef
+	recent    []Span // ring buffer
+	next      int    // ring write cursor
+	full      bool
+	finished  int64
+	evicted   int64
+}
+
+// NewTracer returns a tracer bounding both the active-span table and the
+// recent-span ring to capacity (minimum 1). A nil clock uses real time.
+func NewTracer(clk clock.Clock, capacity int) *Tracer {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{
+		clk:    clk,
+		max:    capacity,
+		active: make(map[string]*Span),
+		recent: make([]Span, capacity),
+	}
+}
+
+func spanKey(trace, name string) string { return trace + "\x00" + name }
+
+// activeRef ties a FIFO slot to the exact span it enqueued, so eviction
+// never removes a newer span reusing the same key.
+type activeRef struct {
+	key string
+	sp  *Span
+}
+
+// Begin opens a span. A second Begin with the same key restarts the
+// span's clock.
+func (t *Tracer) Begin(trace, name string) {
+	now := t.clk.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := spanKey(trace, name)
+	sp := &Span{Trace: trace, Name: name, Start: now}
+	t.active[key] = sp
+	t.activeOrd = append(t.activeOrd, activeRef{key: key, sp: sp})
+	for len(t.activeOrd) > t.max {
+		old := t.activeOrd[0]
+		t.activeOrd = t.activeOrd[1:]
+		if cur, live := t.active[old.key]; live && cur == old.sp {
+			delete(t.active, old.key)
+			t.evicted++
+		}
+	}
+}
+
+// Finish closes the (trace, name) span, attaching the given attribute
+// pairs, and reports whether a matching open span existed.
+func (t *Tracer) Finish(trace, name string, attrs ...string) bool {
+	now := t.clk.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := spanKey(trace, name)
+	sp, ok := t.active[key]
+	if !ok {
+		return false
+	}
+	delete(t.active, key)
+	sp.End = now
+	sp.Attrs = labelsOf(canonicalize(attrs))
+	t.record(*sp)
+	return true
+}
+
+// Record adds an already-measured span directly to the ring, for call
+// sites that know both endpoints (e.g. a stage that timed itself).
+func (t *Tracer) Record(trace, name string, start, end time.Time, attrs ...string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.record(Span{Trace: trace, Name: name, Start: start, End: end, Attrs: labelsOf(canonicalize(attrs))})
+}
+
+// record appends to the ring. Caller holds t.mu.
+func (t *Tracer) record(sp Span) {
+	t.recent[t.next] = sp
+	t.next++
+	t.finished++
+	if t.next == len(t.recent) {
+		t.next = 0
+		t.full = true
+	}
+}
+
+// Recent returns the completed spans still in the ring, oldest first.
+func (t *Tracer) Recent() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	if t.full {
+		out = append(out, t.recent[t.next:]...)
+	}
+	out = append(out, t.recent[:t.next]...)
+	return out
+}
+
+// ActiveCount returns the number of open spans.
+func (t *Tracer) ActiveCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.active)
+}
+
+// Finished returns the lifetime count of completed spans (including
+// those that have rotated out of the ring).
+func (t *Tracer) Finished() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.finished
+}
+
+// Evicted returns how many open spans were discarded unfinished.
+func (t *Tracer) Evicted() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// tickClock advances a fixed step on every Now call, making span
+// durations predictable.
+type tickClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *tickClock) Now() time.Time {
+	now := c.t
+	c.t = c.t.Add(c.step)
+	return now
+}
+
+func TestSpanBeginFinish(t *testing.T) {
+	clk := &tickClock{t: time.Unix(100, 0), step: time.Second}
+	tr := NewTracer(clk, 8)
+	tr.Begin("cam0#1", "handoff")
+	if tr.ActiveCount() != 1 {
+		t.Fatalf("active = %d, want 1", tr.ActiveCount())
+	}
+	if !tr.Finish("cam0#1", "handoff", "outcome", "matched") {
+		t.Fatal("Finish should find the open span")
+	}
+	if tr.Finish("cam0#1", "handoff") {
+		t.Fatal("second Finish should report no open span")
+	}
+	spans := tr.Recent()
+	if len(spans) != 1 {
+		t.Fatalf("recent = %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Trace != "cam0#1" || sp.Name != "handoff" {
+		t.Fatalf("span identity = %q/%q", sp.Trace, sp.Name)
+	}
+	if sp.Duration() != time.Second {
+		t.Fatalf("duration = %v, want 1s", sp.Duration())
+	}
+	if len(sp.Attrs) != 1 || sp.Attrs[0] != (Label{Name: "outcome", Value: "matched"}) {
+		t.Fatalf("attrs = %v", sp.Attrs)
+	}
+	if tr.Finished() != 1 {
+		t.Fatalf("finished = %d, want 1", tr.Finished())
+	}
+}
+
+func TestSpanRingBound(t *testing.T) {
+	tr := NewTracer(clock.Fixed{T: time.Unix(0, 0)}, 4)
+	for i := 0; i < 10; i++ {
+		id := string(rune('a' + i))
+		tr.Begin(id, "s")
+		tr.Finish(id, "s")
+	}
+	spans := tr.Recent()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(spans))
+	}
+	// Oldest first: g, h, i, j.
+	if spans[0].Trace != "g" || spans[3].Trace != "j" {
+		t.Fatalf("ring order = %v..%v", spans[0].Trace, spans[3].Trace)
+	}
+	if tr.Finished() != 10 {
+		t.Fatalf("finished = %d, want 10", tr.Finished())
+	}
+}
+
+func TestSpanActiveEviction(t *testing.T) {
+	tr := NewTracer(clock.Fixed{T: time.Unix(0, 0)}, 3)
+	for i := 0; i < 5; i++ {
+		tr.Begin(string(rune('a'+i)), "s")
+	}
+	if tr.ActiveCount() != 3 {
+		t.Fatalf("active = %d, want 3", tr.ActiveCount())
+	}
+	if tr.Evicted() != 2 {
+		t.Fatalf("evicted = %d, want 2", tr.Evicted())
+	}
+	// The two oldest were evicted; finishing them finds nothing.
+	if tr.Finish("a", "s") || tr.Finish("b", "s") {
+		t.Fatal("evicted spans must not be finishable")
+	}
+	if !tr.Finish("e", "s") {
+		t.Fatal("newest span must still be open")
+	}
+}
+
+func TestSpanRestartDoesNotEvictNewer(t *testing.T) {
+	tr := NewTracer(clock.Fixed{T: time.Unix(0, 0)}, 2)
+	tr.Begin("a", "s")
+	tr.Begin("a", "s") // restart: two FIFO slots, one live span
+	tr.Begin("b", "s") // pushes the stale slot out; live "a" must survive
+	if !tr.Finish("a", "s") {
+		t.Fatal("restarted span should still be open")
+	}
+	if !tr.Finish("b", "s") {
+		t.Fatal("span b should still be open")
+	}
+}
+
+func TestSpanRecord(t *testing.T) {
+	tr := NewTracer(nil, 4)
+	start := time.Unix(50, 0)
+	tr.Record("x", "stage", start, start.Add(30*time.Millisecond))
+	spans := tr.Recent()
+	if len(spans) != 1 || spans[0].Duration() != 30*time.Millisecond {
+		t.Fatalf("spans = %v", spans)
+	}
+}

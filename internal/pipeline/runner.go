@@ -3,6 +3,9 @@ package pipeline
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
 )
 
 // Stage is one named processing step in a concurrent pipeline. The
@@ -11,6 +14,13 @@ import (
 type Stage[T any] struct {
 	Name string
 	Proc func(T) error
+}
+
+// stageObs holds one stage's pre-resolved metric handles so the per-job
+// path touches only atomics (no registry lookups, no allocation).
+type stageObs struct {
+	service *obs.Histogram
+	errors  *obs.Counter
 }
 
 // Runner executes stages concurrently, one goroutine per stage connected
@@ -22,6 +32,13 @@ type Runner[T any] struct {
 	wg      sync.WaitGroup
 	sink    func(T)
 	onError func(stage string, err error)
+
+	clk       clock.Clock
+	stageObs  []stageObs
+	submitted *obs.Counter
+	rejected  *obs.Counter // TrySubmit back-pressure drops
+	completed *obs.Counter
+	inflight  *obs.Gauge
 
 	mu     sync.Mutex
 	closed bool
@@ -36,6 +53,19 @@ type RunnerConfig[T any] struct {
 	Sink func(T)
 	// OnError is invoked when a stage rejects a job. Optional.
 	OnError func(stage string, err error)
+	// Obs, when non-nil, instruments the runner: per-stage service-time
+	// histograms and error counters, plus submit/reject/complete
+	// counters and an in-flight gauge, all under
+	// coralpie_pipeline_*. Handles are resolved once here so the per-job
+	// path adds no allocation.
+	Obs *obs.Registry
+	// ObsLabels are extra label pairs (e.g. "camera", "cam3") attached
+	// to every metric this runner registers.
+	ObsLabels []string
+	// Clock supplies service-time timestamps; the discrete-event
+	// harness injects its virtual clock here so telemetry stays
+	// deterministic. Defaults to the real clock.
+	Clock clock.Clock
 }
 
 // NewRunner starts the stage goroutines and returns the runner.
@@ -57,11 +87,36 @@ func NewRunner[T any](cfg RunnerConfig[T], stages ...Stage[T]) (*Runner[T], erro
 		in:      make(chan T, buffer),
 		sink:    cfg.Sink,
 		onError: cfg.OnError,
+		clk:     cfg.Clock,
+	}
+	if r.clk == nil {
+		r.clk = clock.Real{}
+	}
+	if cfg.Obs != nil {
+		base := cfg.ObsLabels
+		r.submitted = cfg.Obs.Counter("coralpie_pipeline_submitted_total",
+			"jobs accepted into the pipeline", base...)
+		r.rejected = cfg.Obs.Counter("coralpie_pipeline_rejected_total",
+			"jobs refused by TrySubmit back-pressure", base...)
+		r.completed = cfg.Obs.Counter("coralpie_pipeline_completed_total",
+			"jobs that passed every stage", base...)
+		r.inflight = cfg.Obs.Gauge("coralpie_pipeline_inflight",
+			"jobs currently inside the pipeline", base...)
+		r.stageObs = make([]stageObs, len(stages))
+		for i, st := range stages {
+			labels := append(append([]string(nil), base...), "stage", st.Name)
+			r.stageObs[i] = stageObs{
+				service: cfg.Obs.Histogram("coralpie_pipeline_stage_seconds",
+					"per-stage service time", nil, labels...),
+				errors: cfg.Obs.Counter("coralpie_pipeline_stage_errors_total",
+					"jobs dropped by a stage error", labels...),
+			}
+		}
 	}
 
 	prev := r.in
-	for _, st := range stages {
-		st := st
+	for i, st := range stages {
+		i, st := i, st
 		out := make(chan T, buffer)
 		inCh := prev
 		r.wg.Add(1)
@@ -69,7 +124,8 @@ func NewRunner[T any](cfg RunnerConfig[T], stages ...Stage[T]) (*Runner[T], erro
 			defer r.wg.Done()
 			defer close(out)
 			for job := range inCh {
-				if err := st.Proc(job); err != nil {
+				err := r.runStage(i, st, job)
+				if err != nil {
 					if r.onError != nil {
 						r.onError(st.Name, err)
 					}
@@ -85,12 +141,31 @@ func NewRunner[T any](cfg RunnerConfig[T], stages ...Stage[T]) (*Runner[T], erro
 	go func() {
 		defer r.wg.Done()
 		for job := range final {
+			if r.completed != nil {
+				r.completed.Inc()
+				r.inflight.Dec()
+			}
 			if r.sink != nil {
 				r.sink(job)
 			}
 		}
 	}()
 	return r, nil
+}
+
+// runStage executes one stage on one job, timing it when instrumented.
+func (r *Runner[T]) runStage(i int, st Stage[T], job T) error {
+	if r.stageObs == nil {
+		return st.Proc(job)
+	}
+	start := r.clk.Now()
+	err := st.Proc(job)
+	r.stageObs[i].service.ObserveDuration(r.clk.Now().Sub(start))
+	if err != nil {
+		r.stageObs[i].errors.Inc()
+		r.inflight.Dec()
+	}
+	return err
 }
 
 // Submit enqueues a job, blocking if the first stage is busy (camera
@@ -105,6 +180,10 @@ func (r *Runner[T]) Submit(job T) bool {
 	// between the check and the send.
 	defer r.mu.Unlock()
 	r.in <- job
+	if r.submitted != nil {
+		r.submitted.Inc()
+		r.inflight.Inc()
+	}
 	return true
 }
 
@@ -118,8 +197,15 @@ func (r *Runner[T]) TrySubmit(job T) bool {
 	}
 	select {
 	case r.in <- job:
+		if r.submitted != nil {
+			r.submitted.Inc()
+			r.inflight.Inc()
+		}
 		return true
 	default:
+		if r.rejected != nil {
+			r.rejected.Inc()
+		}
 		return false
 	}
 }

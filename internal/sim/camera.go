@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/des"
@@ -143,18 +144,31 @@ func (w *World) AddCamera(spec CameraSpec, consumer FrameConsumer) (*Camera, err
 	return c, nil
 }
 
-// StartCameras begins every camera's frame ticks.
+// StartCameras begins every camera's frame ticks. Cameras start in
+// sorted ID order so their tick events enter the simulator — and
+// same-timestamp frames therefore fire — in an order that is a pure
+// function of the camera set, keeping runs reproducible.
 func (w *World) StartCameras() {
-	for _, c := range w.cameras {
-		c.start()
+	for _, id := range w.cameraIDs() {
+		w.cameras[id].start()
 	}
 }
 
 // StopCameras cancels every camera's ticks (so Run can terminate).
 func (w *World) StopCameras() {
-	for _, c := range w.cameras {
-		c.stop()
+	for _, id := range w.cameraIDs() {
+		w.cameras[id].stop()
 	}
+}
+
+// cameraIDs returns the installed camera IDs, sorted.
+func (w *World) cameraIDs() []string {
+	out := make([]string, 0, len(w.cameras))
+	for id := range w.cameras {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // StopCamera stops a single camera, simulating its failure.
@@ -210,7 +224,12 @@ func (c *Camera) Render(now time.Duration) *vision.Frame {
 	carW := max(4, int(math.Round(vehicleLengthM*ppm)))
 	carH := max(3, int(math.Round(vehicleWidthM*ppm)))
 
-	for _, v := range c.world.vehicles {
+	// Vehicles render in sorted ID order: when two boxes overlap, draw
+	// order decides which color wins the shared pixels, so iterating the
+	// map directly would make frame content — and every detection and
+	// re-id decision downstream — vary run to run.
+	for _, vid := range c.world.vehicleIDs() {
+		v := c.world.vehicles[vid]
 		pos, visible := v.position(c.world.graph, now)
 		if !visible {
 			continue

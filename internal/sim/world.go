@@ -243,6 +243,16 @@ func (w *World) VehiclePosition(id string, t time.Duration) (geo.Point, bool, er
 	return pos, visible, nil
 }
 
+// vehicleIDs returns the installed vehicle IDs, sorted.
+func (w *World) vehicleIDs() []string {
+	out := make([]string, 0, len(w.vehicles))
+	for id := range w.vehicles {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // LastVehicleDone returns the completion time of the last vehicle, which
 // is a natural simulation horizon.
 func (w *World) LastVehicleDone() time.Duration {

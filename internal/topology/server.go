@@ -9,11 +9,13 @@ package topology
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/roadnet"
 	"repro/internal/transport"
@@ -35,6 +37,43 @@ type ServerConfig struct {
 	// drifts farther than this is re-placed in the road graph and the
 	// affected MDCS tables are recomputed. Zero disables re-placement.
 	MoveThresholdMeters float64
+	// Registry receives the server's telemetry (coralpie_topology_*):
+	// the live-camera gauge, heartbeat counters and lag histogram,
+	// liveness evictions, and MDCS pushes. Nil uses obs.Default().
+	Registry *obs.Registry
+}
+
+// serverMetrics are the topology server's pre-resolved handles.
+type serverMetrics struct {
+	liveCameras   *obs.Gauge
+	heartbeats    *obs.Counter
+	registrations *obs.Counter
+	evictions     *obs.Counter
+	pushes        *obs.Counter
+	pushErrors    *obs.Counter
+	heartbeatLag  *obs.Histogram
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return serverMetrics{
+		liveCameras: reg.Gauge("coralpie_topology_live_cameras",
+			"cameras currently registered and within their liveness lease"),
+		heartbeats: reg.Counter("coralpie_topology_heartbeats_total",
+			"heartbeat messages processed"),
+		registrations: reg.Counter("coralpie_topology_registrations_total",
+			"new cameras placed in the road graph"),
+		evictions: reg.Counter("coralpie_topology_evictions_total",
+			"cameras removed after missing their liveness lease"),
+		pushes: reg.Counter("coralpie_topology_pushes_total",
+			"MDCS table updates pushed to cameras"),
+		pushErrors: reg.Counter("coralpie_topology_push_errors_total",
+			"MDCS pushes that failed to send"),
+		heartbeatLag: reg.Histogram("coralpie_topology_heartbeat_lag_seconds",
+			"gap between successive heartbeats of a registered camera", nil),
+	}
 }
 
 // DefaultServerConfig pairs a 2-second heartbeat with a 2x liveness
@@ -63,6 +102,7 @@ type Server struct {
 	cfg ServerConfig
 	clk clock.Clock
 	ep  transport.Endpoint
+	m   serverMetrics
 
 	mu    sync.Mutex
 	graph *roadnet.Graph
@@ -89,6 +129,7 @@ func NewServer(graph *roadnet.Graph, ep transport.Endpoint, clk clock.Clock, cfg
 		cfg:   cfg,
 		clk:   clk,
 		ep:    ep,
+		m:     newServerMetrics(cfg.Registry),
 		graph: graph,
 		cams:  make(map[string]*camState),
 	}
@@ -115,10 +156,12 @@ func (s *Server) HandleHeartbeat(hb protocol.Heartbeat) {
 		return
 	}
 	now := s.clk.Now()
+	s.m.heartbeats.Inc()
 
 	s.mu.Lock()
 	cam, known := s.cams[hb.CameraID]
 	if known {
+		s.m.heartbeatLag.ObserveDuration(now.Sub(cam.lastSeen))
 		cam.lastSeen = now
 		cam.addr = hb.Addr
 		cam.heading = hb.HeadingDeg
@@ -134,6 +177,7 @@ func (s *Server) HandleHeartbeat(hb protocol.Heartbeat) {
 			// The new position is unplaceable; drop the camera entirely
 			// so the rest of the network routes around it.
 			delete(s.cams, hb.CameraID)
+			s.m.liveCameras.Set(int64(len(s.cams)))
 			pushes := s.recomputeLocked()
 			s.mu.Unlock()
 			s.push(pushes)
@@ -156,6 +200,8 @@ func (s *Server) HandleHeartbeat(hb protocol.Heartbeat) {
 		position: hb.Position,
 		lastSeen: now,
 	}
+	s.m.registrations.Inc()
+	s.m.liveCameras.Set(int64(len(s.cams)))
 	pushes := s.recomputeLocked()
 	s.mu.Unlock()
 
@@ -270,12 +316,15 @@ func (s *Server) CheckLiveness() []string {
 			dead = append(dead, id)
 		}
 	}
+	sort.Strings(dead)
 	for _, id := range dead {
 		delete(s.cams, id)
 		_ = s.graph.RemoveCamera(id) // the camera is known to be placed
 	}
 	var pushes []pendingPush
 	if len(dead) > 0 {
+		s.m.evictions.Add(int64(len(dead)))
+		s.m.liveCameras.Set(int64(len(s.cams)))
 		pushes = s.recomputeLocked()
 	}
 	s.mu.Unlock()
@@ -291,11 +340,19 @@ type pendingPush struct {
 }
 
 // recomputeLocked recomputes every camera's MDCS table, bumps versions
-// for those that changed, and returns the updates to push. Caller holds
-// s.mu.
+// for those that changed, and returns the updates to push. Cameras are
+// visited in sorted ID order so the push sequence — and therefore the
+// delivery interleaving on a discrete-event simulator — is a pure
+// function of the camera set, not of map iteration. Caller holds s.mu.
 func (s *Server) recomputeLocked() []pendingPush {
+	ids := make([]string, 0, len(s.cams))
+	for id := range s.cams {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	var pushes []pendingPush
-	for id, cam := range s.cams {
+	for _, id := range ids {
+		cam := s.cams[id]
 		raw, err := s.graph.MDCSAll(id)
 		if err != nil {
 			continue
@@ -356,12 +413,17 @@ func (s *Server) push(pushes []pendingPush) {
 		if err != nil {
 			continue
 		}
-		_ = s.ep.Send(p.addr, env) // unreachable cameras are handled by liveness
+		// Unreachable cameras are handled by liveness; count the failure.
+		if err := s.ep.Send(p.addr, env); err != nil {
+			s.m.pushErrors.Inc()
+		} else {
+			s.m.pushes.Inc()
+		}
 	}
 }
 
-// Cameras returns the IDs of the currently registered cameras, for
-// observability.
+// Cameras returns the IDs of the currently registered cameras in sorted
+// order, for observability.
 func (s *Server) Cameras() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -369,6 +431,7 @@ func (s *Server) Cameras() []string {
 	for id := range s.cams {
 		out = append(out, id)
 	}
+	sort.Strings(out)
 	return out
 }
 

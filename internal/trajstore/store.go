@@ -13,6 +13,8 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -38,6 +40,36 @@ type Edge struct {
 	Weight float64 `json:"weight"`
 }
 
+// storeMetrics are the store's pre-resolved telemetry handles.
+type storeMetrics struct {
+	vertices   *obs.Counter
+	edges      *obs.Counter
+	writeErrs  *obs.Counter
+	flushHist  *obs.Histogram
+	vertexSize *obs.Gauge
+	edgeSize   *obs.Gauge
+}
+
+func newStoreMetrics(reg *obs.Registry) storeMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return storeMetrics{
+		vertices: reg.Counter("coralpie_trajstore_vertices_total",
+			"trajectory-graph vertex inserts"),
+		edges: reg.Counter("coralpie_trajstore_edges_total",
+			"trajectory-graph edge inserts"),
+		writeErrs: reg.Counter("coralpie_trajstore_write_errors_total",
+			"rejected or failed writes"),
+		flushHist: reg.Histogram("coralpie_trajstore_flush_seconds",
+			"write-ahead-log append+flush latency", nil),
+		vertexSize: reg.Gauge("coralpie_trajstore_vertices",
+			"vertices currently in the graph"),
+		edgeSize: reg.Gauge("coralpie_trajstore_edges",
+			"edges currently in the graph"),
+	}
+}
+
 // Store is the trajectory graph. All methods are safe for concurrent use.
 type Store struct {
 	mu       sync.RWMutex
@@ -48,6 +80,8 @@ type Store struct {
 	closed   bool
 
 	persist *persister // nil for in-memory stores
+	m       storeMetrics
+	clk     clock.Clock
 }
 
 // NewMemStore returns a purely in-memory store.
@@ -57,7 +91,28 @@ func NewMemStore() *Store {
 		out:      make(map[int64][]Edge),
 		in:       make(map[int64][]Edge),
 		nextID:   1,
+		m:        newStoreMetrics(nil),
+		clk:      clock.Real{},
 	}
+}
+
+// Instrument re-homes the store's telemetry (coralpie_trajstore_*) onto
+// reg and uses clk for WAL flush-latency timestamps (inject the DES
+// virtual clock in simulations; nil keeps the real clock). Call before
+// traffic flows.
+func (s *Store) Instrument(reg *obs.Registry, clk clock.Clock) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = newStoreMetrics(reg)
+	if clk != nil {
+		s.clk = clk
+	}
+	s.m.vertexSize.Set(int64(len(s.vertices)))
+	var edges int64
+	for _, es := range s.out {
+		edges += int64(len(es))
+	}
+	s.m.edgeSize.Set(edges)
 }
 
 // AddVertex inserts a detection event and returns its vertex ID.
@@ -73,12 +128,17 @@ func (s *Store) AddVertex(e protocol.DetectionEvent) (int64, error) {
 	v.Event.VertexID = id
 	s.vertices[id] = v
 	if s.persist != nil {
+		start := s.clk.Now()
 		if err := s.persist.logVertex(*v); err != nil {
 			delete(s.vertices, id)
 			s.nextID--
+			s.m.writeErrs.Inc()
 			return 0, err
 		}
+		s.m.flushHist.Observe(s.clk.Now().Sub(start).Seconds())
 	}
+	s.m.vertices.Inc()
+	s.m.vertexSize.Set(int64(len(s.vertices)))
 	return id, nil
 }
 
@@ -92,24 +152,32 @@ func (s *Store) AddEdge(from, to int64, weight float64) error {
 		return ErrClosed
 	}
 	if _, ok := s.vertices[from]; !ok {
+		s.m.writeErrs.Inc()
 		return fmt.Errorf("%w: %d", ErrVertexNotFound, from)
 	}
 	if _, ok := s.vertices[to]; !ok {
+		s.m.writeErrs.Inc()
 		return fmt.Errorf("%w: %d", ErrVertexNotFound, to)
 	}
 	for _, e := range s.out[from] {
 		if e.To == to {
+			s.m.writeErrs.Inc()
 			return fmt.Errorf("%w: %d->%d", ErrEdgeExists, from, to)
 		}
 	}
 	edge := Edge{From: from, To: to, Weight: weight}
 	if s.persist != nil {
+		start := s.clk.Now()
 		if err := s.persist.logEdge(edge); err != nil {
+			s.m.writeErrs.Inc()
 			return err
 		}
+		s.m.flushHist.Observe(s.clk.Now().Sub(start).Seconds())
 	}
 	s.out[from] = append(s.out[from], edge)
 	s.in[to] = append(s.in[to], edge)
+	s.m.edges.Inc()
+	s.m.edgeSize.Add(1)
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/des"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -21,13 +22,16 @@ type Bus struct {
 	latency   time.Duration
 	lossRate  float64
 	lossRNG   *rand.Rand
-	dropped   int64
+	m         *endpointMetrics
 }
 
 // NewBus returns a bus that delivers synchronously (zero latency) on the
 // caller's goroutine.
 func NewBus() *Bus {
-	return &Bus{endpoints: make(map[string]*busEndpoint)}
+	return &Bus{
+		endpoints: make(map[string]*busEndpoint),
+		m:         newEndpointMetrics(nil, "bus"),
+	}
 }
 
 // NewSimBus returns a bus that schedules deliveries on the simulator,
@@ -39,7 +43,17 @@ func NewSimBus(sim *des.Simulator, latency time.Duration) *Bus {
 		endpoints: make(map[string]*busEndpoint),
 		sim:       sim,
 		latency:   latency,
+		m:         newEndpointMetrics(nil, "bus"),
 	}
+}
+
+// Use re-homes the bus's telemetry onto reg (coralpie_transport_* with
+// transport="bus", plus per-peer send counters). Call before traffic
+// flows; counts accumulated on the previous handles do not carry over.
+func (b *Bus) Use(reg *obs.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m = newEndpointMetrics(reg, "bus")
 }
 
 // Endpoint registers (or returns an error for a duplicate) endpoint name.
@@ -93,17 +107,25 @@ func (b *Bus) SetLossRate(rate float64, rng *rand.Rand) error {
 	return nil
 }
 
-// Dropped returns how many messages the loss model has discarded.
+// Dropped returns how many messages the loss model has discarded. The
+// count is backed by the bus's telemetry counter, so it is also exported
+// as coralpie_transport_lost_total once a registry is attached.
 func (b *Bus) Dropped() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.dropped
+	return b.m.lost.Value()
 }
 
 func (b *Bus) deliver(to string, env protocol.Envelope) error {
 	b.mu.Lock()
+	m := b.m
+	m.sends.Inc()
+	m.bytesOut.Add(int64(len(env.Payload)))
+	if peer := m.peer("bus", to); peer != nil {
+		peer.Inc()
+	}
 	if b.lossRate > 0 && b.lossRNG.Float64() < b.lossRate {
-		b.dropped++
+		m.lost.Inc()
 		b.mu.Unlock()
 		return nil // silently lost, like a dropped datagram
 	}
@@ -117,12 +139,15 @@ func (b *Bus) deliver(to string, env protocol.Envelope) error {
 	b.mu.Unlock()
 
 	if !ok {
+		m.sendErrors.Inc()
 		return fmt.Errorf("%w: %q", ErrUnknownAddress, to)
 	}
 	if h == nil {
+		m.sendErrors.Inc()
 		return fmt.Errorf("%w: %q", ErrNoHandler, to)
 	}
 	if sim == nil {
+		m.delivered.Inc()
 		h(env)
 		return nil
 	}
@@ -137,6 +162,7 @@ func (b *Bus) deliver(to string, env protocol.Envelope) error {
 		}
 		b.mu.Unlock()
 		if handler != nil {
+			m.delivered.Inc()
 			handler(env)
 		}
 	})

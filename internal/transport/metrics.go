@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"repro/internal/obs"
+)
+
+// endpointMetrics are one transport instance's counters. Every instance
+// owns standalone counters by default, so e.g. Bus.Dropped() never mixes
+// in another bus's drops; binding a registry via Use re-homes the
+// handles onto registry-backed metrics (named coralpie_transport_*) for
+// HTTP exposition.
+type endpointMetrics struct {
+	reg *obs.Registry // nil when standalone
+
+	sends      *obs.Counter // envelopes submitted for delivery
+	delivered  *obs.Counter // envelopes handed to a handler
+	lost       *obs.Counter // envelopes discarded by the loss model
+	sendErrors *obs.Counter // failed sends (unknown peer, no handler, dial/write errors)
+	redials    *obs.Counter // TCP dials (first connect and reconnects)
+	received   *obs.Counter // envelopes read off inbound connections
+	bytesOut   *obs.Counter // payload bytes submitted
+	bytesIn    *obs.Counter // payload bytes received
+
+	peerSends map[string]*obs.Counter // registry-bound only
+}
+
+func newEndpointMetrics(reg *obs.Registry, kind string) *endpointMetrics {
+	m := &endpointMetrics{reg: reg, peerSends: make(map[string]*obs.Counter)}
+	if reg == nil {
+		m.sends = new(obs.Counter)
+		m.delivered = new(obs.Counter)
+		m.lost = new(obs.Counter)
+		m.sendErrors = new(obs.Counter)
+		m.redials = new(obs.Counter)
+		m.received = new(obs.Counter)
+		m.bytesOut = new(obs.Counter)
+		m.bytesIn = new(obs.Counter)
+		return m
+	}
+	label := []string{"transport", kind}
+	m.sends = reg.Counter("coralpie_transport_sends_total",
+		"envelopes submitted for delivery", label...)
+	m.delivered = reg.Counter("coralpie_transport_delivered_total",
+		"envelopes handed to a destination handler", label...)
+	m.lost = reg.Counter("coralpie_transport_lost_total",
+		"envelopes discarded by the loss model", label...)
+	m.sendErrors = reg.Counter("coralpie_transport_send_errors_total",
+		"sends that failed", label...)
+	m.redials = reg.Counter("coralpie_transport_dials_total",
+		"outgoing TCP dials, including reconnects", label...)
+	m.received = reg.Counter("coralpie_transport_received_total",
+		"envelopes read from peers", label...)
+	m.bytesOut = reg.Counter("coralpie_transport_bytes_out_total",
+		"payload bytes submitted", label...)
+	m.bytesIn = reg.Counter("coralpie_transport_bytes_in_total",
+		"payload bytes received", label...)
+	return m
+}
+
+// peer returns the per-peer send counter, or nil when standalone.
+// Callers must serialize access (the owning transport's lock).
+func (m *endpointMetrics) peer(kind, addr string) *obs.Counter {
+	if m.reg == nil {
+		return nil
+	}
+	if c, ok := m.peerSends[addr]; ok {
+		return c
+	}
+	c := m.reg.Counter("coralpie_transport_peer_sends_total",
+		"envelopes sent per destination peer", "transport", kind, "peer", addr)
+	m.peerSends[addr] = c
+	return c
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -26,6 +27,7 @@ type TCP struct {
 	conns   map[string]net.Conn
 	inbound map[net.Conn]struct{}
 	closed  bool
+	m       *endpointMetrics
 
 	wg sync.WaitGroup
 }
@@ -43,10 +45,20 @@ func ListenTCP(addr string) (*TCP, error) {
 		ln:      ln,
 		conns:   make(map[string]net.Conn),
 		inbound: make(map[net.Conn]struct{}),
+		m:       newEndpointMetrics(nil, "tcp"),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
+}
+
+// Use re-homes the endpoint's telemetry onto reg (coralpie_transport_*
+// with transport="tcp", plus per-peer send counters). Call before
+// traffic flows; counts on the previous handles do not carry over.
+func (t *TCP) Use(reg *obs.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m = newEndpointMetrics(reg, "tcp")
 }
 
 // Addr returns the bound listen address.
@@ -94,8 +106,12 @@ func (t *TCP) readLoop(conn net.Conn) {
 		}
 		t.mu.Lock()
 		h := t.handler
+		m := t.m
 		t.mu.Unlock()
+		m.received.Inc()
+		m.bytesIn.Add(int64(len(env.Payload)))
 		if h != nil {
+			m.delivered.Inc()
 			h(env)
 		}
 	}
@@ -104,12 +120,33 @@ func (t *TCP) readLoop(conn net.Conn) {
 // Send writes the envelope to addr over a cached connection, dialing on
 // demand. A stale cached connection is redialed once.
 func (t *TCP) Send(addr string, env protocol.Envelope) error {
+	err := t.send(addr, env)
+	t.mu.Lock()
+	m := t.m
+	t.mu.Unlock()
+	if err != nil {
+		m.sendErrors.Inc()
+	} else {
+		m.sends.Inc()
+		m.bytesOut.Add(int64(len(env.Payload)))
+		t.mu.Lock()
+		peer := m.peer("tcp", addr)
+		t.mu.Unlock()
+		if peer != nil {
+			peer.Inc()
+		}
+	}
+	return err
+}
+
+func (t *TCP) send(addr string, env protocol.Envelope) error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return ErrClosed
 	}
 	conn := t.conns[addr]
+	m := t.m
 	t.mu.Unlock()
 
 	if conn != nil {
@@ -120,6 +157,7 @@ func (t *TCP) Send(addr string, env protocol.Envelope) error {
 		t.dropConn(addr, conn)
 	}
 
+	m.redials.Inc()
 	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return fmt.Errorf("transport: dial %s: %w", addr, err)
