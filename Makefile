@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench fmt ci
+.PHONY: all build test race vet bench fmt cover ci
 
 all: build
 
@@ -22,4 +22,17 @@ bench:
 fmt:
 	gofmt -l -w cmd internal examples
 
-ci: build vet race
+# cover runs the suite with coverage and then re-runs the goroutine-leak
+# shutdown tests verbosely, failing if any of them was skipped (a skipped
+# leak check must never pass CI silently).
+cover:
+	$(GO) test -cover ./...
+	@out=$$($(GO) test -v -count=1 -run 'Leak' ./internal/transport/ ./internal/core/ 2>&1); \
+	status=$$?; \
+	echo "$$out"; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	if echo "$$out" | grep -q -e '--- SKIP' -e 'no tests to run'; then \
+		echo 'goroutine-leak checks were skipped' >&2; exit 1; \
+	fi
+
+ci: build vet race cover

@@ -1,6 +1,7 @@
 package coralpie
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -36,7 +37,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	sys.Start()
+	sys.Start(context.Background())
 	sys.Run(sys.World().LastVehicleDone() + 20*time.Second)
 	sys.Stop()
 	if err := sys.FlushAll(); err != nil {

@@ -18,11 +18,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/camnode"
@@ -65,8 +68,12 @@ func run() error {
 		epochUnix = flag.Int64("epoch", 0, "shared traffic epoch (unix seconds; 0 = now+3s)")
 
 		dumpGraph = flag.String("dump-graph", "", "write the corridor road graph JSON here and exit")
+		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long a SIGINT/SIGTERM shutdown may spend draining in-flight work")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	origin := geo.Point{Lat: 33.7756, Lon: -84.3963}
 	graph, nodes, err := roadnet.Corridor(*cameras, *spacing, origin)
@@ -109,7 +116,6 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer func() { _ = ep.Close() }()
 	ep.Use(obs.Default())
 	tracer := obs.NewTracer(clock.Real{}, 1024)
 
@@ -150,7 +156,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := node.Topology().StartHeartbeats(*heartbeat); err != nil {
+	if err := node.Topology().StartHeartbeats(ctx, *heartbeat); err != nil {
 		return err
 	}
 	defer func() { _ = node.Topology().Close() }()
@@ -175,8 +181,21 @@ func run() error {
 
 	log.Printf("%s listening on %s, corridor index %d/%d, traffic epoch %s",
 		*id, ep.Addr(), *index, *cameras, epoch.Format(time.RFC3339))
-	if err := node.RunLive(source); err != nil {
+	// RunLive exits on stream end or on SIGINT/SIGTERM (ctx cancel); a
+	// cancelled run still flushes live tracks and returns nil, so the
+	// process exits 0 on a clean signal-driven stop.
+	if err := node.RunLive(ctx, source); err != nil {
 		return err
+	}
+	if ctx.Err() != nil {
+		log.Printf("%s interrupted; draining", *id)
+	}
+	stop() // restore default signal handling: a second ^C force-kills
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := ep.Shutdown(shutdownCtx); err != nil {
+		log.Printf("transport shutdown: %v", err)
 	}
 
 	st := node.Stats()

@@ -10,13 +10,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -44,8 +47,12 @@ func run() error {
 		track     = flag.String("track", "veh-00", "vehicle whose trajectory to reconstruct")
 		obsListen = flag.String("obs-listen", "", "telemetry HTTP address for /metrics, /healthz, /debug/obs (empty = disabled)")
 		dumpObs   = flag.Bool("dump-metrics", false, "print the final Prometheus metric snapshot")
+		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long shutdown may spend flushing stores")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	graph, nodes, err := roadnet.Corridor(*cameras, *spacing, geo.Point{Lat: 33.7756, Lon: -84.3963})
 	if err != nil {
@@ -92,7 +99,7 @@ func run() error {
 		log.Printf("telemetry on http://%s/metrics", obsSrv.Addr())
 	}
 
-	sys.Start()
+	sys.Start(ctx)
 
 	if *failSpec != "" {
 		victim, at, err := parseFail(*failSpec)
@@ -112,6 +119,10 @@ func run() error {
 	fmt.Printf("running %d cameras, %d vehicles for %v of virtual time...\n",
 		*cameras, *vehicles, horizon.Round(time.Second))
 	sys.Run(horizon)
+	if ctx.Err() != nil {
+		log.Printf("interrupted at t=%v of virtual time; flushing", sys.Sim().Now())
+	}
+	stop() // restore default signal handling: a second ^C force-kills
 	sys.Stop()
 	if err := sys.FlushAll(); err != nil {
 		return err
@@ -141,7 +152,10 @@ func run() error {
 			return err
 		}
 	}
-	return nil
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	return sys.Shutdown(shutdownCtx)
 }
 
 // parseFail splits "cam2@40s" into its camera and instant.

@@ -8,11 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/framestore"
 	"repro/internal/obs"
@@ -30,8 +32,12 @@ func run() error {
 		listen    = flag.String("listen", "127.0.0.1:7002", "address to listen on")
 		dir       = flag.String("dir", "", "persistence directory (empty = in-memory)")
 		obsListen = flag.String("obs-listen", "127.0.0.1:9092", "telemetry HTTP address for /metrics, /healthz, /debug/obs (empty = disabled)")
+		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long a SIGINT/SIGTERM shutdown may spend draining in-flight frames")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	store, err := framestore.OpenStore(*dir)
 	if err != nil {
@@ -44,7 +50,6 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer func() { _ = ep.Close() }()
 	ep.Use(obs.Default())
 
 	srv, err := framestore.NewServer(store, ep)
@@ -62,9 +67,16 @@ func run() error {
 		log.Printf("telemetry on http://%s/metrics", obsSrv.Addr())
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	<-ctx.Done()
+	stop() // restore default signal handling: a second ^C force-kills
+	// Drain in-flight frame handlers before closing the store, so the
+	// last frames land in the per-camera logs before they are flushed by
+	// the deferred store.Close.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := ep.Shutdown(shutdownCtx); err != nil {
+		log.Printf("transport shutdown: %v", err)
+	}
 	received, errs := srv.Stats()
 	log.Printf("shutting down; frames stored: %d, handler errors: %d", received, errs)
 	return nil

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -39,8 +40,12 @@ func run() error {
 		heartbeat = flag.Duration("heartbeat", 2*time.Second, "expected camera heartbeat interval")
 		snap      = flag.Float64("snap-meters", 30, "radius for snapping cameras to intersections")
 		obsListen = flag.String("obs-listen", "127.0.0.1:9090", "telemetry HTTP address for /metrics, /healthz, /debug/obs (empty = disabled)")
+		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long a SIGINT/SIGTERM shutdown may spend draining in-flight work")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var (
 		graph *roadnet.Graph
@@ -67,7 +72,6 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer func() { _ = ep.Close() }()
 	ep.Use(obs.Default())
 
 	srv, err := topology.NewServer(graph, ep, clock.Real{}, topology.ServerConfig{
@@ -78,10 +82,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := srv.Start(*heartbeat / 2); err != nil {
+	if err := srv.Start(ctx, *heartbeat/2); err != nil {
 		return err
 	}
-	defer func() { _ = srv.Close() }()
 
 	if *obsListen != "" {
 		obsSrv, err := obs.Serve(*obsListen, obs.NewMux(obs.Default(), nil))
@@ -95,9 +98,16 @@ func run() error {
 	log.Printf("topology server on %s (%d intersections, heartbeat %v)",
 		ep.Addr(), graph.NumNodes(), *heartbeat)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	<-ctx.Done()
+	stop() // restore default signal handling: a second ^C force-kills
 	log.Printf("shutting down; cameras registered: %d", len(srv.Cameras()))
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("topology shutdown: %v", err)
+	}
+	if err := ep.Shutdown(shutdownCtx); err != nil {
+		log.Printf("transport shutdown: %v", err)
+	}
 	return nil
 }

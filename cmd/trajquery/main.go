@@ -10,10 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/protocol"
@@ -35,17 +39,21 @@ func run() error {
 		maxDepth = flag.Int("max-depth", 64, "traversal depth limit")
 		maxPaths = flag.Int("max-paths", 32, "candidate path limit")
 		stats    = flag.Bool("stats", false, "print store statistics and exit")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-RPC deadline for store calls")
 	)
 	flag.Parse()
 
-	client, err := trajstore.Dial(*server)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	client, err := trajstore.DialContext(ctx, *server, trajstore.ClientConfig{CallTimeout: *timeout})
 	if err != nil {
 		return err
 	}
 	defer func() { _ = client.Close() }()
 
 	if *stats {
-		vertices, edges, err := client.Stats()
+		vertices, edges, err := client.StatsContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -56,9 +64,9 @@ func run() error {
 	var start trajstore.Vertex
 	switch {
 	case *eventID != "":
-		start, err = client.FindByEventID(protocol.EventID(*eventID))
+		start, err = client.FindByEventIDContext(ctx, protocol.EventID(*eventID))
 	case *vertexID > 0:
-		start, err = client.Vertex(*vertexID)
+		start, err = client.VertexContext(ctx, *vertexID)
 	default:
 		return fmt.Errorf("one of -event, -vertex, or -stats is required")
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
@@ -30,8 +31,12 @@ func run() error {
 		dir       = flag.String("dir", "", "persistence directory (empty = in-memory)")
 		compact   = flag.Duration("compact-every", 10*time.Minute, "snapshot compaction interval (persistent stores)")
 		obsListen = flag.String("obs-listen", "127.0.0.1:9091", "telemetry HTTP address for /metrics, /healthz, /debug/obs (empty = disabled)")
+		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long a SIGINT/SIGTERM shutdown may spend draining in-flight requests")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var (
 		store *trajstore.Store
@@ -52,7 +57,6 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer func() { _ = srv.Close() }()
 	log.Printf("trajectory store on %s (dir=%q, %d vertices)", srv.Addr(), *dir, store.NumVertices())
 
 	if *obsListen != "" {
@@ -64,7 +68,6 @@ func run() error {
 		log.Printf("telemetry on http://%s/metrics", obsSrv.Addr())
 	}
 
-	stopCompact := make(chan struct{})
 	doneCompact := make(chan struct{})
 	go func() {
 		defer close(doneCompact)
@@ -79,17 +82,22 @@ func run() error {
 				if err := store.Compact(); err != nil {
 					log.Printf("compact: %v", err)
 				}
-			case <-stopCompact:
+			case <-ctx.Done():
 				return
 			}
 		}
 	}()
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	close(stopCompact)
+	<-ctx.Done()
+	stop() // restore default signal handling: a second ^C force-kills
 	<-doneCompact
+	// Drain in-flight requests before closing, so a camera mid-insert
+	// gets its reply, then flush the WAL via the deferred store.Close.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
 	log.Printf("shutting down with %d vertices / %d edges", store.NumVertices(), store.NumEdges())
 	return nil
 }

@@ -33,7 +33,7 @@
 //	_ = sys.World().AddVehicle(coralpie.VehicleSpec{
 //		ID: "veh-1", Color: coralpie.PaletteColor(0), SpeedMPS: 15, Route: ids,
 //	})
-//	sys.Start()
+//	sys.Start(context.Background())
 //	sys.Run(2 * time.Minute)
 //	sys.Stop()
 //	_ = sys.FlushAll()

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -71,7 +72,7 @@ func run() error {
 	horizon := sys.World().LastVehicleDone() + 20*time.Second
 	fmt.Printf("running the 5-camera campus scenario for %v of virtual time\n",
 		horizon.Round(time.Second))
-	sys.Start()
+	sys.Start(context.Background())
 	sys.Run(horizon)
 	sys.Stop()
 	if err := sys.FlushAll(); err != nil {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -66,7 +67,7 @@ func run() error {
 	horizon := sys.World().LastVehicleDone() + 15*time.Second
 	fmt.Printf("37 cameras, %d vehicles on random routes, %v of virtual time\n",
 		vehicles, horizon.Round(time.Second))
-	sys.Start()
+	sys.Start(context.Background())
 	sys.Run(horizon)
 	sys.Stop()
 	if err := sys.FlushAll(); err != nil {

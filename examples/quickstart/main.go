@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -54,7 +55,7 @@ func run() error {
 
 	// 5. Run: cameras register with the topology server via heartbeats,
 	//    receive their MDCS tables, and process every frame.
-	sys.Start()
+	sys.Start(context.Background())
 	sys.Run(2 * time.Minute)
 	sys.Stop()
 	if err := sys.FlushAll(); err != nil {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -51,7 +52,7 @@ func run() error {
 		}
 	}
 
-	sys.Start()
+	sys.Start(context.Background())
 	sys.Run(10 * time.Second)
 
 	cam1, err := sys.Node("cam1")

@@ -11,6 +11,7 @@
 package camnode
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -269,7 +270,9 @@ func (n *Node) Stats() Stats {
 
 // HandleEnvelope dispatches incoming transport messages. Installed as the
 // endpoint handler by New; exported for harnesses that route manually.
-func (n *Node) HandleEnvelope(env protocol.Envelope) {
+// ctx is the endpoint's lifecycle context: replies triggered by this
+// message (confirm/retire fan-out) are bounded by it.
+func (n *Node) HandleEnvelope(ctx context.Context, env protocol.Envelope) {
 	msg, err := protocol.Open(env)
 	if err != nil {
 		return
@@ -278,7 +281,7 @@ func (n *Node) HandleEnvelope(env protocol.Envelope) {
 	case protocol.Inform:
 		n.handleInform(m)
 	case protocol.Confirm:
-		n.handleConfirm(m)
+		n.handleConfirm(ctx, m)
 	case protocol.Retire:
 		n.handleRetire(m)
 	case protocol.TopologyUpdate:
@@ -314,7 +317,7 @@ func (n *Node) handleInform(m protocol.Inform) {
 // handleConfirm runs on the predecessor camera: one of its downstream
 // cameras re-identified the vehicle, so every other informed camera can
 // retire the event.
-func (n *Node) handleConfirm(m protocol.Confirm) {
+func (n *Node) handleConfirm(ctx context.Context, m protocol.Confirm) {
 	n.m.confirmsReceived.Inc()
 	n.mu.Lock()
 	n.stats.ConfirmsReceived++
@@ -331,7 +334,7 @@ func (n *Node) handleConfirm(m protocol.Confirm) {
 		if ref.ID == m.ByCameraID || ref.Addr == "" {
 			continue
 		}
-		n.send(ref.Addr, retire, &n.stats.RetiresSent, n.m.retiresSent)
+		n.send(ctx, ref.Addr, retire, &n.stats.RetiresSent, n.m.retiresSent)
 	}
 }
 
@@ -352,12 +355,12 @@ func (n *Node) handleRetire(m protocol.Retire) {
 // node lock is NOT held across Send: the in-process bus delivers
 // synchronously and the confirming protocol can chain back into this
 // node's handlers.
-func (n *Node) send(addr string, msg any, counter *int64, obsCounter *obs.Counter) {
+func (n *Node) send(ctx context.Context, addr string, msg any, counter *int64, obsCounter *obs.Counter) {
 	env, err := protocol.Seal(msg)
 	if err != nil {
 		return
 	}
-	sendErr := n.ep.Send(addr, env)
+	sendErr := n.ep.Send(ctx, addr, env)
 	n.mu.Lock()
 	if sendErr != nil {
 		n.stats.SendErrors++
@@ -372,16 +375,23 @@ func (n *Node) send(addr string, msg any, counter *int64, obsCounter *obs.Counte
 	}
 }
 
-// ProcessFrame runs the full continuous-processing path on one frame:
-// detection, the three-step post-processing filter, SORT tracking with
-// per-track signature accumulation, event generation for departed
-// vehicles, re-identification, the communication protocol, and storage.
+// ProcessFrame runs the full continuous-processing path on one frame
+// with the transport's default send timeouts. See ProcessFrameContext.
 func (n *Node) ProcessFrame(f *vision.Frame) error {
+	return n.ProcessFrameContext(context.Background(), f)
+}
+
+// ProcessFrameContext runs the full continuous-processing path on one
+// frame: detection, the three-step post-processing filter, SORT tracking
+// with per-track signature accumulation, event generation for departed
+// vehicles, re-identification, the communication protocol, and storage.
+// Sends triggered by the frame are bounded by ctx.
+func (n *Node) ProcessFrameContext(ctx context.Context, f *vision.Frame) error {
 	kept, raw, err := n.detect(f)
 	if err != nil {
 		return err
 	}
-	return n.ingest(f, kept, raw)
+	return n.ingest(ctx, f, kept, raw)
 }
 
 // detect runs the RPi-1 half of the pipeline: inference plus the
@@ -400,7 +410,7 @@ func (n *Node) detect(f *vision.Frame) (kept []vision.Detection, rawCount int, e
 
 // ingest runs the RPi-2 half: tracking, feature accumulation, event
 // generation, re-identification, communication, and storage.
-func (n *Node) ingest(f *vision.Frame, kept []vision.Detection, rawCount int) error {
+func (n *Node) ingest(ctx context.Context, f *vision.Frame, kept []vision.Detection, rawCount int) error {
 	n.m.frames.Inc()
 	n.m.detectionsRaw.Add(int64(rawCount))
 	n.m.detectionsKept.Add(int64(len(kept)))
@@ -453,7 +463,7 @@ func (n *Node) ingest(f *vision.Frame, kept []vision.Detection, rawCount int) er
 	}
 
 	for _, tr := range departed {
-		if err := n.emitEvent(tr); err != nil {
+		if err := n.emitEvent(ctx, tr); err != nil {
 			return err
 		}
 	}
@@ -479,14 +489,21 @@ func (n *Node) ingest(f *vision.Frame, kept []vision.Detection, rawCount int) er
 	return nil
 }
 
-// Flush retires all live tracks (end of stream) and emits their events.
+// Flush retires all live tracks (end of stream) and emits their events
+// with the transport's default send timeouts.
 func (n *Node) Flush() error {
+	return n.FlushContext(context.Background())
+}
+
+// FlushContext retires all live tracks (end of stream) and emits their
+// events, bounding the resulting sends by ctx.
+func (n *Node) FlushContext(ctx context.Context) error {
 	n.mu.Lock()
 	flushed := n.tracker.Flush()
 	departed := n.tracker.ConfirmedDeparted(flushed)
 	n.mu.Unlock()
 	for _, tr := range departed {
-		if err := n.emitEvent(tr); err != nil {
+		if err := n.emitEvent(ctx, tr); err != nil {
 			return err
 		}
 	}
@@ -496,7 +513,7 @@ func (n *Node) Flush() error {
 // emitEvent turns a departed track into a detection event: signature and
 // direction extraction, trajectory-graph vertex insertion,
 // re-identification, the confirming stage, and the informing stage.
-func (n *Node) emitEvent(tr *tracker.Track) error {
+func (n *Node) emitEvent(ctx context.Context, tr *tracker.Track) error {
 	now := n.cfg.Clock.Now()
 
 	n.mu.Lock()
@@ -528,10 +545,18 @@ func (n *Node) emitEvent(tr *tracker.Track) error {
 		TruthID:   truthID,
 	}
 
-	// (a) Insert the vertex; its ID travels inside the event.
+	// (a) Insert the vertex; its ID travels inside the event. A store
+	// outage must not stall the camera: the event is dropped (it cannot
+	// travel without a vertex ID), the error is counted, and processing
+	// continues — the store client redials with backoff, so inserts
+	// resume when the server returns.
 	vid, err := n.cfg.TrajStore.AddVertex(ev)
 	if err != nil {
-		return fmt.Errorf("camnode: vertex insert: %w", err)
+		n.m.sendErrors.Inc()
+		n.mu.Lock()
+		n.stats.SendErrors++
+		n.mu.Unlock()
+		return nil
 	}
 	ev.VertexID = vid
 	n.m.events.Inc()
@@ -563,7 +588,7 @@ func (n *Node) emitEvent(tr *tracker.Track) error {
 		n.pool.MarkMatched(up.ID)
 		// Confirming stage: notify the predecessor camera.
 		if addr := n.upstreamAddr(up); addr != "" {
-			n.send(addr, protocol.Confirm{
+			n.send(ctx, addr, protocol.Confirm{
 				EventID:        up.ID,
 				ByCameraID:     n.cfg.CameraID,
 				MatchedEventID: ev.ID,
@@ -584,7 +609,7 @@ func (n *Node) emitEvent(tr *tracker.Track) error {
 				if ref.Addr == "" {
 					continue
 				}
-				n.send(ref.Addr, inform, &n.stats.InformsSent, n.m.informsSent)
+				n.send(ctx, ref.Addr, inform, &n.stats.InformsSent, n.m.informsSent)
 				sent = append(sent, ref)
 			}
 			if len(sent) > 0 {

@@ -1,6 +1,7 @@
 package camnode
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -387,7 +388,7 @@ func TestRunLiveMatchesSequential(t *testing.T) {
 		frames = append(frames, makeFrame("camL", seq, 0, "", imaging.Red))
 		seq++
 	}
-	if err := n.RunLive(&sliceSource{frames: frames}); err != nil {
+	if err := n.RunLive(context.Background(), &sliceSource{frames: frames}); err != nil {
 		t.Fatal(err)
 	}
 	if events != 1 {
@@ -401,7 +402,7 @@ func TestRunLiveMatchesSequential(t *testing.T) {
 func TestRunLiveNilSource(t *testing.T) {
 	bus := transport.NewBus()
 	n := newTestNode(t, bus, "camX", nodeConfig("camX", trajstore.NewMemStore()))
-	if err := n.RunLive(nil); err == nil {
+	if err := n.RunLive(context.Background(), nil); err == nil {
 		t.Error("nil source accepted")
 	}
 }

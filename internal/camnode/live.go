@@ -1,6 +1,7 @@
 package camnode
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -30,10 +31,15 @@ type liveJob struct {
 // for concurrent use with the node's message handlers.
 //
 // RunLive returns when the source is exhausted (after flushing live
-// tracks) or on the first pipeline error.
-func (n *Node) RunLive(src FrameSource) error {
+// tracks), when ctx is cancelled (a graceful stop: in-flight frames
+// drain, live tracks flush, and the return is nil), or on the first
+// pipeline error.
+func (n *Node) RunLive(ctx context.Context, src FrameSource) error {
 	if src == nil {
 		return errors.New("camnode: nil frame source")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	var (
 		errMu    sync.Mutex
@@ -64,14 +70,14 @@ func (n *Node) RunLive(src FrameSource) error {
 			return nil
 		}},
 		pipeline.Stage[*liveJob]{Name: "ingest", Proc: func(j *liveJob) error {
-			return n.ingest(j.frame, j.kept, j.raw)
+			return n.ingest(ctx, j.frame, j.kept, j.raw)
 		}},
 	)
 	if err != nil {
 		return err
 	}
 
-	for {
+	for ctx.Err() == nil {
 		f, err := src.Next()
 		if errors.Is(err, io.EOF) {
 			break
@@ -91,5 +97,7 @@ func (n *Node) RunLive(src FrameSource) error {
 	if err := getErr(); err != nil {
 		return err
 	}
+	// Cancellation is a graceful stop, not an error: flush live tracks
+	// so their events are not lost, then report a clean exit.
 	return n.Flush()
 }

@@ -1,6 +1,7 @@
 package camnode
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -53,7 +54,7 @@ func TestLiveTCPEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := topoSrv.Start(200 * time.Millisecond); err != nil {
+	if err := topoSrv.Start(context.Background(), 200*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	defer func() { _ = topoSrv.Close() }()
@@ -90,7 +91,7 @@ func TestLiveTCPEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := n.Topology().StartHeartbeats(150 * time.Millisecond); err != nil {
+		if err := n.Topology().StartHeartbeats(context.Background(), 150*time.Millisecond); err != nil {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { _ = n.Topology().Close() })
@@ -116,7 +117,7 @@ func TestLiveTCPEndToEnd(t *testing.T) {
 	streamVehicle := func(n *Node, startSeq int64) {
 		t.Helper()
 		src := &tcpTestSource{camera: n.CameraID(), startSeq: startSeq}
-		if err := n.RunLive(src); err != nil {
+		if err := n.RunLive(context.Background(), src); err != nil {
 			t.Fatalf("%s RunLive: %v", n.CameraID(), err)
 		}
 	}

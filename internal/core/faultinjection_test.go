@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -38,7 +39,7 @@ func TestSystemSurvivesLossyNetwork(t *testing.T) {
 	for v := 0; v < 4; v++ {
 		addVehicle(t, sys, "veh-"+string(rune('0'+v)), v, ids, time.Duration(v)*15*time.Second)
 	}
-	sys.Start()
+	sys.Start(context.Background())
 	sys.Run(sys.World().LastVehicleDone() + 30*time.Second)
 	// The run may end inside an eviction window: a camera whose last
 	// couple of heartbeats were all lost is expired and has not yet had a

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -148,9 +149,12 @@ type System struct {
 	rigs     map[string]*cameraRig
 	liveness *des.Ticker
 	started  bool
+	stopped  bool
+	ctx      context.Context
 
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	drain  *obs.Histogram
 }
 
 // NewSystem wires the shared services (topology server, stores, network)
@@ -220,8 +224,11 @@ func NewSystem(cfg Config) (*System, error) {
 		traj:   traj,
 		frames: frames,
 		rigs:   make(map[string]*cameraRig),
+		ctx:    context.Background(),
 		reg:    reg,
 		tracer: tracer,
+		drain: reg.Histogram("coralpie_system_shutdown_drain_seconds",
+			"graceful system shutdown duration", nil),
 	}, nil
 }
 
@@ -377,11 +384,16 @@ func (s *System) startRig(rig *cameraRig) {
 	})
 }
 
-// Start begins heartbeats, liveness checks, and camera frames. Call after
-// the initial cameras are installed.
-func (s *System) Start() {
+// Start begins heartbeats, liveness checks, and camera frames. Call
+// after the initial cameras are installed. ctx is the system's root
+// lifecycle context: once it is cancelled, Run stops advancing virtual
+// time at its next chunk boundary (nil means Background).
+func (s *System) Start(ctx context.Context) {
 	if s.started {
 		return
+	}
+	if ctx != nil {
+		s.ctx = ctx
 	}
 	s.started = true
 	// Deterministic order: iterating the rig map directly would register
@@ -399,9 +411,26 @@ func (s *System) Start() {
 	})
 }
 
-// Run advances the simulation by d.
+// Run advances the simulation by d. The advance is chunked so a
+// cancelled root context (from Start) stops the run at the next chunk
+// boundary instead of simulating the full span; chunking is identical
+// across runs, so determinism is preserved.
 func (s *System) Run(d time.Duration) {
-	s.sim.RunFor(d)
+	const chunks = 16
+	chunk := d / chunks
+	if chunk <= 0 {
+		chunk = d
+	}
+	for remaining := d; remaining > 0; remaining -= chunk {
+		if s.ctx.Err() != nil {
+			return
+		}
+		step := chunk
+		if remaining < step {
+			step = remaining
+		}
+		s.sim.RunFor(step)
+	}
 }
 
 // FailCamera kills a camera: frames stop, heartbeats stop, and the
@@ -432,8 +461,12 @@ func (s *System) FlushAll() error {
 	return nil
 }
 
-// Stop halts tickers and cameras so the simulator can drain.
+// Stop halts tickers and cameras so the simulator can drain. Idempotent.
 func (s *System) Stop() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
 	for _, id := range s.CameraIDs() {
 		if hb := s.rigs[id].heartbeat; hb != nil {
 			hb.Stop()
@@ -443,4 +476,30 @@ func (s *System) Stop() {
 		s.liveness.Stop()
 	}
 	s.world.StopCameras()
+}
+
+// Shutdown tears the deployment down gracefully: tickers and cameras
+// stop, every camera's live tracks are flushed so their events are not
+// lost, and the stores are closed (flushing the trajectory WAL and the
+// per-camera frame logs when the stores are disk-backed). The total
+// drain duration is recorded in coralpie_system_shutdown_drain_seconds.
+// ctx bounds the flush: if it is already expired the flush is skipped
+// and its error returned. Idempotent; later calls are no-ops.
+func (s *System) Shutdown(ctx context.Context) error {
+	start := time.Now()
+	s.Stop()
+	var firstErr error
+	if err := ctx.Err(); err != nil {
+		firstErr = fmt.Errorf("core: shutdown: %w", err)
+	} else if err := s.FlushAll(); err != nil {
+		firstErr = err
+	}
+	if err := s.traj.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := s.frames.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	s.drain.Observe(time.Since(start).Seconds())
+	return firstErr
 }

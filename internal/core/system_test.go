@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -66,7 +67,7 @@ func TestEndToEndSingleVehicle(t *testing.T) {
 	sys, ids := corridorSystem(t, true)
 	addVehicle(t, sys, "veh-1", 0, ids, 5*time.Second)
 
-	sys.Start()
+	sys.Start(context.Background())
 	sys.Run(90 * time.Second)
 	sys.Stop()
 	if err := sys.FlushAll(); err != nil {
@@ -154,7 +155,7 @@ func TestEndToEndTwoVehiclesKeepIdentities(t *testing.T) {
 	addVehicle(t, sys, "veh-red", 0, ids, 2*time.Second)
 	addVehicle(t, sys, "veh-blue", 1, ids, 12*time.Second)
 
-	sys.Start()
+	sys.Start(context.Background())
 	sys.Run(2 * time.Minute)
 	sys.Stop()
 	if err := sys.FlushAll(); err != nil {
@@ -212,7 +213,7 @@ func TestInformArrivesBeforeVehicle(t *testing.T) {
 		},
 	})
 
-	sys.Start()
+	sys.Start(context.Background())
 	sys.Run(90 * time.Second)
 	sys.Stop()
 
@@ -232,7 +233,7 @@ func TestInformArrivesBeforeVehicle(t *testing.T) {
 func TestSelfHealingAfterCameraFailure(t *testing.T) {
 	sys, ids := corridorSystem(t, true)
 
-	sys.Start()
+	sys.Start(context.Background())
 	sys.Run(10 * time.Second) // let registration and MDCS pushes settle
 
 	nodeA, err := sys.Node(camID(0))
@@ -276,7 +277,7 @@ func TestSelfHealingAfterCameraFailure(t *testing.T) {
 
 func TestAddCameraWhileRunning(t *testing.T) {
 	sys, ids := corridorSystem(t, true)
-	sys.Start()
+	sys.Start(context.Background())
 	sys.Run(10 * time.Second)
 
 	// camB joins mid-run between A and C; A's MDCS must switch to it.
@@ -324,7 +325,7 @@ func TestStoreFramesIntegration(t *testing.T) {
 	if err := sys.AddCameraAt("camA", ids[0], 0); err != nil {
 		t.Fatal(err)
 	}
-	sys.Start()
+	sys.Start(context.Background())
 	sys.Run(3 * time.Second)
 	sys.Stop()
 	if got := sys.FrameStore().Count("camA"); got < 30 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -62,7 +63,7 @@ func buildTelemetrySystem(t *testing.T, seed int64) (*System, []string) {
 func TestFailCameraMovesTelemetry(t *testing.T) {
 	sys, cams := buildTelemetrySystem(t, 7)
 	reg := sys.Telemetry()
-	sys.Start()
+	sys.Start(context.Background())
 	sys.Run(10 * time.Second)
 
 	live, ok := metricValue(reg, "coralpie_topology_live_cameras")
@@ -96,7 +97,7 @@ func TestFailCameraMovesTelemetry(t *testing.T) {
 func TestTelemetryDeterministic(t *testing.T) {
 	render := func() []byte {
 		sys, _ := buildTelemetrySystem(t, 99)
-		sys.Start()
+		sys.Start(context.Background())
 		sys.Run(sys.World().LastVehicleDone() + 10*time.Second)
 		sys.Stop()
 		if err := sys.FlushAll(); err != nil {

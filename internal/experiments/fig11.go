@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -97,7 +98,7 @@ func Figure11(heartbeat time.Duration, kills int, seed int64) (Fig11Result, erro
 		if err != nil {
 			return Fig11Result{}, err
 		}
-		ep.SetHandler(func(env protocol.Envelope) {
+		ep.SetHandler(func(_ context.Context, env protocol.Envelope) {
 			msg, err := protocol.Open(env)
 			if err != nil {
 				return

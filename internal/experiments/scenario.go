@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -349,7 +350,7 @@ func RunCorridor(cfg CorridorConfig) (*CorridorRun, error) {
 		}
 	}
 
-	sys.Start()
+	sys.Start(context.Background())
 	if cfg.Broadcast {
 		// Give registration a moment, then override every camera's MDCS
 		// with the full camera set (flooding baseline).

@@ -8,6 +8,7 @@ package framestore
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -410,7 +411,13 @@ func NewServer(store *Store, ep transport.Endpoint) (*Server, error) {
 	return s, nil
 }
 
-func (s *Server) handle(env protocol.Envelope) {
+func (s *Server) handle(ctx context.Context, env protocol.Envelope) {
+	if ctx.Err() != nil {
+		// The endpoint is shutting down; drop rather than write to a
+		// store that may already be flushing its logs closed.
+		s.count(false)
+		return
+	}
 	msg, err := protocol.Open(env)
 	if err != nil {
 		s.count(false)
@@ -460,14 +467,22 @@ func NewClient(ep transport.Endpoint, serverAddr string) (*Client, error) {
 	return &Client{ep: ep, serverAddr: serverAddr}, nil
 }
 
-// StoreFrame sends one frame record to the server.
-func (c *Client) StoreFrame(rec protocol.FrameRecord) error {
+// StoreFrameContext sends one frame record to the server, bounded by
+// ctx (the transport applies its default send timeout when ctx carries
+// no deadline).
+func (c *Client) StoreFrameContext(ctx context.Context, rec protocol.FrameRecord) error {
 	env, err := protocol.Seal(rec)
 	if err != nil {
 		return err
 	}
-	if err := c.ep.Send(c.serverAddr, env); err != nil {
+	if err := c.ep.Send(ctx, c.serverAddr, env); err != nil {
 		return fmt.Errorf("framestore: send: %w", err)
 	}
 	return nil
+}
+
+// StoreFrame sends one frame record to the server with the transport's
+// default send timeout.
+func (c *Client) StoreFrame(rec protocol.FrameRecord) error {
+	return c.StoreFrameContext(context.Background(), rec)
 }

@@ -1,6 +1,7 @@
 package framestore
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -226,7 +227,7 @@ func TestServerIgnoresWrongMessages(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cep.Send("framestore", env); err != nil {
+	if err := cep.Send(context.Background(), "framestore", env); err != nil {
 		t.Fatal(err)
 	}
 	if _, errs := srv.Stats(); errs != 1 {

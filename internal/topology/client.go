@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -71,8 +72,15 @@ func (c *Client) OnUpdate(fn func(version int64)) {
 	c.onUpdate = fn
 }
 
-// SendHeartbeat sends one heartbeat to the topology server.
+// SendHeartbeat sends one heartbeat with the transport's default send
+// timeout.
 func (c *Client) SendHeartbeat() error {
+	return c.SendHeartbeatContext(context.Background())
+}
+
+// SendHeartbeatContext sends one heartbeat to the topology server,
+// bounded by ctx.
+func (c *Client) SendHeartbeatContext(ctx context.Context) error {
 	env, err := protocol.Seal(protocol.Heartbeat{
 		CameraID:   c.cameraID,
 		Position:   c.position,
@@ -83,7 +91,7 @@ func (c *Client) SendHeartbeat() error {
 	if err != nil {
 		return err
 	}
-	if err := c.ep.Send(c.serverAddr, env); err != nil {
+	if err := c.ep.Send(ctx, c.serverAddr, env); err != nil {
 		return fmt.Errorf("topology: heartbeat: %w", err)
 	}
 	return nil
@@ -145,9 +153,10 @@ func (c *Client) Version() int64 {
 // CameraID returns the camera identity this client reports.
 func (c *Client) CameraID() string { return c.cameraID }
 
-// StartHeartbeats launches a real-time heartbeat loop. Simulation
-// harnesses call SendHeartbeat from a simulator ticker instead.
-func (c *Client) StartHeartbeats(interval time.Duration) error {
+// StartHeartbeats launches a real-time heartbeat loop that exits when
+// ctx is cancelled (or on Close). Simulation harnesses call
+// SendHeartbeat from a simulator ticker instead.
+func (c *Client) StartHeartbeats(ctx context.Context, interval time.Duration) error {
 	if interval <= 0 {
 		return fmt.Errorf("topology: heartbeat interval %v must be positive", interval)
 	}
@@ -158,20 +167,22 @@ func (c *Client) StartHeartbeats(interval time.Duration) error {
 	}
 	c.stop = make(chan struct{})
 	c.done = make(chan struct{})
-	go c.heartbeatLoop(interval, c.stop, c.done)
+	go c.heartbeatLoop(ctx, interval, c.stop, c.done)
 	return nil
 }
 
-func (c *Client) heartbeatLoop(interval time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+func (c *Client) heartbeatLoop(ctx context.Context, interval time.Duration, stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
 	// Send one immediately so registration does not wait a full interval.
-	_ = c.SendHeartbeat()
+	_ = c.SendHeartbeatContext(ctx)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ticker.C:
-			_ = c.SendHeartbeat()
+			_ = c.SendHeartbeatContext(ctx)
+		case <-ctx.Done():
+			return
 		case <-stop:
 			return
 		}

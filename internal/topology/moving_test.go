@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -92,7 +93,7 @@ func registerClient(t *testing.T, bus *transport.Bus, sim *des.Simulator, id str
 	if err != nil {
 		t.Fatal(err)
 	}
-	ep.SetHandler(func(env protocol.Envelope) {
+	ep.SetHandler(func(_ context.Context, env protocol.Envelope) {
 		msg, err := protocol.Open(env)
 		if err != nil {
 			return

@@ -7,6 +7,7 @@
 package topology
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -137,21 +138,28 @@ func NewServer(graph *roadnet.Graph, ep transport.Endpoint, clk clock.Clock, cfg
 	return s, nil
 }
 
-func (s *Server) handleEnvelope(env protocol.Envelope) {
+func (s *Server) handleEnvelope(ctx context.Context, env protocol.Envelope) {
 	msg, err := protocol.Open(env)
 	if err != nil {
 		return // drop undecodable messages
 	}
 	if hb, ok := msg.(protocol.Heartbeat); ok {
-		s.HandleHeartbeat(hb)
+		s.HandleHeartbeatContext(ctx, hb)
 	}
 }
 
-// HandleHeartbeat registers a new camera or renews an existing lease.
-// Registration places the camera in the road graph (snapping to the
-// nearest intersection or projecting onto the nearest lane), recomputes
-// the MDCS of every affected camera, and pushes updates.
+// HandleHeartbeat registers a new camera or renews an existing lease
+// with the transport's default push timeout.
 func (s *Server) HandleHeartbeat(hb protocol.Heartbeat) {
+	s.HandleHeartbeatContext(context.Background(), hb)
+}
+
+// HandleHeartbeatContext registers a new camera or renews an existing
+// lease. Registration places the camera in the road graph (snapping to
+// the nearest intersection or projecting onto the nearest lane),
+// recomputes the MDCS of every affected camera, and pushes updates. The
+// resulting MDCS pushes are bounded by ctx.
+func (s *Server) HandleHeartbeatContext(ctx context.Context, hb protocol.Heartbeat) {
 	if hb.CameraID == "" {
 		return
 	}
@@ -180,13 +188,13 @@ func (s *Server) HandleHeartbeat(hb protocol.Heartbeat) {
 			s.m.liveCameras.Set(int64(len(s.cams)))
 			pushes := s.recomputeLocked()
 			s.mu.Unlock()
-			s.push(pushes)
+			s.push(ctx, pushes)
 			return
 		}
 		cam.position = hb.Position
 		pushes := s.recomputeLocked()
 		s.mu.Unlock()
-		s.push(pushes)
+		s.push(ctx, pushes)
 		return
 	}
 	// New camera: place it in the graph.
@@ -205,7 +213,7 @@ func (s *Server) HandleHeartbeat(hb protocol.Heartbeat) {
 	pushes := s.recomputeLocked()
 	s.mu.Unlock()
 
-	s.push(pushes)
+	s.push(ctx, pushes)
 }
 
 // placeLocked inserts a camera into the road graph from its reported
@@ -303,10 +311,17 @@ func projectOntoSegment(p, a, b geo.Point) (frac, distMeters float64) {
 	return t, math.Hypot(px-qx, py-qy)
 }
 
-// CheckLiveness scans leases against the clock and removes cameras whose
-// lease expired, recomputing and pushing MDCS updates to the affected
-// survivors. It returns the IDs of the cameras it removed.
+// CheckLiveness scans leases with the transport's default push timeout.
+// See CheckLivenessContext.
 func (s *Server) CheckLiveness() []string {
+	return s.CheckLivenessContext(context.Background())
+}
+
+// CheckLivenessContext scans leases against the clock and removes
+// cameras whose lease expired, recomputing and pushing MDCS updates to
+// the affected survivors (pushes bounded by ctx). It returns the IDs of
+// the cameras it removed.
+func (s *Server) CheckLivenessContext(ctx context.Context) []string {
 	now := s.clk.Now()
 
 	s.mu.Lock()
@@ -329,7 +344,7 @@ func (s *Server) CheckLiveness() []string {
 	}
 	s.mu.Unlock()
 
-	s.push(pushes)
+	s.push(ctx, pushes)
 	return dead
 }
 
@@ -404,7 +419,7 @@ func tablesEqual(a, b map[geo.Direction][]protocol.CameraRef) bool {
 	return true
 }
 
-func (s *Server) push(pushes []pendingPush) {
+func (s *Server) push(ctx context.Context, pushes []pendingPush) {
 	for _, p := range pushes {
 		if p.addr == "" {
 			continue
@@ -414,7 +429,9 @@ func (s *Server) push(pushes []pendingPush) {
 			continue
 		}
 		// Unreachable cameras are handled by liveness; count the failure.
-		if err := s.ep.Send(p.addr, env); err != nil {
+		// The transport applies its default send timeout when ctx has no
+		// deadline, so a dead camera cannot stall the push fan-out.
+		if err := s.ep.Send(ctx, p.addr, env); err != nil {
 			s.m.pushErrors.Inc()
 		} else {
 			s.m.pushes.Inc()
@@ -446,9 +463,10 @@ func (s *Server) MDCSVersion(cameraID string) int64 {
 	return 0
 }
 
-// Start launches a background liveness-check loop for real deployments.
-// Use CheckLiveness directly when driving the server from a simulator.
-func (s *Server) Start(checkInterval time.Duration) error {
+// Start launches a background liveness-check loop for real deployments;
+// the loop exits when ctx is cancelled (or on Shutdown/Close). Use
+// CheckLiveness directly when driving the server from a simulator.
+func (s *Server) Start(ctx context.Context, checkInterval time.Duration) error {
 	if checkInterval <= 0 {
 		return fmt.Errorf("topology: check interval %v must be positive", checkInterval)
 	}
@@ -459,21 +477,42 @@ func (s *Server) Start(checkInterval time.Duration) error {
 	}
 	s.stop = make(chan struct{})
 	s.done = make(chan struct{})
-	go s.livenessLoop(checkInterval, s.stop, s.done)
+	go s.livenessLoop(ctx, checkInterval, s.stop, s.done)
 	return nil
 }
 
-func (s *Server) livenessLoop(interval time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+func (s *Server) livenessLoop(ctx context.Context, interval time.Duration, stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ticker.C:
-			s.CheckLiveness()
+			s.CheckLivenessContext(ctx)
+		case <-ctx.Done():
+			return
 		case <-stop:
 			return
 		}
+	}
+}
+
+// Shutdown stops the liveness loop (if started) and waits for it to
+// exit, bounded by ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return nil
+	}
+	close(stop)
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("topology: shutdown: %w", ctx.Err())
 	}
 }
 

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -72,7 +73,7 @@ func (h *harness) addCamera(name string, site int) *Client {
 	if err != nil {
 		h.t.Fatal(err)
 	}
-	ep.SetHandler(func(env protocol.Envelope) {
+	ep.SetHandler(func(_ context.Context, env protocol.Envelope) {
 		msg, err := protocol.Open(env)
 		if err != nil {
 			return
@@ -317,10 +318,10 @@ func TestRealTimeLoops(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.Start(50 * time.Millisecond); err != nil {
+	if err := srv.Start(context.Background(), 50*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.Start(50 * time.Millisecond); err == nil {
+	if err := srv.Start(context.Background(), 50*time.Millisecond); err == nil {
 		t.Error("double start accepted")
 	}
 	defer func() { _ = srv.Close() }()
@@ -333,12 +334,12 @@ func TestRealTimeLoops(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cep.SetHandler(func(protocol.Envelope) {})
+	cep.SetHandler(func(context.Context, protocol.Envelope) {})
 	cl, err := NewClient(ClientConfig{CameraID: "cam", ServerAddr: "srv", Position: node.Pos}, cep, clock.Real{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.StartHeartbeats(50 * time.Millisecond); err != nil {
+	if err := cl.StartHeartbeats(context.Background(), 50*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)

@@ -1,14 +1,18 @@
 package trajstore
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -102,6 +106,8 @@ type Server struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+
+	drain *obs.Histogram // graceful-shutdown drain duration, seconds
 }
 
 // Serve starts a server for the store on addr (use "127.0.0.1:0" for an
@@ -114,7 +120,12 @@ func Serve(store *Store, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trajstore: listen %s: %w", addr, err)
 	}
-	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		store: store,
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+		drain: new(obs.Histogram),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -219,7 +230,69 @@ func (s *Server) handle(req request) response {
 	}
 }
 
+// Shutdown gracefully stops the server: it stops accepting new
+// connections, lets any request currently being served finish, and only
+// hard-closes connections once idle (or once ctx expires, whichever is
+// first). The drain duration is recorded in the server's shutdown
+// histogram. Safe to call concurrently with Close; both are idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	start := time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	lnErr := s.ln.Close()
+	// Unblock idle readers immediately; a connection mid-request has
+	// already consumed its frame and finishes handle+reply first. Bound
+	// the reply write by the shutdown deadline so a stalled client
+	// cannot hold the drain open.
+	for _, c := range conns {
+		_ = c.SetReadDeadline(time.Now())
+		if deadline, ok := ctx.Deadline(); ok {
+			_ = c.SetWriteDeadline(deadline)
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = fmt.Errorf("trajstore: shutdown drain: %w", ctx.Err())
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		<-done
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.drain.Observe(time.Since(start).Seconds())
+	if drainErr != nil {
+		return drainErr
+	}
+	return lnErr
+}
+
+// DrainObservations returns how many graceful shutdowns have recorded a
+// drain duration (at most one per server; exposed for tests and
+// telemetry wiring).
+func (s *Server) DrainObservations() uint64 { return s.drain.Count() }
+
 // Close stops accepting, closes connections, and waits for handlers.
+// Unlike Shutdown it does not wait for in-flight requests.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -240,45 +313,156 @@ func (s *Server) Close() error {
 	return err
 }
 
+// ClientConfig tunes the client's per-call deadlines and reconnect
+// backoff. The zero value selects the defaults noted per field.
+type ClientConfig struct {
+	// CallTimeout bounds one RPC (dial + write + read) when the caller's
+	// context carries no deadline of its own. Default 5s.
+	CallTimeout time.Duration
+	// DialBackoffBase is the first retry delay after a failed dial
+	// (default 50ms); DialBackoffMax caps the exponential growth
+	// (default 1s). Retries use full jitter and stop at the context
+	// deadline.
+	DialBackoffBase time.Duration
+	DialBackoffMax  time.Duration
+}
+
+func (cfg ClientConfig) withDefaults() ClientConfig {
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 5 * time.Second
+	}
+	if cfg.DialBackoffBase <= 0 {
+		cfg.DialBackoffBase = 50 * time.Millisecond
+	}
+	if cfg.DialBackoffMax <= 0 {
+		cfg.DialBackoffMax = time.Second
+	}
+	return cfg
+}
+
 // Client is a synchronous TCP client for a trajectory store server. It is
 // safe for concurrent use; calls are serialized over one connection.
+// A call that finds its cached connection dead (the server restarted)
+// redials with capped, jittered backoff and retries once within the
+// call's deadline, so clients ride out server restarts transparently.
 type Client struct {
 	mu   sync.Mutex
 	addr string
 	conn net.Conn
+	cfg  ClientConfig
 }
 
-// Dial connects to a trajectory store server.
+// Dial connects to a trajectory store server with the default config.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr, ClientConfig{})
+}
+
+// DialContext connects to a trajectory store server, bounding the
+// initial dial by ctx (or cfg.CallTimeout when ctx has no deadline).
+func DialContext(ctx context.Context, addr string, cfg ClientConfig) (*Client, error) {
+	c := &Client{addr: addr, cfg: cfg.withDefaults()}
+	ctx, cancel := c.callBound(ctx)
+	defer cancel()
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("trajstore: dial %s: %w", addr, err)
 	}
-	return &Client{addr: addr, conn: conn}, nil
+	c.conn = conn
+	return c, nil
 }
 
-func (c *Client) do(req request) (response, error) {
+// callBound applies the default per-call timeout when ctx carries no
+// deadline of its own.
+func (c *Client) callBound(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.cfg.CallTimeout)
+}
+
+// dialLocked redials the server with capped exponential backoff plus
+// full jitter until it connects or ctx expires. Caller holds c.mu.
+func (c *Client) dialLocked(ctx context.Context) (net.Conn, error) {
+	backoff := c.cfg.DialBackoffBase
+	for {
+		d := net.Dialer{}
+		conn, err := d.DialContext(ctx, "tcp", c.addr)
+		if err == nil {
+			return conn, nil
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("trajstore: redial %s: %w", c.addr, err)
+		}
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, fmt.Errorf("trajstore: redial %s: %w", c.addr, ctx.Err())
+		case <-timer.C:
+		}
+		backoff *= 2
+		if backoff > c.cfg.DialBackoffMax {
+			backoff = c.cfg.DialBackoffMax
+		}
+	}
+}
+
+func (c *Client) do(ctx context.Context, req request) (response, error) {
+	ctx, cancel := c.callBound(ctx)
+	defer cancel()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
-		conn, err := net.Dial("tcp", c.addr)
-		if err != nil {
-			return response{}, fmt.Errorf("trajstore: redial %s: %w", c.addr, err)
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return response{}, lastErr
+			}
+			return response{}, err
 		}
-		c.conn = conn
+		cached := c.conn != nil
+		if !cached {
+			conn, err := c.dialLocked(ctx)
+			if err != nil {
+				return response{}, err
+			}
+			c.conn = conn
+		}
+		resp, err := c.roundTripLocked(ctx, req)
+		if err == nil {
+			if !resp.OK {
+				return response{}, fmt.Errorf("trajstore: server: %s", resp.Err)
+			}
+			return resp, nil
+		}
+		c.resetLocked()
+		lastErr = err
+		if !cached {
+			// A freshly dialed connection failing is a real error, not a
+			// stale cache; retrying would only repeat it.
+			break
+		}
+	}
+	return response{}, lastErr
+}
+
+// roundTripLocked performs one framed request/response over the cached
+// connection, bounding both directions by the context deadline. Caller
+// holds c.mu.
+func (c *Client) roundTripLocked(ctx context.Context, req request) (response, error) {
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetDeadline(deadline)
 	}
 	if err := writeFrame(c.conn, req); err != nil {
-		c.resetLocked()
 		return response{}, err
 	}
 	var resp response
 	if err := readFrame(c.conn, &resp); err != nil {
-		c.resetLocked()
 		return response{}, err
 	}
-	if !resp.OK {
-		return response{}, fmt.Errorf("trajstore: server: %s", resp.Err)
-	}
+	_ = c.conn.SetDeadline(time.Time{})
 	return resp, nil
 }
 
@@ -289,73 +473,123 @@ func (c *Client) resetLocked() {
 	}
 }
 
-// AddVertex inserts a detection event remotely and returns its vertex ID.
-func (c *Client) AddVertex(e protocol.DetectionEvent) (int64, error) {
-	resp, err := c.do(request{Op: opAddVertex, Event: &e})
+// AddVertexContext inserts a detection event remotely and returns its
+// vertex ID, bounded by ctx.
+func (c *Client) AddVertexContext(ctx context.Context, e protocol.DetectionEvent) (int64, error) {
+	resp, err := c.do(ctx, request{Op: opAddVertex, Event: &e})
 	if err != nil {
 		return 0, err
 	}
 	return resp.VertexID, nil
 }
 
-// AddEdge inserts an edge remotely.
-func (c *Client) AddEdge(from, to int64, weight float64) error {
-	_, err := c.do(request{Op: opAddEdge, From: from, To: to, Weight: weight})
+// AddVertex inserts a detection event remotely using the default
+// per-call timeout.
+func (c *Client) AddVertex(e protocol.DetectionEvent) (int64, error) {
+	return c.AddVertexContext(context.Background(), e)
+}
+
+// AddEdgeContext inserts an edge remotely, bounded by ctx.
+func (c *Client) AddEdgeContext(ctx context.Context, from, to int64, weight float64) error {
+	_, err := c.do(ctx, request{Op: opAddEdge, From: from, To: to, Weight: weight})
 	return err
 }
 
-// Vertex fetches a vertex by ID.
+// AddEdge inserts an edge remotely using the default per-call timeout.
+func (c *Client) AddEdge(from, to int64, weight float64) error {
+	return c.AddEdgeContext(context.Background(), from, to, weight)
+}
+
+// VertexContext fetches a vertex by ID, bounded by ctx.
+func (c *Client) VertexContext(ctx context.Context, id int64) (Vertex, error) {
+	resp, err := c.do(ctx, request{Op: opGetVertex, ID: id})
+	if err != nil {
+		return Vertex{}, err
+	}
+	return *resp.Vertex, nil
+}
+
+// Vertex fetches a vertex by ID using the default per-call timeout.
 func (c *Client) Vertex(id int64) (Vertex, error) {
-	resp, err := c.do(request{Op: opGetVertex, ID: id})
+	return c.VertexContext(context.Background(), id)
+}
+
+// FindByEventIDContext fetches a vertex by its detection-event ID,
+// bounded by ctx.
+func (c *Client) FindByEventIDContext(ctx context.Context, id protocol.EventID) (Vertex, error) {
+	resp, err := c.do(ctx, request{Op: opFindByEvent, EventID: id})
 	if err != nil {
 		return Vertex{}, err
 	}
 	return *resp.Vertex, nil
 }
 
-// FindByEventID fetches a vertex by its detection-event ID.
+// FindByEventID fetches a vertex by its detection-event ID using the
+// default per-call timeout.
 func (c *Client) FindByEventID(id protocol.EventID) (Vertex, error) {
-	resp, err := c.do(request{Op: opFindByEvent, EventID: id})
-	if err != nil {
-		return Vertex{}, err
-	}
-	return *resp.Vertex, nil
+	return c.FindByEventIDContext(context.Background(), id)
 }
 
-// Trajectory queries the candidate space-time tracks through a vertex.
-func (c *Client) Trajectory(id int64, limits TraceLimits) ([][]int64, error) {
-	resp, err := c.do(request{Op: opTrajectory, ID: id, Limits: &limits})
+// TrajectoryContext queries the candidate space-time tracks through a
+// vertex, bounded by ctx.
+func (c *Client) TrajectoryContext(ctx context.Context, id int64, limits TraceLimits) ([][]int64, error) {
+	resp, err := c.do(ctx, request{Op: opTrajectory, ID: id, Limits: &limits})
 	if err != nil {
 		return nil, err
 	}
 	return resp.Paths, nil
 }
 
-// OutEdges fetches a vertex's outgoing edges.
+// Trajectory queries the candidate space-time tracks through a vertex
+// using the default per-call timeout.
+func (c *Client) Trajectory(id int64, limits TraceLimits) ([][]int64, error) {
+	return c.TrajectoryContext(context.Background(), id, limits)
+}
+
+// OutEdgesContext fetches a vertex's outgoing edges, bounded by ctx.
+func (c *Client) OutEdgesContext(ctx context.Context, id int64) ([]Edge, error) {
+	resp, err := c.do(ctx, request{Op: opOutEdges, ID: id})
+	if err != nil {
+		return nil, err
+	}
+	return resp.EdgeList, nil
+}
+
+// OutEdges fetches a vertex's outgoing edges using the default per-call
+// timeout.
 func (c *Client) OutEdges(id int64) ([]Edge, error) {
-	resp, err := c.do(request{Op: opOutEdges, ID: id})
+	return c.OutEdgesContext(context.Background(), id)
+}
+
+// InEdgesContext fetches a vertex's incoming edges, bounded by ctx.
+func (c *Client) InEdgesContext(ctx context.Context, id int64) ([]Edge, error) {
+	resp, err := c.do(ctx, request{Op: opInEdges, ID: id})
 	if err != nil {
 		return nil, err
 	}
 	return resp.EdgeList, nil
 }
 
-// InEdges fetches a vertex's incoming edges.
+// InEdges fetches a vertex's incoming edges using the default per-call
+// timeout.
 func (c *Client) InEdges(id int64) ([]Edge, error) {
-	resp, err := c.do(request{Op: opInEdges, ID: id})
-	if err != nil {
-		return nil, err
-	}
-	return resp.EdgeList, nil
+	return c.InEdgesContext(context.Background(), id)
 }
 
-// Stats returns the remote vertex and edge counts.
-func (c *Client) Stats() (vertices, edges int, err error) {
-	resp, err := c.do(request{Op: opStats})
+// StatsContext returns the remote vertex and edge counts, bounded by
+// ctx.
+func (c *Client) StatsContext(ctx context.Context) (vertices, edges int, err error) {
+	resp, err := c.do(ctx, request{Op: opStats})
 	if err != nil {
 		return 0, 0, err
 	}
 	return resp.Vertices, resp.Edges, nil
+}
+
+// Stats returns the remote vertex and edge counts using the default
+// per-call timeout.
+func (c *Client) Stats() (vertices, edges int, err error) {
+	return c.StatsContext(context.Background())
 }
 
 // Close closes the client connection.

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -116,7 +117,7 @@ func (b *Bus) Dropped() int64 {
 	return b.m.lost.Value()
 }
 
-func (b *Bus) deliver(to string, env protocol.Envelope) error {
+func (b *Bus) deliver(ctx context.Context, to string, env protocol.Envelope) error {
 	b.mu.Lock()
 	m := b.m
 	m.sends.Inc()
@@ -148,12 +149,14 @@ func (b *Bus) deliver(to string, env protocol.Envelope) error {
 	}
 	if sim == nil {
 		m.delivered.Inc()
-		h(env)
+		h(ctx, env)
 		return nil
 	}
 	sim.Schedule(latency, func() {
 		// Re-check at delivery time: the endpoint may have failed while
-		// the message was in flight.
+		// the message was in flight. The sender's context does not travel
+		// with the simulated in-flight message (it may be done by the
+		// time the message lands), so delivery runs under Background.
 		b.mu.Lock()
 		cur, stillThere := b.endpoints[to]
 		var handler Handler
@@ -163,7 +166,7 @@ func (b *Bus) deliver(to string, env protocol.Envelope) error {
 		b.mu.Unlock()
 		if handler != nil {
 			m.delivered.Inc()
-			handler(env)
+			handler(context.Background(), env)
 		}
 	})
 	return nil
@@ -188,7 +191,10 @@ func (e *busEndpoint) SetHandler(h Handler) {
 	e.handler = h
 }
 
-func (e *busEndpoint) Send(addr string, env protocol.Envelope) error {
+func (e *busEndpoint) Send(ctx context.Context, addr string, env protocol.Envelope) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
@@ -198,7 +204,7 @@ func (e *busEndpoint) Send(addr string, env protocol.Envelope) error {
 	if !e.bus.attached(e.name) {
 		return fmt.Errorf("%w: %q is partitioned", ErrClosed, e.name)
 	}
-	return e.bus.deliver(addr, env)
+	return e.bus.deliver(ctx, addr, env)
 }
 
 func (e *busEndpoint) Close() error {

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -26,7 +27,7 @@ func TestDroppedCounterConcurrent(t *testing.T) {
 	}
 	var deliveredMu sync.Mutex
 	delivered := 0
-	sink.SetHandler(func(protocol.Envelope) {
+	sink.SetHandler(func(context.Context, protocol.Envelope) {
 		deliveredMu.Lock()
 		delivered++
 		deliveredMu.Unlock()
@@ -53,7 +54,7 @@ func TestDroppedCounterConcurrent(t *testing.T) {
 				return
 			}
 			for i := 0; i < perSender; i++ {
-				if err := ep.Send("sink", env); err != nil {
+				if err := ep.Send(context.Background(), "sink", env); err != nil {
 					t.Error(err)
 					return
 				}
@@ -98,7 +99,7 @@ func TestDroppedCounterConcurrent(t *testing.T) {
 	}
 	const tail = 200
 	for i := 0; i < tail; i++ {
-		if err := ep.Send("sink", env); err != nil {
+		if err := ep.Send(context.Background(), "sink", env); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -40,14 +41,14 @@ func TestLossRateDropsApproximately(t *testing.T) {
 		t.Fatal(err)
 	}
 	received := 0
-	b.SetHandler(func(protocol.Envelope) { received++ })
+	b.SetHandler(func(context.Context, protocol.Envelope) { received++ })
 	const n = 2000
 	env, err := protocol.Seal(protocol.Retire{EventID: "x#1"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < n; i++ {
-		if err := a.Send("b", env); err != nil {
+		if err := a.Send(context.Background(), "b", env); err != nil {
 			t.Fatal(err)
 		}
 	}

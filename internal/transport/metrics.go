@@ -12,14 +12,16 @@ import (
 type endpointMetrics struct {
 	reg *obs.Registry // nil when standalone
 
-	sends      *obs.Counter // envelopes submitted for delivery
-	delivered  *obs.Counter // envelopes handed to a handler
-	lost       *obs.Counter // envelopes discarded by the loss model
-	sendErrors *obs.Counter // failed sends (unknown peer, no handler, dial/write errors)
-	redials    *obs.Counter // TCP dials (first connect and reconnects)
-	received   *obs.Counter // envelopes read off inbound connections
-	bytesOut   *obs.Counter // payload bytes submitted
-	bytesIn    *obs.Counter // payload bytes received
+	sends            *obs.Counter   // envelopes submitted for delivery
+	delivered        *obs.Counter   // envelopes handed to a handler
+	lost             *obs.Counter   // envelopes discarded by the loss model
+	sendErrors       *obs.Counter   // failed sends (unknown peer, no handler, dial/write errors)
+	redials          *obs.Counter   // TCP dials (first connect and reconnects)
+	received         *obs.Counter   // envelopes read off inbound connections
+	bytesOut         *obs.Counter   // payload bytes submitted
+	bytesIn          *obs.Counter   // payload bytes received
+	deadlineExceeded *obs.Counter   // sends/drains aborted by a context or socket deadline
+	drain            *obs.Histogram // graceful-shutdown drain duration
 
 	peerSends map[string]*obs.Counter // registry-bound only
 }
@@ -35,6 +37,8 @@ func newEndpointMetrics(reg *obs.Registry, kind string) *endpointMetrics {
 		m.received = new(obs.Counter)
 		m.bytesOut = new(obs.Counter)
 		m.bytesIn = new(obs.Counter)
+		m.deadlineExceeded = new(obs.Counter)
+		m.drain = new(obs.Histogram)
 		return m
 	}
 	label := []string{"transport", kind}
@@ -54,6 +58,10 @@ func newEndpointMetrics(reg *obs.Registry, kind string) *endpointMetrics {
 		"payload bytes submitted", label...)
 	m.bytesIn = reg.Counter("coralpie_transport_bytes_in_total",
 		"payload bytes received", label...)
+	m.deadlineExceeded = reg.Counter("coralpie_transport_deadline_exceeded_total",
+		"sends or shutdown drains aborted by a context or socket deadline", label...)
+	m.drain = reg.Histogram("coralpie_transport_shutdown_drain_seconds",
+		"graceful-shutdown drain duration", nil, label...)
 	return m
 }
 

@@ -1,10 +1,13 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -12,15 +15,54 @@ import (
 	"repro/internal/protocol"
 )
 
-// dialTimeout bounds outgoing connection establishment.
-const dialTimeout = 5 * time.Second
+// TCPConfig tunes a TCP endpoint's deadlines and dial-retry policy.
+// Zero values take the defaults documented per field.
+type TCPConfig struct {
+	// DialTimeout bounds one connection attempt (default 2s). The whole
+	// dial-with-retry sequence is bounded by the Send context.
+	DialTimeout time.Duration
+	// SendTimeout is the Send budget applied when the caller's context
+	// carries no deadline (default DefaultSendTimeout).
+	SendTimeout time.Duration
+	// DialBackoffBase is the first retry delay after a failed dial
+	// (default 50ms). Subsequent delays double, with jitter.
+	DialBackoffBase time.Duration
+	// DialBackoffMax caps the retry delay (default 1s).
+	DialBackoffMax time.Duration
+	// IdleTimeout, when positive, is a read deadline applied to inbound
+	// connections between envelopes; idle peers are dropped (they
+	// reconnect transparently on their next Send). Zero disables it.
+	IdleTimeout time.Duration
+}
+
+func (c *TCPConfig) applyDefaults() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.SendTimeout <= 0 {
+		c.SendTimeout = DefaultSendTimeout
+	}
+	if c.DialBackoffBase <= 0 {
+		c.DialBackoffBase = 50 * time.Millisecond
+	}
+	if c.DialBackoffMax <= 0 {
+		c.DialBackoffMax = time.Second
+	}
+}
 
 // TCP is an Endpoint over real TCP sockets: a listener that decodes
 // length-prefixed protocol envelopes, and a cache of outgoing connections
-// that redials on failure. Handlers may be invoked concurrently (one
-// goroutine per inbound connection) and must be safe for concurrent use.
+// that redials with capped exponential backoff. Handlers may be invoked
+// concurrently (one goroutine per inbound connection) and must be safe
+// for concurrent use; they receive a context cancelled at shutdown.
 type TCP struct {
-	ln net.Listener
+	ln  net.Listener
+	cfg TCPConfig
+
+	// rootCtx is passed to handlers; cancelled on Close/Shutdown so
+	// in-flight handler work can stop promptly.
+	rootCtx context.Context
+	cancel  context.CancelFunc
 
 	mu      sync.Mutex
 	handler Handler
@@ -29,20 +71,32 @@ type TCP struct {
 	closed  bool
 	m       *endpointMetrics
 
-	wg sync.WaitGroup
+	wg        sync.WaitGroup // accept + read loops
+	handlerWG sync.WaitGroup // in-flight handler invocations
 }
 
 var _ Endpoint = (*TCP)(nil)
 
 // ListenTCP starts an endpoint listening on addr (use "127.0.0.1:0" for an
-// ephemeral port).
+// ephemeral port) with default deadlines.
 func ListenTCP(addr string) (*TCP, error) {
+	return ListenTCPConfig(addr, TCPConfig{})
+}
+
+// ListenTCPConfig starts an endpoint with explicit deadline/backoff
+// tuning.
+func ListenTCPConfig(addr string, cfg TCPConfig) (*TCP, error) {
+	cfg.applyDefaults()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	t := &TCP{
 		ln:      ln,
+		cfg:     cfg,
+		rootCtx: ctx,
+		cancel:  cancel,
 		conns:   make(map[string]net.Conn),
 		inbound: make(map[net.Conn]struct{}),
 		m:       newEndpointMetrics(nil, "tcp"),
@@ -100,32 +154,52 @@ func (t *TCP) readLoop(conn net.Conn) {
 		t.mu.Unlock()
 	}()
 	for {
+		if t.cfg.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(t.cfg.IdleTimeout))
+		}
 		env, err := protocol.ReadEnvelope(conn)
 		if err != nil {
-			return // EOF, peer reset, or framing error: drop the connection
+			return // EOF, peer reset, idle timeout, or framing error
 		}
 		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return // draining: stop dispatching new envelopes
+		}
 		h := t.handler
 		m := t.m
+		if h != nil {
+			t.handlerWG.Add(1)
+		}
 		t.mu.Unlock()
 		m.received.Inc()
 		m.bytesIn.Add(int64(len(env.Payload)))
 		if h != nil {
 			m.delivered.Inc()
-			h(env)
+			h(t.rootCtx, env)
+			t.handlerWG.Done()
 		}
 	}
 }
 
 // Send writes the envelope to addr over a cached connection, dialing on
-// demand. A stale cached connection is redialed once.
-func (t *TCP) Send(addr string, env protocol.Envelope) error {
-	err := t.send(addr, env)
+// demand with capped exponential backoff. The context bounds the whole
+// operation; without a deadline, SendTimeout applies.
+func (t *TCP) Send(ctx context.Context, addr string, env protocol.Envelope) error {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t.cfg.SendTimeout)
+		defer cancel()
+	}
+	err := t.send(ctx, addr, env)
 	t.mu.Lock()
 	m := t.m
 	t.mu.Unlock()
 	if err != nil {
 		m.sendErrors.Inc()
+		if isDeadlineError(err) {
+			m.deadlineExceeded.Inc()
+		}
 	} else {
 		m.sends.Inc()
 		m.bytesOut.Add(int64(len(env.Payload)))
@@ -139,28 +213,39 @@ func (t *TCP) Send(addr string, env protocol.Envelope) error {
 	return err
 }
 
-func (t *TCP) send(addr string, env protocol.Envelope) error {
+// isDeadlineError reports whether err stems from a context deadline or a
+// socket timeout.
+func isDeadlineError(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+func (t *TCP) send(ctx context.Context, addr string, env protocol.Envelope) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return ErrClosed
 	}
 	conn := t.conns[addr]
-	m := t.m
 	t.mu.Unlock()
 
 	if conn != nil {
-		if err := t.writeTo(conn, addr, env); err == nil {
+		if err := t.writeTo(ctx, conn, addr, env); err == nil {
 			return nil
 		}
 		// Stale connection: drop it and redial below.
 		t.dropConn(addr, conn)
 	}
 
-	m.redials.Inc()
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	conn, err := t.dialWithBackoff(ctx, addr)
 	if err != nil {
-		return fmt.Errorf("transport: dial %s: %w", addr, err)
+		return err
 	}
 
 	t.mu.Lock()
@@ -173,7 +258,7 @@ func (t *TCP) send(addr string, env protocol.Envelope) error {
 		// A concurrent Send won the dial race; reuse its connection.
 		t.mu.Unlock()
 		_ = conn.Close()
-		if err := t.writeTo(existing, addr, env); err == nil {
+		if err := t.writeTo(ctx, existing, addr, env); err == nil {
 			return nil
 		}
 		t.dropConn(addr, existing)
@@ -182,20 +267,64 @@ func (t *TCP) send(addr string, env protocol.Envelope) error {
 	t.conns[addr] = conn
 	t.mu.Unlock()
 
-	if err := t.writeTo(conn, addr, env); err != nil {
+	if err := t.writeTo(ctx, conn, addr, env); err != nil {
 		t.dropConn(addr, conn)
 		return err
 	}
 	return nil
 }
 
+// dialWithBackoff dials addr, retrying with capped exponential backoff
+// plus jitter until the context expires. Transient listener restarts
+// (e.g. a store server rebooting) are therefore ridden out instead of
+// failing the first Send.
+func (t *TCP) dialWithBackoff(ctx context.Context, addr string) (net.Conn, error) {
+	d := net.Dialer{Timeout: t.cfg.DialTimeout}
+	backoff := t.cfg.DialBackoffBase
+	for {
+		t.mu.Lock()
+		closed := t.closed
+		m := t.m
+		t.mu.Unlock()
+		if closed {
+			return nil, ErrClosed
+		}
+		m.redials.Inc()
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("transport: dial %s: %w (last attempt: %v)", addr, ctx.Err(), err)
+		}
+		// Full jitter in [backoff/2, backoff) decorrelates concurrent
+		// senders hammering a restarting peer.
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, fmt.Errorf("transport: dial %s: %w (last attempt: %v)", addr, ctx.Err(), err)
+		case <-timer.C:
+		}
+		backoff *= 2
+		if backoff > t.cfg.DialBackoffMax {
+			backoff = t.cfg.DialBackoffMax
+		}
+	}
+}
+
 // writeTo serializes writes per connection via the connection-map lock to
-// keep frames from interleaving.
-func (t *TCP) writeTo(conn net.Conn, addr string, env protocol.Envelope) error {
+// keep frames from interleaving. The write deadline comes from ctx, so a
+// peer that accepts but never drains cannot block the caller forever.
+func (t *TCP) writeTo(ctx context.Context, conn net.Conn, addr string, env protocol.Envelope) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.conns[addr] != conn && t.conns[addr] != nil {
 		conn = t.conns[addr]
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetWriteDeadline(deadline)
 	}
 	if err := protocol.WriteEnvelope(conn, env); err != nil {
 		return fmt.Errorf("transport: send %s: %w", addr, err)
@@ -212,15 +341,54 @@ func (t *TCP) dropConn(addr string, conn net.Conn) {
 	_ = conn.Close()
 }
 
-// Close stops the listener, closes every connection, and waits for the
-// background goroutines to exit.
-func (t *TCP) Close() error {
+// Shutdown gracefully stops the endpoint: it stops accepting and
+// dispatching, waits for in-flight handlers to return until ctx is done,
+// then hard-closes every connection and joins the background goroutines.
+// The drain duration is recorded in
+// coralpie_transport_shutdown_drain_seconds.
+func (t *TCP) Shutdown(ctx context.Context) error {
+	start := time.Now()
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return nil
 	}
 	t.closed = true
+	m := t.m
+	t.mu.Unlock()
+
+	lnErr := t.ln.Close() // no new inbound connections
+
+	// Drain in-flight handlers, bounded by ctx.
+	drained := make(chan struct{})
+	go func() {
+		t.handlerWG.Wait()
+		close(drained)
+	}()
+	var drainErr error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		drainErr = fmt.Errorf("transport: shutdown drain: %w", ctx.Err())
+		m.deadlineExceeded.Inc()
+	}
+
+	t.closeConnsAndJoin()
+	m.drain.Observe(time.Since(start).Seconds())
+	if drainErr != nil {
+		return drainErr
+	}
+	if lnErr != nil && !errors.Is(lnErr, io.ErrClosedPipe) {
+		return fmt.Errorf("transport: close listener: %w", lnErr)
+	}
+	return nil
+}
+
+// closeConnsAndJoin hard-closes every connection, cancels the handler
+// context, and waits for the accept/read goroutines.
+func (t *TCP) closeConnsAndJoin() {
+	t.cancel()
+	t.mu.Lock()
 	conns := make([]net.Conn, 0, len(t.conns)+len(t.inbound))
 	for _, c := range t.conns {
 		conns = append(conns, c)
@@ -230,12 +398,25 @@ func (t *TCP) Close() error {
 	}
 	t.conns = make(map[string]net.Conn)
 	t.mu.Unlock()
-
-	err := t.ln.Close()
 	for _, c := range conns {
 		_ = c.Close()
 	}
 	t.wg.Wait()
+}
+
+// Close hard-stops the listener, closes every connection, and waits for
+// the background goroutines to exit without draining handlers.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+
+	err := t.ln.Close()
+	t.closeConnsAndJoin()
 	if err != nil && !errors.Is(err, io.ErrClosedPipe) {
 		return fmt.Errorf("transport: close listener: %w", err)
 	}

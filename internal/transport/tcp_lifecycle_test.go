@@ -1,0 +1,230 @@
+package transport
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// TestTCPSendDeadlineStalledPeer covers the write path against a peer
+// that accepts connections but never drains them: once the kernel
+// buffers fill, Send must fail with a deadline error within the context
+// budget instead of blocking forever.
+func TestTCPSendDeadlineStalledPeer(t *testing.T) {
+	// A raw listener that accepts and then ignores the connection.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var connMu sync.Mutex
+	var conns []net.Conn
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			connMu.Lock()
+			conns = append(conns, c) // hold the conn open, never read
+			connMu.Unlock()
+		}
+	}()
+	defer func() {
+		_ = ln.Close()
+		<-acceptDone
+		connMu.Lock()
+		defer connMu.Unlock()
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+
+	// Big envelopes fill the socket buffers quickly. The payload must be
+	// valid JSON (Envelope.Payload is a json.RawMessage).
+	big := make([]byte, 4<<20)
+	for i := range big {
+		big[i] = 'a'
+	}
+	big[0], big[len(big)-1] = '"', '"'
+	env := protocol.Envelope{Type: protocol.TypeRetire, Payload: big}
+
+	start := time.Now()
+	var sendErr error
+	for i := 0; i < 32; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+		sendErr = a.Send(ctx, ln.Addr().String(), env)
+		cancel()
+		if sendErr != nil {
+			break
+		}
+	}
+	if sendErr == nil {
+		t.Fatal("sends to a never-draining peer kept succeeding; write path has no deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+	a.mu.Lock()
+	deadlines := a.m.deadlineExceeded.Value()
+	a.mu.Unlock()
+	if deadlines == 0 {
+		t.Errorf("deadlineExceeded counter = 0, want > 0 (err: %v)", sendErr)
+	}
+}
+
+// TestTCPDialBackoffRidesOutRestart verifies the dialer retries with
+// backoff: the destination's listener only appears after the first
+// attempts have failed, and Send still succeeds within its context.
+func TestTCPDialBackoffRidesOutRestart(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+
+	// Reserve an address, then free it so the first dials fail.
+	tmp, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := tmp.Addr().String()
+	_ = tmp.Close()
+
+	got := make(chan protocol.Envelope, 1)
+	ready := make(chan *TCP, 1)
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		b, err := ListenTCP(addr)
+		if err != nil {
+			return // port raced away; Send will fail and the test reports it
+		}
+		b.SetHandler(func(_ context.Context, env protocol.Envelope) { got <- env })
+		ready <- b
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := a.Send(ctx, addr, retireEnv(t, "late#1")); err != nil {
+		t.Fatalf("send across delayed listener start: %v", err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("message not delivered after backoff dial")
+	}
+	select {
+	case b := <-ready:
+		_ = b.Close()
+	default:
+	}
+}
+
+// TestTCPShutdownDrainsAndLeaksNoGoroutines asserts the graceful
+// lifecycle: Shutdown waits for an in-flight handler, and after it
+// returns no transport goroutines remain.
+func TestTCPShutdownDrainsAndLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	handled := make(chan struct{})
+	b.SetHandler(func(ctx context.Context, env protocol.Envelope) {
+		close(entered)
+		<-release
+		close(handled)
+	})
+	if err := a.Send(context.Background(), b.Addr(), retireEnv(t, "x#1")); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	// Shutdown must block on the in-flight handler, then finish.
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- b.Shutdown(ctx)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Shutdown returned while a handler was in flight")
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	<-handled
+	if b.m.drain.Count() == 0 {
+		t.Error("shutdown drain histogram recorded nothing")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// All transport goroutines must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		buf := make([]byte, 1<<16)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutines: before=%d after=%d\n%s", before, after, buf[:n])
+	}
+}
+
+// TestTCPShutdownDeadlineForcesClose covers the hard-close fallback: a
+// handler that never returns cannot hold Shutdown past its context.
+func TestTCPShutdownDeadlineForcesClose(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	b.SetHandler(func(ctx context.Context, env protocol.Envelope) {
+		close(entered)
+		<-ctx.Done() // only the shutdown cancellation releases this handler
+	})
+	if err := a.Send(context.Background(), b.Addr(), retireEnv(t, "x#1")); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = b.Shutdown(ctx)
+	if err == nil {
+		t.Error("Shutdown should report the missed drain deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("Shutdown took %v despite a 200ms drain deadline", elapsed)
+	}
+}

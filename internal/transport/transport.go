@@ -4,17 +4,27 @@
 // discrete-event simulator with a configurable network latency), and a
 // TCP transport for real distributed deployments, standing in for the
 // paper's ZeroMQ sockets.
+//
+// Every blocking operation is context-aware: Send honors the caller's
+// context (falling back to DefaultSendTimeout when the context carries no
+// deadline), and handlers receive a context that is cancelled when the
+// endpoint shuts down, so downstream work can stop promptly during
+// teardown.
 package transport
 
 import (
+	"context"
 	"errors"
+	"time"
 
 	"repro/internal/protocol"
 )
 
 // Handler consumes an incoming envelope. Implementations are invoked
-// sequentially per endpoint; a handler must not block for long.
-type Handler func(env protocol.Envelope)
+// sequentially per connection; a handler must not block for long and
+// should abandon work when ctx is cancelled (the endpoint is shutting
+// down).
+type Handler func(ctx context.Context, env protocol.Envelope)
 
 // Endpoint is one addressable party on a network.
 type Endpoint interface {
@@ -23,9 +33,14 @@ type Endpoint interface {
 	// SetHandler installs the incoming-message callback. It must be
 	// called before any peer sends to this endpoint.
 	SetHandler(h Handler)
-	// Send delivers an envelope to a peer address.
-	Send(addr string, env protocol.Envelope) error
-	// Close releases resources and stops background goroutines.
+	// Send delivers an envelope to a peer address. The context bounds
+	// the whole operation (dial, retries, write); implementations apply
+	// DefaultSendTimeout when ctx has no deadline, so a stalled peer can
+	// never block the caller forever.
+	Send(ctx context.Context, addr string, env protocol.Envelope) error
+	// Close releases resources and stops background goroutines
+	// immediately (hard close). TCP endpoints additionally offer
+	// Shutdown(ctx) for a graceful drain.
 	Close() error
 }
 
@@ -35,3 +50,6 @@ var (
 	ErrUnknownAddress = errors.New("transport: unknown address")
 	ErrNoHandler      = errors.New("transport: destination has no handler")
 )
+
+// DefaultSendTimeout bounds a Send whose context carries no deadline.
+const DefaultSendTimeout = 5 * time.Second

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -30,8 +31,8 @@ func TestBusSynchronousDelivery(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []protocol.Envelope
-	b.SetHandler(func(env protocol.Envelope) { got = append(got, env) })
-	if err := a.Send("b", retireEnv(t, "x#1")); err != nil {
+	b.SetHandler(func(_ context.Context, env protocol.Envelope) { got = append(got, env) })
+	if err := a.Send(context.Background(), "b", retireEnv(t, "x#1")); err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 1 || got[0].Type != protocol.TypeRetire {
@@ -58,7 +59,7 @@ func TestBusUnknownAddress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send("ghost", retireEnv(t, "x#1")); !errors.Is(err, ErrUnknownAddress) {
+	if err := a.Send(context.Background(), "ghost", retireEnv(t, "x#1")); !errors.Is(err, ErrUnknownAddress) {
 		t.Errorf("want ErrUnknownAddress, got %v", err)
 	}
 }
@@ -72,7 +73,7 @@ func TestBusNoHandler(t *testing.T) {
 	if _, err := bus.Endpoint("b"); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send("b", retireEnv(t, "x#1")); !errors.Is(err, ErrNoHandler) {
+	if err := a.Send(context.Background(), "b", retireEnv(t, "x#1")); !errors.Is(err, ErrNoHandler) {
 		t.Errorf("want ErrNoHandler, got %v", err)
 	}
 }
@@ -87,18 +88,18 @@ func TestBusClosedEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b.SetHandler(func(protocol.Envelope) {})
+	b.SetHandler(func(context.Context, protocol.Envelope) {})
 	if err := a.Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := a.Close(); err != nil {
 		t.Errorf("double close: %v", err)
 	}
-	if err := a.Send("b", retireEnv(t, "x")); !errors.Is(err, ErrClosed) {
+	if err := a.Send(context.Background(), "b", retireEnv(t, "x")); !errors.Is(err, ErrClosed) {
 		t.Errorf("send after close: %v", err)
 	}
 	// Sending to a closed endpoint fails with unknown address.
-	if err := b.Send("a", retireEnv(t, "y")); !errors.Is(err, ErrUnknownAddress) {
+	if err := b.Send(context.Background(), "a", retireEnv(t, "y")); !errors.Is(err, ErrUnknownAddress) {
 		t.Errorf("send to closed: %v", err)
 	}
 }
@@ -115,8 +116,8 @@ func TestSimBusLatency(t *testing.T) {
 		t.Fatal(err)
 	}
 	var deliveredAt time.Duration = -1
-	b.SetHandler(func(protocol.Envelope) { deliveredAt = sim.Now() })
-	if err := a.Send("b", retireEnv(t, "x")); err != nil {
+	b.SetHandler(func(context.Context, protocol.Envelope) { deliveredAt = sim.Now() })
+	if err := a.Send(context.Background(), "b", retireEnv(t, "x")); err != nil {
 		t.Fatal(err)
 	}
 	if deliveredAt != -1 {
@@ -140,8 +141,8 @@ func TestSimBusInFlightMessageToFailedEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	delivered := false
-	b.SetHandler(func(protocol.Envelope) { delivered = true })
-	if err := a.Send("b", retireEnv(t, "x")); err != nil {
+	b.SetHandler(func(context.Context, protocol.Envelope) { delivered = true })
+	if err := a.Send(context.Background(), "b", retireEnv(t, "x")); err != nil {
 		t.Fatal(err)
 	}
 	bus.Partition("b") // b dies while the message is in flight
@@ -166,7 +167,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	var mu sync.Mutex
 	var got []protocol.Envelope
 	done := make(chan struct{}, 16)
-	b.SetHandler(func(env protocol.Envelope) {
+	b.SetHandler(func(_ context.Context, env protocol.Envelope) {
 		mu.Lock()
 		got = append(got, env)
 		mu.Unlock()
@@ -174,7 +175,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	})
 
 	for i := 0; i < 3; i++ {
-		if err := a.Send(b.Addr(), retireEnv(t, "x#1")); err != nil {
+		if err := a.Send(context.Background(), b.Addr(), retireEnv(t, "x#1")); err != nil {
 			t.Fatalf("send %d: %v", i, err)
 		}
 	}
@@ -206,13 +207,13 @@ func TestTCPBidirectional(t *testing.T) {
 
 	gotA := make(chan protocol.Envelope, 1)
 	gotB := make(chan protocol.Envelope, 1)
-	a.SetHandler(func(env protocol.Envelope) { gotA <- env })
-	b.SetHandler(func(env protocol.Envelope) { gotB <- env })
+	a.SetHandler(func(_ context.Context, env protocol.Envelope) { gotA <- env })
+	b.SetHandler(func(_ context.Context, env protocol.Envelope) { gotB <- env })
 
-	if err := a.Send(b.Addr(), retireEnv(t, "to-b#1")); err != nil {
+	if err := a.Send(context.Background(), b.Addr(), retireEnv(t, "to-b#1")); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Send(a.Addr(), retireEnv(t, "to-a#1")); err != nil {
+	if err := b.Send(context.Background(), a.Addr(), retireEnv(t, "to-a#1")); err != nil {
 		t.Fatal(err)
 	}
 	for _, ch := range []chan protocol.Envelope{gotA, gotB} {
@@ -238,7 +239,11 @@ func TestTCPSendToDeadPeerFails(t *testing.T) {
 	if err := dead.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Send(deadAddr, retireEnv(t, "x")); err == nil {
+	// The dialer retries with backoff until the context expires, so bound
+	// the attempt explicitly.
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if err := a.Send(ctx, deadAddr, retireEnv(t, "x")); err == nil {
 		t.Error("send to dead peer should eventually error")
 	}
 }
@@ -256,8 +261,8 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 	}
 	addr := b1.Addr()
 	got := make(chan protocol.Envelope, 8)
-	b1.SetHandler(func(env protocol.Envelope) { got <- env })
-	if err := a.Send(addr, retireEnv(t, "first#1")); err != nil {
+	b1.SetHandler(func(_ context.Context, env protocol.Envelope) { got <- env })
+	if err := a.Send(context.Background(), addr, retireEnv(t, "first#1")); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -275,14 +280,14 @@ func TestTCPReconnectAfterPeerRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = b2.Close() }()
-	b2.SetHandler(func(env protocol.Envelope) { got <- env })
+	b2.SetHandler(func(_ context.Context, env protocol.Envelope) { got <- env })
 
 	// The cached connection is stale; Send must redial. The first send
 	// may or may not detect staleness immediately (TCP buffering), so try
 	// a few times.
 	delivered := false
 	for i := 0; i < 10 && !delivered; i++ {
-		_ = a.Send(addr, retireEnv(t, "second#1"))
+		_ = a.Send(context.Background(), addr, retireEnv(t, "second#1"))
 		select {
 		case <-got:
 			delivered = true
@@ -305,7 +310,7 @@ func TestTCPSendAfterClose(t *testing.T) {
 	if err := a.Close(); err != nil {
 		t.Errorf("double close: %v", err)
 	}
-	if err := a.Send("127.0.0.1:1", retireEnv(t, "x")); !errors.Is(err, ErrClosed) {
+	if err := a.Send(context.Background(), "127.0.0.1:1", retireEnv(t, "x")); !errors.Is(err, ErrClosed) {
 		t.Errorf("send after close: %v", err)
 	}
 }
@@ -319,7 +324,7 @@ func TestTCPConcurrentSenders(t *testing.T) {
 	var count sync.WaitGroup
 	const total = 40
 	count.Add(total)
-	recv.SetHandler(func(protocol.Envelope) { count.Done() })
+	recv.SetHandler(func(context.Context, protocol.Envelope) { count.Done() })
 
 	sender, err := ListenTCP("127.0.0.1:0")
 	if err != nil {
@@ -333,7 +338,7 @@ func TestTCPConcurrentSenders(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < total/4; j++ {
-				if err := sender.Send(recv.Addr(), retireEnv(t, "c#1")); err != nil {
+				if err := sender.Send(context.Background(), recv.Addr(), retireEnv(t, "c#1")); err != nil {
 					t.Errorf("send: %v", err)
 					return
 				}
