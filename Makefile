@@ -18,6 +18,7 @@ vet:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/obs/ ./internal/pipeline/
+	$(GO) test -run=NONE -bench=BenchmarkTrajstoreWritePath -benchtime=2s .
 
 fmt:
 	gofmt -l -w cmd internal examples

@@ -14,6 +14,8 @@ package coralpie
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -394,6 +396,121 @@ func BenchmarkTrajStoreInsert(b *testing.B) {
 		}
 		prev = id
 	}
+}
+
+// BenchmarkTrajstoreWritePath measures edge-insert throughput into a
+// persistent trajectory store over loopback TCP — the shared write path
+// every camera pays — comparing one synchronous RPC per edge against the
+// client-side batch writer riding the server's add_batch group commit.
+// Results are recorded in BENCH_trajstore.json.
+func BenchmarkTrajstoreWritePath(b *testing.B) {
+	for _, mode := range []string{"percall", "batched"} {
+		for _, clients := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/clients-%d", mode, clients), func(b *testing.B) {
+				benchTrajstoreWritePath(b, mode, clients)
+			})
+		}
+	}
+}
+
+func benchTrajstoreWritePath(b *testing.B, mode string, clients int) {
+	store, err := trajstore.OpenWithConfig(b.TempDir(), trajstore.StoreConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = store.Close() }()
+	srv, err := trajstore.Serve(store, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	// Pre-insert a vertex pool for the edges to connect. 2048 vertices
+	// give ~4.2M unique (from, to) pairs before the store's duplicate
+	// guard would trip.
+	const vpool = 2048
+	seed, err := trajstore.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]int64, 0, vpool)
+	for off := 0; off < vpool; off += 256 {
+		writes := make([]protocol.TrajWrite, 256)
+		for i := range writes {
+			writes[i] = protocol.VertexWrite(protocol.DetectionEvent{
+				ID:       protocol.NewEventID("bench", int64(off+i)),
+				CameraID: "bench",
+			})
+		}
+		got, _, err := seed.AddBatch(writes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, got...)
+	}
+	_ = seed.Close()
+
+	// The k-th edge overall connects a unique vertex pair.
+	pairOf := func(k int64) (int64, int64) {
+		i := k % vpool
+		r := k / vpool
+		return ids[i], ids[(i+1+r)%vpool]
+	}
+
+	var next atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	noteErr := func(err error) {
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+		}
+	}
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per, rem := b.N/clients, b.N%clients
+	for c := 0; c < clients; c++ {
+		n := per
+		if c < rem {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			cl, err := trajstore.Dial(srv.Addr())
+			if err != nil {
+				noteErr(err)
+				return
+			}
+			defer func() { _ = cl.Close() }()
+			if mode == "batched" {
+				w := trajstore.NewBatchWriter(cl, trajstore.BatchWriterConfig{MaxBatch: 128})
+				for i := 0; i < n; i++ {
+					from, to := pairOf(next.Add(1) - 1)
+					w.QueueEdge(from, to, 0.1, noteErr)
+				}
+				noteErr(w.Close())
+				return
+			}
+			for i := 0; i < n; i++ {
+				from, to := pairOf(next.Add(1) - 1)
+				noteErr(cl.AddEdge(from, to, 0.1))
+			}
+		}(n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	errMu.Lock()
+	err = firstErr
+	errMu.Unlock()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "edges/s")
 }
 
 func BenchmarkCameraRender(b *testing.B) {

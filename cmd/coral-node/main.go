@@ -124,6 +124,11 @@ func run() error {
 		return fmt.Errorf("trajectory store: %w", err)
 	}
 	defer func() { _ = trajClient.Close() }()
+	// Buffer edge writes client-side: re-id edges flush in batches over
+	// the add_batch op instead of one RPC each. Close drains the buffer
+	// before the underlying client goes away.
+	trajWriter := trajstore.NewBatchWriter(trajClient, trajstore.BatchWriterConfig{})
+	defer func() { _ = trajWriter.Close() }()
 
 	detector, err := vision.NewSimDetector(vision.DefaultSimDetectorConfig(*seed))
 	if err != nil {
@@ -139,7 +144,7 @@ func run() error {
 		Tracker:            tracker.Config{MaxAge: 3, MinHits: 3, IoUThreshold: 0.25},
 		Matcher:            reid.DefaultMatcherConfig(),
 		Pool:               reid.DefaultPoolConfig(),
-		TrajStore:          trajClient,
+		TrajStore:          trajWriter,
 		Clock:              clock.Real{},
 		Registry:           obs.Default(),
 		Tracer:             tracer,

@@ -32,6 +32,8 @@ func run() error {
 		compact   = flag.Duration("compact-every", 10*time.Minute, "snapshot compaction interval (persistent stores)")
 		obsListen = flag.String("obs-listen", "127.0.0.1:9091", "telemetry HTTP address for /metrics, /healthz, /debug/obs (empty = disabled)")
 		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long a SIGINT/SIGTERM shutdown may spend draining in-flight requests")
+		fsync     = flag.Bool("fsync", false, "fsync every WAL group commit (durable across power loss; pair with -group-commit-window)")
+		window    = flag.Duration("group-commit-window", 0, "WAL group-commit window: writes acknowledged within one window share one flush (0 = flush immediately)")
 	)
 	flag.Parse()
 
@@ -45,7 +47,10 @@ func run() error {
 	if *dir == "" {
 		store = trajstore.NewMemStore()
 	} else {
-		store, err = trajstore.Open(*dir)
+		store, err = trajstore.OpenWithConfig(*dir, trajstore.StoreConfig{
+			Fsync:             *fsync,
+			GroupCommitWindow: *window,
+		})
 		if err != nil {
 			return err
 		}

@@ -29,11 +29,27 @@ import (
 	"repro/internal/vision"
 )
 
-// TrajStore is the trajectory storage client interface; both the local
-// *trajstore.Store and the remote *trajstore.Client satisfy it.
+// TrajStore is the trajectory storage client interface; the local
+// *trajstore.Store, the remote *trajstore.Client, and the buffered
+// *trajstore.BatchWriter all satisfy it.
 type TrajStore interface {
 	AddVertex(e protocol.DetectionEvent) (int64, error)
 	AddEdge(from, to int64, weight float64) error
+}
+
+// EdgeQueuer is the optional asynchronous edge path. When the configured
+// TrajStore implements it (trajstore.BatchWriter does), re-identification
+// edges are queued for batched delivery instead of paying one synchronous
+// RPC each; the done callback feeds the node's send_errors / edge
+// accounting when the batch lands.
+type EdgeQueuer interface {
+	QueueEdge(from, to int64, weight float64, done func(error))
+}
+
+// EdgeFlusher is the optional drain hook for queued edges; FlushContext
+// invokes it so end-of-stream leaves no edge buffered.
+type EdgeFlusher interface {
+	Flush(ctx context.Context) error
 }
 
 // FrameSink is the frame storage client interface (framestore.Client).
@@ -206,7 +222,23 @@ func New(cfg Config, ep transport.Endpoint) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	pool, err := reid.NewPool(cfg.Pool)
+	poolCfg := cfg.Pool
+	if cfg.Tracer != nil {
+		// Finish handoff spans for entries the pool expires unmatched;
+		// without this, informs that never match leak open spans forever.
+		// The closure captures the tracer and camera ID (not the Node,
+		// which does not exist yet) and runs under the pool lock.
+		tracer, cam, prev := cfg.Tracer, cfg.CameraID, cfg.Pool.OnEvict
+		poolCfg.OnEvict = func(e reid.Entry) {
+			if prev != nil {
+				prev(e)
+			}
+			if !e.Matched {
+				tracer.Finish(string(e.Event.ID), "handoff:"+cam, "outcome", "expired")
+			}
+		}
+	}
+	pool, err := reid.NewPool(poolCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -298,8 +330,13 @@ func (n *Node) handleInform(m protocol.Inform) {
 	n.mu.Lock()
 	n.stats.InformsReceived++
 	if m.FromAddr != "" {
+		// A redelivered inform refreshes the sender address but must not
+		// re-append to the FIFO: a duplicate slot would later evict the
+		// live map entry while the stale slot kept burning budget.
+		if _, tracked := n.upstream[m.Event.ID]; !tracked {
+			n.upOrd = append(n.upOrd, m.Event.ID)
+		}
 		n.upstream[m.Event.ID] = m.FromAddr
-		n.upOrd = append(n.upOrd, m.Event.ID)
 		for len(n.upOrd) > n.maxPend {
 			old := n.upOrd[0]
 			n.upOrd = n.upOrd[1:]
@@ -507,6 +544,13 @@ func (n *Node) FlushContext(ctx context.Context) error {
 			return err
 		}
 	}
+	// End of stream: drain any edges still sitting in a batched write
+	// buffer so their results (and accounting) land before we return.
+	if fl, ok := n.cfg.TrajStore.(EdgeFlusher); ok {
+		if err := fl.Flush(ctx); err != nil {
+			return fmt.Errorf("camnode: flush edge buffer: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -573,18 +617,18 @@ func (n *Node) emitEvent(ctx context.Context, tr *tracker.Track) error {
 	}
 	if matched {
 		up := matchEntry.Event
+		// A re-identification happened whether or not the edge write
+		// lands; keep the obs counter and Stats.ReidMatches in lockstep
+		// instead of letting a store hiccup skew one but not the other.
 		n.m.reidMatches.Inc()
+		n.mu.Lock()
+		n.stats.ReidMatches++
+		n.mu.Unlock()
 		if n.cfg.Tracer != nil {
 			n.cfg.Tracer.Finish(string(up.ID), "handoff:"+n.cfg.CameraID,
 				"outcome", "matched", "event", string(ev.ID))
 		}
-		if err := n.cfg.TrajStore.AddEdge(up.VertexID, vid, dist); err == nil {
-			n.m.edges.Inc()
-			n.mu.Lock()
-			n.stats.EdgesInserted++
-			n.stats.ReidMatches++
-			n.mu.Unlock()
-		}
+		n.insertEdge(up.VertexID, vid, dist)
 		n.pool.MarkMatched(up.ID)
 		// Confirming stage: notify the predecessor camera.
 		if addr := n.upstreamAddr(up); addr != "" {
@@ -628,6 +672,36 @@ func (n *Node) emitEvent(ctx context.Context, tr *tracker.Track) error {
 	return nil
 }
 
+// insertEdge writes a re-identification edge, preferring the queued
+// batch path when the store offers one (the buffered writer retries
+// transient failures before reporting). Either way the final result
+// flows through edgeResult so Stats/obs accounting stays exact.
+func (n *Node) insertEdge(from, to int64, weight float64) {
+	if q, ok := n.cfg.TrajStore.(EdgeQueuer); ok {
+		q.QueueEdge(from, to, weight, n.edgeResult)
+		return
+	}
+	n.edgeResult(n.cfg.TrajStore.AddEdge(from, to, weight))
+}
+
+// edgeResult records the outcome of one edge insert. It may run on the
+// batch writer's flusher goroutine, so it takes the node lock itself. A
+// failed edge counts as a send error — the trajectory graph is a remote
+// peer like any other — instead of vanishing silently.
+func (n *Node) edgeResult(err error) {
+	if err != nil {
+		n.m.sendErrors.Inc()
+		n.mu.Lock()
+		n.stats.SendErrors++
+		n.mu.Unlock()
+		return
+	}
+	n.m.edges.Inc()
+	n.mu.Lock()
+	n.stats.EdgesInserted++
+	n.mu.Unlock()
+}
+
 // upstreamAddr resolves the reply address for a pool entry. The informing
 // message recorded the sender address when the event arrived; events that
 // came without one cannot be confirmed.
@@ -637,12 +711,16 @@ func (n *Node) upstreamAddr(e protocol.DetectionEvent) string {
 	return n.upstream[e.ID]
 }
 
-// rememberInform records where an event was informed, bounded FIFO.
+// rememberInform records where an event was informed, bounded FIFO. A
+// repeat for an already-pending event replaces the recipient set without
+// re-appending to the FIFO (see handleInform's duplicate handling).
 func (n *Node) rememberInform(id protocol.EventID, sentTo []protocol.CameraRef) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if _, tracked := n.pending[id]; !tracked {
+		n.pendOrd = append(n.pendOrd, id)
+	}
 	n.pending[id] = &pendingInform{eventID: id, sentTo: sentTo}
-	n.pendOrd = append(n.pendOrd, id)
 	for len(n.pendOrd) > n.maxPend {
 		old := n.pendOrd[0]
 		n.pendOrd = n.pendOrd[1:]

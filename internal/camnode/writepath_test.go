@@ -1,0 +1,255 @@
+package camnode
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/geo"
+	"repro/internal/imaging"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/reid"
+	"repro/internal/trajstore"
+	"repro/internal/transport"
+)
+
+// informEvent builds a minimal upstream detection event for direct
+// handleInform delivery.
+func informEvent(id string) protocol.DetectionEvent {
+	return protocol.DetectionEvent{
+		ID:        protocol.EventID(id),
+		CameraID:  "up",
+		Timestamp: epoch,
+	}
+}
+
+// TestDuplicateInformRedelivery proves a re-delivered Inform refreshes
+// the sender address without corrupting the upstream FIFO: with the old
+// double-append, the duplicate slot evicted the live map entry early
+// while the stale slot kept burning budget.
+func TestDuplicateInformRedelivery(t *testing.T) {
+	bus := transport.NewBus()
+	cfg := nodeConfig("dupcam", trajstore.NewMemStore())
+	cfg.MaxPendingInforms = 2
+	n := newTestNode(t, bus, "dupcam", cfg)
+
+	evA, evB := informEvent("up#A"), informEvent("up#B")
+	n.handleInform(protocol.Inform{Event: evA, FromAddr: "addrA"})
+	n.handleInform(protocol.Inform{Event: evA, FromAddr: "addrA2"}) // redelivery
+	n.handleInform(protocol.Inform{Event: evB, FromAddr: "addrB"})
+
+	n.mu.Lock()
+	ordLen, mapLen := len(n.upOrd), len(n.upstream)
+	gotA, gotB := n.upstream[evA.ID], n.upstream[evB.ID]
+	n.mu.Unlock()
+
+	if ordLen != 2 || mapLen != 2 {
+		t.Fatalf("upOrd=%d upstream=%d, want 2/2: duplicate slot corrupted the FIFO", ordLen, mapLen)
+	}
+	if gotA != "addrA2" {
+		t.Errorf("upstream[A] = %q, want refreshed addrA2", gotA)
+	}
+	if gotB != "addrB" {
+		t.Errorf("upstream[B] = %q", gotB)
+	}
+	if n.Stats().InformsReceived != 3 {
+		t.Errorf("informs received = %d", n.Stats().InformsReceived)
+	}
+}
+
+// TestRememberInformRedelivery covers the same double-append bug on the
+// pending-confirm side.
+func TestRememberInformRedelivery(t *testing.T) {
+	bus := transport.NewBus()
+	cfg := nodeConfig("pendcam", trajstore.NewMemStore())
+	cfg.MaxPendingInforms = 2
+	n := newTestNode(t, bus, "pendcam", cfg)
+
+	refs := []protocol.CameraRef{{ID: "x", Addr: "x"}}
+	n.rememberInform("e1", refs)
+	n.rememberInform("e1", refs) // repeat replaces, must not re-append
+	n.rememberInform("e2", refs)
+
+	n.mu.Lock()
+	ordLen, mapLen := len(n.pendOrd), len(n.pending)
+	_, hasE1 := n.pending["e1"]
+	n.mu.Unlock()
+
+	if ordLen != 2 || mapLen != 2 {
+		t.Fatalf("pendOrd=%d pending=%d, want 2/2", ordLen, mapLen)
+	}
+	if !hasE1 {
+		t.Error("e1 evicted by its own duplicate slot")
+	}
+}
+
+// edgeFailStore passes vertices through and fails every edge insert.
+type edgeFailStore struct {
+	*trajstore.Store
+}
+
+func (s *edgeFailStore) AddEdge(from, to int64, weight float64) error {
+	return errors.New("injected edge failure")
+}
+
+// TestReidMatchAccountingWhenEdgeFails proves the re-id accounting no
+// longer diverges on a failed edge write: ReidMatches counts the match,
+// the failure lands in SendErrors, and EdgesInserted stays at zero.
+func TestReidMatchAccountingWhenEdgeFails(t *testing.T) {
+	bus := transport.NewBus()
+	base := trajstore.NewMemStore()
+	store := &edgeFailStore{Store: base}
+	a := newTestNode(t, bus, "camA", nodeConfig("camA", store))
+	b := newTestNode(t, bus, "camB", nodeConfig("camB", store))
+	a.Topology().ApplyUpdate(protocol.TopologyUpdate{
+		CameraID: "camA",
+		Version:  1,
+		MDCS: map[geo.Direction][]protocol.CameraRef{
+			geo.East: {{ID: "camB", Addr: "camB"}},
+		},
+	})
+
+	driveVehicleThrough(t, a, "veh-1", imaging.Red, 0)
+	driveVehicleThrough(t, b, "veh-1", imaging.Red, 100)
+
+	st := b.Stats()
+	if st.ReidMatches != 1 {
+		t.Errorf("ReidMatches = %d, want 1 (match happened regardless of edge outcome)", st.ReidMatches)
+	}
+	if st.EdgesInserted != 0 {
+		t.Errorf("EdgesInserted = %d, want 0", st.EdgesInserted)
+	}
+	if st.SendErrors == 0 {
+		t.Error("failed edge write not counted in SendErrors")
+	}
+	if base.NumEdges() != 0 {
+		t.Errorf("edges = %d", base.NumEdges())
+	}
+	// The confirming stage still ran: the failed edge must not mask it.
+	if st.ConfirmsSent != 1 {
+		t.Errorf("ConfirmsSent = %d, want 1", st.ConfirmsSent)
+	}
+}
+
+// queueStore implements the EdgeQueuer/EdgeFlusher pair on top of a mem
+// store: edges buffer until Flush delivers them, like the real
+// BatchWriter but deterministic.
+type queueStore struct {
+	*trajstore.Store
+
+	mu      sync.Mutex
+	queued  []trajstore.Edge
+	dones   []func(error)
+	flushes int
+}
+
+func (s *queueStore) QueueEdge(from, to int64, weight float64, done func(error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queued = append(s.queued, trajstore.Edge{From: from, To: to, Weight: weight})
+	s.dones = append(s.dones, done)
+}
+
+func (s *queueStore) Flush(ctx context.Context) error {
+	s.mu.Lock()
+	edges, dones := s.queued, s.dones
+	s.queued, s.dones = nil, nil
+	s.flushes++
+	s.mu.Unlock()
+	for i, e := range edges {
+		err := s.Store.AddEdge(e.From, e.To, e.Weight)
+		if dones[i] != nil {
+			dones[i](err)
+		}
+	}
+	return nil
+}
+
+// TestBatchedEdgePathAccounting proves the node routes edges through an
+// EdgeQueuer when the store offers one, that the deferred result feeds
+// the accounting, and that FlushContext drains the buffer.
+func TestBatchedEdgePathAccounting(t *testing.T) {
+	bus := transport.NewBus()
+	base := trajstore.NewMemStore()
+	store := &queueStore{Store: base}
+	a := newTestNode(t, bus, "camA", nodeConfig("camA", store))
+	b := newTestNode(t, bus, "camB", nodeConfig("camB", store))
+	a.Topology().ApplyUpdate(protocol.TopologyUpdate{
+		CameraID: "camA",
+		Version:  1,
+		MDCS: map[geo.Direction][]protocol.CameraRef{
+			geo.East: {{ID: "camB", Addr: "camB"}},
+		},
+	})
+
+	driveVehicleThrough(t, a, "veh-1", imaging.Red, 0)
+	driveVehicleThrough(t, b, "veh-1", imaging.Red, 100)
+
+	// The edge is queued, not yet delivered: re-id already counted, edge
+	// accounting deferred until the batch lands.
+	if st := b.Stats(); st.ReidMatches != 1 || st.EdgesInserted != 0 {
+		t.Fatalf("pre-flush stats: matches=%d edges=%d, want 1/0", st.ReidMatches, st.EdgesInserted)
+	}
+	if base.NumEdges() != 0 {
+		t.Fatalf("edge landed before flush: %d", base.NumEdges())
+	}
+
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if store.flushes == 0 {
+		t.Fatal("FlushContext never invoked the store's EdgeFlusher")
+	}
+	if base.NumEdges() != 1 {
+		t.Errorf("edges after flush = %d, want 1", base.NumEdges())
+	}
+	if st := b.Stats(); st.EdgesInserted != 1 || st.SendErrors != 0 {
+		t.Errorf("post-flush stats: edges=%d sendErrors=%d, want 1/0", st.EdgesInserted, st.SendErrors)
+	}
+}
+
+// TestExpiredPoolEntriesFinishSpans proves the handoff span leak fix:
+// informs that never match are finished with outcome=expired when the
+// pool evicts them, instead of staying open forever.
+func TestExpiredPoolEntriesFinishSpans(t *testing.T) {
+	bus := transport.NewBus()
+	cfg := nodeConfig("excam", trajstore.NewMemStore())
+	cfg.Pool = reid.PoolConfig{PruneThreshold: 2}
+	tracer := obs.NewTracer(clock.Fixed{T: epoch}, 16)
+	cfg.Tracer = tracer
+	n := newTestNode(t, bus, "excam", cfg)
+
+	for i := 0; i < 3; i++ {
+		n.handleInform(protocol.Inform{Event: informEvent(fmt.Sprintf("up#%d", i)), FromAddr: "up"})
+	}
+
+	// Three spans began; inserting the third pushed the pool over its
+	// threshold of 2, expiring the oldest unmatched entry.
+	if got := tracer.ActiveCount(); got != 2 {
+		t.Errorf("active spans = %d, want 2 (one expired)", got)
+	}
+	if got := tracer.Finished(); got != 1 {
+		t.Fatalf("finished spans = %d, want 1", got)
+	}
+	spans := tracer.Recent()
+	if len(spans) != 1 {
+		t.Fatalf("recent spans = %d", len(spans))
+	}
+	sp := spans[0]
+	if sp.Trace != "up#0" {
+		t.Errorf("expired span trace = %q, want the oldest inform", sp.Trace)
+	}
+	found := false
+	for _, l := range sp.Attrs {
+		if l.Name == "outcome" && l.Value == "expired" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("span attrs = %v, want outcome=expired", sp.Attrs)
+	}
+}

@@ -115,7 +115,7 @@ func (c *Config) applyDefaults() {
 	if c.Matcher == (reid.MatcherConfig{}) {
 		c.Matcher = reid.DefaultMatcherConfig()
 	}
-	if c.Pool == (reid.PoolConfig{}) {
+	if c.Pool.PruneThreshold == 0 && c.Pool.OnEvict == nil {
 		c.Pool = reid.DefaultPoolConfig()
 	}
 	if c.PostProcess.MinConfidence == 0 {

@@ -1,0 +1,37 @@
+package protocol
+
+// TrajWriteKind discriminates the records of a trajectory-store write
+// batch.
+type TrajWriteKind string
+
+// The batch record kinds, matching the WAL's own record tags.
+const (
+	// TrajWriteVertex inserts a detection event as a new graph vertex.
+	TrajWriteVertex TrajWriteKind = "v"
+	// TrajWriteEdge links two existing vertices with a confidence weight.
+	TrajWriteEdge TrajWriteKind = "e"
+)
+
+// TrajWrite is one record of a trajectory-store write batch (the
+// add_batch op): either a vertex insert carrying a detection event, or an
+// edge insert carrying endpoint vertex IDs and a Bhattacharyya weight.
+// Batches let a camera amortize one RPC and one WAL group commit over
+// many writes, which is what keeps the shared store write path off the
+// critical path of every camera (paper Section 4.3).
+type TrajWrite struct {
+	Kind   TrajWriteKind   `json:"kind"`
+	Event  *DetectionEvent `json:"event,omitempty"`
+	From   int64           `json:"from,omitempty"`
+	To     int64           `json:"to,omitempty"`
+	Weight float64         `json:"weight,omitempty"`
+}
+
+// VertexWrite builds a vertex batch record.
+func VertexWrite(e DetectionEvent) TrajWrite {
+	return TrajWrite{Kind: TrajWriteVertex, Event: &e}
+}
+
+// EdgeWrite builds an edge batch record.
+func EdgeWrite(from, to int64, weight float64) TrajWrite {
+	return TrajWrite{Kind: TrajWriteEdge, From: from, To: to, Weight: weight}
+}

@@ -29,6 +29,12 @@ type PoolConfig struct {
 	// garbage-collected (paper: "pruning ... only when the pool grows too
 	// large").
 	PruneThreshold int
+	// OnEvict, when non-nil, is invoked (under the pool lock — keep it
+	// cheap and reentrancy-free) for every entry removed by pruning.
+	// Entry.Matched distinguishes normal cleanup of matched entries from
+	// unmatched entries expired to bound pool memory; camnode uses the
+	// latter to finish handoff tracer spans that would otherwise leak.
+	OnEvict func(Entry)
 }
 
 // DefaultPoolConfig matches the prototype's behaviour.
@@ -49,6 +55,7 @@ type Pool struct {
 	received int64
 	matched  int64
 	pruned   int64
+	expired  int64
 }
 
 // NewPool validates the config and returns an empty pool.
@@ -93,7 +100,10 @@ func (p *Pool) MarkMatched(id protocol.EventID) bool {
 }
 
 // pruneLocked removes matched entries once the pool exceeds the
-// configured threshold. Caller holds p.mu.
+// configured threshold; if the pool is still over threshold afterwards
+// (a flood of informs that never matched), the oldest unmatched entries
+// are expired FIFO down to the threshold so pool memory stays bounded.
+// Caller holds p.mu.
 func (p *Pool) pruneLocked() {
 	if len(p.entries) <= p.cfg.PruneThreshold {
 		return
@@ -107,11 +117,28 @@ func (p *Pool) pruneLocked() {
 		if e.Matched {
 			delete(p.entries, id)
 			p.pruned++
+			if p.cfg.OnEvict != nil {
+				p.cfg.OnEvict(*e)
+			}
 			continue
 		}
 		keep = append(keep, id)
 	}
 	p.order = keep
+	for len(p.entries) > p.cfg.PruneThreshold && len(p.order) > 0 {
+		id := p.order[0]
+		p.order = p.order[1:]
+		e, ok := p.entries[id]
+		if !ok {
+			continue
+		}
+		delete(p.entries, id)
+		p.pruned++
+		p.expired++
+		if p.cfg.OnEvict != nil {
+			p.cfg.OnEvict(*e)
+		}
+	}
 }
 
 // Size returns the number of entries currently held.
@@ -148,18 +175,20 @@ func (p *Pool) Snapshot() []Entry {
 }
 
 // Stats reports the pool's lifetime counters: events received, matched,
-// and pruned.
+// and pruned. Expired counts the subset of pruned entries that were
+// still unmatched when evicted to bound pool memory.
 type Stats struct {
 	Received int64
 	Matched  int64
 	Pruned   int64
+	Expired  int64
 }
 
 // Stats returns the lifetime counters.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return Stats{Received: p.received, Matched: p.matched, Pruned: p.pruned}
+	return Stats{Received: p.received, Matched: p.matched, Pruned: p.pruned, Expired: p.expired}
 }
 
 // MatcherConfig parameterizes re-identification.

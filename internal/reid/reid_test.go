@@ -224,3 +224,62 @@ func TestConcurrentAddAndMatch(t *testing.T) {
 	}
 	<-done
 }
+
+func TestUnmatchedEvictionBoundsPool(t *testing.T) {
+	var evicted []Entry
+	p, err := NewPool(PoolConfig{
+		PruneThreshold: 3,
+		OnEvict:        func(e Entry) { evicted = append(evicted, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five unmatched entries: nothing is matched, so the old policy would
+	// let the pool grow without bound. The oldest unmatched entries must
+	// be expired FIFO down to the threshold.
+	for i := 0; i < 5; i++ {
+		p.Add(eventWith(t, "up#"+string(rune('0'+i)), imaging.Red), t0)
+	}
+	if p.Size() != 3 {
+		t.Errorf("size = %d, want 3 (bounded by threshold)", p.Size())
+	}
+	st := p.Stats()
+	if st.Expired != 2 || st.Pruned != 2 {
+		t.Errorf("stats = %+v, want 2 expired / 2 pruned", st)
+	}
+	if len(evicted) != 2 {
+		t.Fatalf("OnEvict calls = %d, want 2", len(evicted))
+	}
+	if evicted[0].Event.ID != "up#0" || evicted[1].Event.ID != "up#1" {
+		t.Errorf("evicted %q, %q: not FIFO", evicted[0].Event.ID, evicted[1].Event.ID)
+	}
+	for _, e := range evicted {
+		if e.Matched {
+			t.Errorf("entry %q evicted as matched", e.Event.ID)
+		}
+	}
+}
+
+func TestOnEvictSeesMatchedFlag(t *testing.T) {
+	var evicted []Entry
+	p, err := NewPool(PoolConfig{
+		PruneThreshold: 2,
+		OnEvict:        func(e Entry) { evicted = append(evicted, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Add(eventWith(t, "up#a", imaging.Red), t0)
+	p.Add(eventWith(t, "up#b", imaging.Blue), t0)
+	p.MarkMatched("up#a")
+	p.Add(eventWith(t, "up#c", imaging.Color{R: 40, G: 220, B: 40}), t0)
+	if p.Size() != 2 {
+		t.Errorf("size = %d, want 2", p.Size())
+	}
+	if len(evicted) != 1 || evicted[0].Event.ID != "up#a" || !evicted[0].Matched {
+		t.Errorf("evicted = %+v, want matched up#a", evicted)
+	}
+	if st := p.Stats(); st.Expired != 0 {
+		t.Errorf("matched cleanup counted as expiry: %+v", st)
+	}
+}

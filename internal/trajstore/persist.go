@@ -2,18 +2,30 @@ package trajstore
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 const (
 	walFileName      = "trajstore.wal"
 	snapshotFileName = "trajstore.snapshot.json"
 )
+
+// ErrWALCorrupt is returned by Open when the write-ahead log is damaged
+// in the middle of the file. A damaged tail is expected after a crash and
+// is truncated away; damage followed by further intact records means the
+// log was corrupted at rest and replaying past it would silently drop
+// acknowledged writes, so the store refuses to open.
+var ErrWALCorrupt = errors.New("trajstore: wal corrupt mid-file")
 
 // walRecord is one append-only log entry.
 type walRecord struct {
@@ -29,43 +41,194 @@ type snapshot struct {
 	Edges    []Edge   `json:"edges"`
 }
 
-// persister owns the WAL file handle. Store methods call it while holding
-// the store lock, so it needs no locking of its own.
+// StoreConfig tunes the durability of a persistent store. The zero value
+// preserves the original behaviour: buffered writes flushed to the OS on
+// every commit, no fsync, no commit window.
+type StoreConfig struct {
+	// Fsync forces an fsync after every WAL group commit, so an
+	// acknowledged write survives a machine crash, not just a process
+	// crash. Group commit amortizes the sync across every write that
+	// joined the commit.
+	Fsync bool
+	// GroupCommitWindow is how long the WAL committer waits after waking
+	// before flushing, letting concurrent writers accumulate into one
+	// write+flush(+fsync). Zero commits as soon as the committer drains
+	// the queue, which still groups writes that arrive while a previous
+	// flush is in progress.
+	GroupCommitWindow time.Duration
+}
+
+// WALStats are the persister's lifetime counters, exposed for tests and
+// telemetry.
+type WALStats struct {
+	// GroupCommits is the number of WAL write+flush cycles.
+	GroupCommits int64
+	// Records is the number of WAL records committed.
+	Records int64
+	// Syncs is the number of fsyncs issued.
+	Syncs int64
+	// TailTruncations counts torn WAL tails discarded during replay.
+	TailTruncations int64
+}
+
+// commitBatch is one writer's records awaiting group commit. done
+// receives exactly one result.
+type commitBatch struct {
+	recs []walRecord
+	done chan error
+}
+
+// persister owns the WAL file handle. Writers enqueue records (while
+// holding the store lock, which fixes WAL order) and wait outside the
+// lock; a background committer encodes everything pending with a single
+// flush — and a single fsync when configured — so concurrent writers
+// share the disk cost (group commit).
 type persister struct {
-	dir string
+	dir    string
+	fsync  bool
+	window time.Duration
+
 	f   *os.File
 	w   *bufio.Writer
 	enc *json.Encoder
+
+	mu      sync.Mutex
+	pending []*commitBatch
+	stopped bool
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	commits atomic.Int64
+	records atomic.Int64
+	syncs   atomic.Int64
 }
 
-func newPersister(dir string) (*persister, error) {
+func newPersister(dir string, cfg StoreConfig) (*persister, error) {
 	f, err := os.OpenFile(filepath.Join(dir, walFileName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("trajstore: open wal: %w", err)
 	}
 	w := bufio.NewWriter(f)
-	return &persister{dir: dir, f: f, w: w, enc: json.NewEncoder(w)}, nil
-}
-
-func (p *persister) logVertex(v Vertex) error {
-	return p.log(walRecord{Op: "v", Vertex: &v})
-}
-
-func (p *persister) logEdge(e Edge) error {
-	return p.log(walRecord{Op: "e", Edge: &e})
-}
-
-func (p *persister) log(rec walRecord) error {
-	if err := p.enc.Encode(rec); err != nil {
-		return fmt.Errorf("trajstore: wal append: %w", err)
+	p := &persister{
+		dir:    dir,
+		fsync:  cfg.Fsync,
+		window: cfg.GroupCommitWindow,
+		f:      f,
+		w:      w,
+		enc:    json.NewEncoder(w),
+		kick:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
-	if err := p.w.Flush(); err != nil {
-		return fmt.Errorf("trajstore: wal flush: %w", err)
-	}
-	return nil
+	go p.run()
+	return p, nil
 }
 
+// enqueue joins the records to the next group commit as one atomic unit
+// and returns the channel carrying the commit result. Callers hold the
+// store lock, which makes the WAL order match the in-memory apply order;
+// they must receive from the channel after releasing it.
+func (p *persister) enqueue(recs []walRecord) <-chan error {
+	b := &commitBatch{recs: recs, done: make(chan error, 1)}
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		b.done <- errors.New("trajstore: wal closed")
+		return b.done
+	}
+	p.pending = append(p.pending, b)
+	p.mu.Unlock()
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+	return b.done
+}
+
+// run is the committer loop: wake on the first pending batch, optionally
+// linger for the group-commit window, then write everything pending with
+// one flush.
+func (p *persister) run() {
+	defer close(p.done)
+	for {
+		select {
+		case <-p.kick:
+		case <-p.stop:
+			p.commitPending()
+			return
+		}
+		if p.window > 0 {
+			timer := time.NewTimer(p.window)
+			select {
+			case <-timer.C:
+			case <-p.stop:
+				timer.Stop()
+				p.commitPending()
+				return
+			}
+		}
+		p.commitPending()
+	}
+}
+
+// commitPending writes every pending batch with a single flush (and a
+// single fsync when configured) and delivers the shared result to all
+// waiting writers.
+func (p *persister) commitPending() {
+	p.mu.Lock()
+	batch := p.pending
+	p.pending = nil
+	p.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	var err error
+	var n int64
+encode:
+	for _, b := range batch {
+		for _, rec := range b.recs {
+			if e := p.enc.Encode(rec); e != nil {
+				err = fmt.Errorf("trajstore: wal append: %w", e)
+				break encode
+			}
+			n++
+		}
+	}
+	if err == nil {
+		if e := p.w.Flush(); e != nil {
+			err = fmt.Errorf("trajstore: wal flush: %w", e)
+		}
+	}
+	if err == nil && p.fsync {
+		if e := p.f.Sync(); e != nil {
+			err = fmt.Errorf("trajstore: wal fsync: %w", e)
+		} else {
+			p.syncs.Add(1)
+		}
+	}
+	if err == nil {
+		p.commits.Add(1)
+		p.records.Add(n)
+	}
+	for _, b := range batch {
+		b.done <- err
+	}
+}
+
+// close drains pending commits, flushes, and closes the WAL file.
+// Idempotent.
 func (p *persister) close() error {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return nil
+	}
+	p.stopped = true
+	p.mu.Unlock()
+	close(p.stop)
+	<-p.done
 	if err := p.w.Flush(); err != nil {
 		_ = p.f.Close()
 		return fmt.Errorf("trajstore: wal flush: %w", err)
@@ -76,10 +239,24 @@ func (p *persister) close() error {
 	return nil
 }
 
-// Open loads (or creates) a persistent store in dir: the snapshot is read
-// first, then the WAL is replayed on top, then new writes append to the
-// WAL.
+// stats returns the persister's lifetime counters.
+func (p *persister) stats() WALStats {
+	return WALStats{
+		GroupCommits: p.commits.Load(),
+		Records:      p.records.Load(),
+		Syncs:        p.syncs.Load(),
+	}
+}
+
+// Open loads (or creates) a persistent store in dir with default
+// durability (buffered flush, no fsync): the snapshot is read first, then
+// the WAL is replayed on top, then new writes append to the WAL.
 func Open(dir string) (*Store, error) {
+	return OpenWithConfig(dir, StoreConfig{})
+}
+
+// OpenWithConfig is Open with explicit durability tuning.
+func OpenWithConfig(dir string, cfg StoreConfig) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("trajstore: empty directory; use NewMemStore for in-memory")
 	}
@@ -93,11 +270,12 @@ func Open(dir string) (*Store, error) {
 	if err := s.replayWAL(filepath.Join(dir, walFileName)); err != nil {
 		return nil, err
 	}
-	p, err := newPersister(dir)
+	p, err := newPersister(dir, cfg)
 	if err != nil {
 		return nil, err
 	}
 	s.persist = p
+	s.persistCfg = cfg
 	return s, nil
 }
 
@@ -135,6 +313,63 @@ func (s *Store) restore(snap snapshot) error {
 	return nil
 }
 
+// applyWALRecord replays one record idempotently: vertices are keyed by
+// ID, and edges duplicating an existing (from, to) pair — the store's own
+// uniqueness invariant — are skipped. Idempotence is what makes the
+// compaction crash window safe: if the process dies after the snapshot
+// is installed but before the WAL is truncated, restart replays every
+// edge already in the snapshot without skewing trajectory weights.
+func (s *Store) applyWALRecord(rec walRecord) {
+	switch rec.Op {
+	case "v":
+		if rec.Vertex == nil {
+			return
+		}
+		v := *rec.Vertex
+		s.vertices[v.ID] = &v
+		if v.ID >= s.nextID {
+			s.nextID = v.ID + 1
+		}
+	case "e":
+		if rec.Edge == nil {
+			return
+		}
+		e := *rec.Edge
+		if _, ok := s.vertices[e.From]; !ok {
+			return
+		}
+		if _, ok := s.vertices[e.To]; !ok {
+			return
+		}
+		for _, existing := range s.out[e.From] {
+			if existing.To == e.To {
+				return
+			}
+		}
+		s.out[e.From] = append(s.out[e.From], e)
+		s.in[e.To] = append(s.in[e.To], e)
+	}
+}
+
+// isWALRecordLine reports whether a line parses as a well-formed WAL
+// record, used to tell a torn tail from mid-file corruption.
+func isWALRecordLine(line []byte) bool {
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 {
+		return false
+	}
+	var rec walRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return false
+	}
+	return (rec.Op == "v" && rec.Vertex != nil) || (rec.Op == "e" && rec.Edge != nil)
+}
+
+// replayWAL applies the log on top of the snapshot. A damaged record at
+// the tail (a torn write from a crash) is logged, counted, and truncated
+// away so later appends do not land after garbage; a damaged record
+// followed by further intact records is corruption at rest and fails the
+// open with ErrWALCorrupt.
 func (s *Store) replayWAL(path string) error {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -144,46 +379,62 @@ func (s *Store) replayWAL(path string) error {
 		return fmt.Errorf("trajstore: open wal: %w", err)
 	}
 	defer func() { _ = f.Close() }()
-	dec := json.NewDecoder(bufio.NewReader(f))
+	r := bufio.NewReader(f)
+	var offset int64
 	for {
-		var rec walRecord
-		if err := dec.Decode(&rec); err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil
+		line, err := r.ReadBytes('\n')
+		if err == nil {
+			var rec walRecord
+			if uerr := json.Unmarshal(line, &rec); uerr != nil {
+				return s.handleDamagedWAL(path, r, offset, uerr)
 			}
-			// A torn tail write is expected after a crash; stop replay at
-			// the first damaged record.
-			return nil
+			s.applyWALRecord(rec)
+			offset += int64(len(line))
+			continue
 		}
-		switch rec.Op {
-		case "v":
-			if rec.Vertex == nil {
-				continue
+		if errors.Is(err, io.EOF) {
+			if len(line) == 0 {
+				return nil // clean end at a record boundary
 			}
-			v := *rec.Vertex
-			s.vertices[v.ID] = &v
-			if v.ID >= s.nextID {
-				s.nextID = v.ID + 1
-			}
-		case "e":
-			if rec.Edge == nil {
-				continue
-			}
-			e := *rec.Edge
-			if _, ok := s.vertices[e.From]; !ok {
-				continue
-			}
-			if _, ok := s.vertices[e.To]; !ok {
-				continue
-			}
-			s.out[e.From] = append(s.out[e.From], e)
-			s.in[e.To] = append(s.in[e.To], e)
+			// Partial final line with no newline: torn tail.
+			return s.truncateWALTail(path, offset)
+		}
+		return fmt.Errorf("trajstore: read wal: %w", err)
+	}
+}
+
+// handleDamagedWAL classifies a record that failed to decode: if any
+// complete, well-formed record follows it, the file is corrupt mid-file;
+// otherwise the damage is a torn tail and is truncated away.
+func (s *Store) handleDamagedWAL(path string, r *bufio.Reader, offset int64, cause error) error {
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == nil && isWALRecordLine(line) {
+			return fmt.Errorf("%w (at byte %d): %v", ErrWALCorrupt, offset, cause)
+		}
+		if err != nil {
+			return s.truncateWALTail(path, offset)
 		}
 	}
 }
 
+// truncateWALTail discards everything from offset on — the torn tail of
+// a crashed append — so the good prefix stays replayable and new appends
+// do not land after garbage.
+func (s *Store) truncateWALTail(path string, offset int64) error {
+	if err := os.Truncate(path, offset); err != nil {
+		return fmt.Errorf("trajstore: truncate torn wal tail: %w", err)
+	}
+	s.walTailTruncations++
+	log.Printf("trajstore: truncated torn wal tail at byte %d (expected after a crash)", offset)
+	return nil
+}
+
 // Compact writes the current state as a snapshot and truncates the WAL.
-// Safe to call while the store is serving writes.
+// Safe to call while the store is serving writes. If the process crashes
+// between installing the snapshot and truncating the WAL, the next open
+// replays the stale log idempotently (see applyWALRecord), so no write is
+// duplicated or lost.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -210,6 +461,12 @@ func (s *Store) Compact() error {
 		_ = f.Close()
 		return fmt.Errorf("trajstore: write snapshot: %w", err)
 	}
+	if s.persistCfg.Fsync {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("trajstore: sync snapshot: %w", err)
+		}
+	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("trajstore: close snapshot: %w", err)
 	}
@@ -217,17 +474,23 @@ func (s *Store) Compact() error {
 		return fmt.Errorf("trajstore: install snapshot: %w", err)
 	}
 
-	// Truncate the WAL now that its contents are in the snapshot.
+	// Truncate the WAL now that its contents are in the snapshot. The
+	// close drains any group commit in flight first, so every
+	// acknowledged write is in the snapshot state being kept.
 	if err := s.persist.close(); err != nil {
 		return err
 	}
 	if err := os.Truncate(filepath.Join(s.persist.dir, walFileName), 0); err != nil {
 		return fmt.Errorf("trajstore: truncate wal: %w", err)
 	}
-	p, err := newPersister(s.persist.dir)
+	prev := s.persist.stats()
+	p, err := newPersister(s.persist.dir, s.persistCfg)
 	if err != nil {
 		return err
 	}
+	p.commits.Store(prev.GroupCommits)
+	p.records.Store(prev.Records)
+	p.syncs.Store(prev.Syncs)
 	s.persist = p
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 const (
 	opAddVertex   = "add_vertex"
 	opAddEdge     = "add_edge"
+	opAddBatch    = "add_batch"
 	opGetVertex   = "get_vertex"
 	opFindByEvent = "find_by_event"
 	opTrajectory  = "trajectory"
@@ -38,6 +39,7 @@ type request struct {
 	ID      int64                    `json:"id,omitempty"`
 	EventID protocol.EventID         `json:"eventId,omitempty"`
 	Limits  *TraceLimits             `json:"limits,omitempty"`
+	Batch   []protocol.TrajWrite     `json:"batch,omitempty"`
 }
 
 // response is one server -> client reply.
@@ -50,6 +52,11 @@ type response struct {
 	Vertices int       `json:"vertices,omitempty"`
 	Edges    int       `json:"edges,omitempty"`
 	EdgeList []Edge    `json:"edgeList,omitempty"`
+	// VertexIDs and Errs parallel an add_batch request's records:
+	// allocated vertex IDs (0 for edges and rejected records) and
+	// per-record rejections ("" for successes).
+	VertexIDs []int64  `json:"vertexIds,omitempty"`
+	Errs      []string `json:"errs,omitempty"`
 }
 
 // maxWireBytes bounds one request/response frame.
@@ -191,6 +198,21 @@ func (s *Server) handle(req request) response {
 			return fail(err)
 		}
 		return response{OK: true}
+	case opAddBatch:
+		if len(req.Batch) == 0 {
+			return fail(errors.New("add_batch requires at least one record"))
+		}
+		ids, errs, err := s.store.ApplyBatch(req.Batch)
+		if err != nil {
+			return fail(err)
+		}
+		strs := make([]string, len(errs))
+		for i, e := range errs {
+			if e != nil {
+				strs[i] = e.Error()
+			}
+		}
+		return response{OK: true, VertexIDs: ids, Errs: strs}
 	case opGetVertex:
 		v, err := s.store.Vertex(req.ID)
 		if err != nil {
@@ -498,6 +520,40 @@ func (c *Client) AddEdgeContext(ctx context.Context, from, to int64, weight floa
 // AddEdge inserts an edge remotely using the default per-call timeout.
 func (c *Client) AddEdge(from, to int64, weight float64) error {
 	return c.AddEdgeContext(context.Background(), from, to, weight)
+}
+
+// AddBatchContext applies a mixed batch of vertex/edge writes in one RPC
+// and one server-side group commit, bounded by ctx. Returns the
+// allocated vertex IDs and per-record errors, both positional with the
+// input; a non-nil error means the whole batch failed (transport fault
+// or store-level refusal) and nothing in it should be assumed applied.
+func (c *Client) AddBatchContext(ctx context.Context, writes []protocol.TrajWrite) ([]int64, []error, error) {
+	resp, err := c.do(ctx, request{Op: opAddBatch, Batch: writes})
+	if err != nil {
+		return nil, nil, err
+	}
+	errs := make([]error, len(writes))
+	for i, s := range resp.Errs {
+		if i >= len(errs) {
+			break
+		}
+		if s != "" {
+			errs[i] = fmt.Errorf("trajstore: server: %s", s)
+		}
+	}
+	ids := resp.VertexIDs
+	if len(ids) < len(writes) {
+		padded := make([]int64, len(writes))
+		copy(padded, ids)
+		ids = padded
+	}
+	return ids, errs, nil
+}
+
+// AddBatch applies a mixed batch of writes using the default per-call
+// timeout.
+func (c *Client) AddBatch(writes []protocol.TrajWrite) ([]int64, []error, error) {
+	return c.AddBatchContext(context.Background(), writes)
 }
 
 // VertexContext fetches a vertex by ID, bounded by ctx.

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/obs"
@@ -71,6 +72,13 @@ func newStoreMetrics(reg *obs.Registry) storeMetrics {
 }
 
 // Store is the trajectory graph. All methods are safe for concurrent use.
+//
+// Writes on a persistent store apply in memory under the store lock, then
+// wait for the WAL group commit outside it, so concurrent writers share
+// one write+flush(+fsync). A write whose commit fails is rolled back; in
+// the window between apply and commit it is visible to readers
+// (read-uncommitted), which is acceptable for trajectory analytics and
+// keeps the read path lock-cheap.
 type Store struct {
 	mu       sync.RWMutex
 	vertices map[int64]*Vertex
@@ -79,9 +87,12 @@ type Store struct {
 	nextID   int64
 	closed   bool
 
-	persist *persister // nil for in-memory stores
-	m       storeMetrics
-	clk     clock.Clock
+	persist    *persister // nil for in-memory stores
+	persistCfg StoreConfig
+	m          storeMetrics
+	clk        clock.Clock
+
+	walTailTruncations int64 // torn tails discarded during replay
 }
 
 // NewMemStore returns a purely in-memory store.
@@ -115,30 +126,95 @@ func (s *Store) Instrument(reg *obs.Registry, clk clock.Clock) {
 	s.m.edgeSize.Set(edges)
 }
 
-// AddVertex inserts a detection event and returns its vertex ID.
-func (s *Store) AddVertex(e protocol.DetectionEvent) (int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return 0, ErrClosed
-	}
+// applyVertexLocked allocates an ID and inserts the event. Caller holds
+// s.mu.
+func (s *Store) applyVertexLocked(e protocol.DetectionEvent) *Vertex {
 	id := s.nextID
 	s.nextID++
 	v := &Vertex{ID: id, Event: e}
 	v.Event.VertexID = id
 	s.vertices[id] = v
+	s.m.vertexSize.Add(1)
+	return v
+}
+
+// rollbackVertexLocked undoes an applied vertex whose WAL commit failed.
+// The allocated ID is not reused: another writer may have allocated past
+// it while the commit was in flight, so the sequence simply gains a gap.
+// Caller holds s.mu.
+func (s *Store) rollbackVertexLocked(id int64) {
+	delete(s.vertices, id)
+	s.m.vertexSize.Add(-1)
+}
+
+// applyEdgeLocked validates and inserts an edge. Caller holds s.mu.
+func (s *Store) applyEdgeLocked(from, to int64, weight float64) (Edge, error) {
+	if _, ok := s.vertices[from]; !ok {
+		return Edge{}, fmt.Errorf("%w: %d", ErrVertexNotFound, from)
+	}
+	if _, ok := s.vertices[to]; !ok {
+		return Edge{}, fmt.Errorf("%w: %d", ErrVertexNotFound, to)
+	}
+	for _, e := range s.out[from] {
+		if e.To == to {
+			return Edge{}, fmt.Errorf("%w: %d->%d", ErrEdgeExists, from, to)
+		}
+	}
+	edge := Edge{From: from, To: to, Weight: weight}
+	s.out[from] = append(s.out[from], edge)
+	s.in[to] = append(s.in[to], edge)
+	s.m.edgeSize.Add(1)
+	return edge, nil
+}
+
+// rollbackEdgeLocked undoes an applied edge whose WAL commit failed.
+// Caller holds s.mu.
+func (s *Store) rollbackEdgeLocked(from, to int64) {
+	s.out[from] = removeEdge(s.out[from], func(e Edge) bool { return e.To == to })
+	s.in[to] = removeEdge(s.in[to], func(e Edge) bool { return e.From == from })
+	s.m.edgeSize.Add(-1)
+}
+
+// removeEdge deletes the first edge matching the predicate; (from, to)
+// pairs are unique by invariant so at most one matches.
+func removeEdge(edges []Edge, match func(Edge) bool) []Edge {
+	for i, e := range edges {
+		if match(e) {
+			return append(edges[:i], edges[i+1:]...)
+		}
+	}
+	return edges
+}
+
+// AddVertex inserts a detection event and returns its vertex ID.
+func (s *Store) AddVertex(e protocol.DetectionEvent) (int64, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	v := s.applyVertexLocked(e)
+	id := v.ID
+	m := s.m
+	var wait <-chan error
+	var start time.Time
 	if s.persist != nil {
-		start := s.clk.Now()
-		if err := s.persist.logVertex(*v); err != nil {
-			delete(s.vertices, id)
-			s.nextID--
-			s.m.writeErrs.Inc()
+		start = s.clk.Now()
+		vc := *v
+		wait = s.persist.enqueue([]walRecord{{Op: "v", Vertex: &vc}})
+	}
+	s.mu.Unlock()
+	if wait != nil {
+		if err := <-wait; err != nil {
+			s.mu.Lock()
+			s.rollbackVertexLocked(id)
+			s.mu.Unlock()
+			m.writeErrs.Inc()
 			return 0, err
 		}
-		s.m.flushHist.Observe(s.clk.Now().Sub(start).Seconds())
+		m.flushHist.Observe(s.clk.Now().Sub(start).Seconds())
 	}
-	s.m.vertices.Inc()
-	s.m.vertexSize.Set(int64(len(s.vertices)))
+	m.vertices.Inc()
 	return id, nil
 }
 
@@ -147,38 +223,151 @@ func (s *Store) AddVertex(e protocol.DetectionEvent) (int64, error) {
 // must not mask true positives), but exact duplicates are rejected.
 func (s *Store) AddEdge(from, to int64, weight float64) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
-	if _, ok := s.vertices[from]; !ok {
+	edge, err := s.applyEdgeLocked(from, to, weight)
+	if err != nil {
 		s.m.writeErrs.Inc()
-		return fmt.Errorf("%w: %d", ErrVertexNotFound, from)
+		s.mu.Unlock()
+		return err
 	}
-	if _, ok := s.vertices[to]; !ok {
-		s.m.writeErrs.Inc()
-		return fmt.Errorf("%w: %d", ErrVertexNotFound, to)
-	}
-	for _, e := range s.out[from] {
-		if e.To == to {
-			s.m.writeErrs.Inc()
-			return fmt.Errorf("%w: %d->%d", ErrEdgeExists, from, to)
-		}
-	}
-	edge := Edge{From: from, To: to, Weight: weight}
+	m := s.m
+	var wait <-chan error
+	var start time.Time
 	if s.persist != nil {
-		start := s.clk.Now()
-		if err := s.persist.logEdge(edge); err != nil {
-			s.m.writeErrs.Inc()
+		start = s.clk.Now()
+		ec := edge
+		wait = s.persist.enqueue([]walRecord{{Op: "e", Edge: &ec}})
+	}
+	s.mu.Unlock()
+	if wait != nil {
+		if err := <-wait; err != nil {
+			s.mu.Lock()
+			s.rollbackEdgeLocked(from, to)
+			s.mu.Unlock()
+			m.writeErrs.Inc()
 			return err
 		}
-		s.m.flushHist.Observe(s.clk.Now().Sub(start).Seconds())
+		m.flushHist.Observe(s.clk.Now().Sub(start).Seconds())
 	}
-	s.out[from] = append(s.out[from], edge)
-	s.in[to] = append(s.in[to], edge)
-	s.m.edges.Inc()
-	s.m.edgeSize.Add(1)
+	m.edges.Inc()
 	return nil
+}
+
+// appliedWrite remembers one batch record's in-memory effect for
+// rollback if the group commit fails.
+type appliedWrite struct {
+	isVertex bool
+	id       int64 // vertex ID
+	from, to int64 // edge endpoints
+}
+
+// ApplyBatch applies a mixed sequence of vertex and edge writes under
+// one store lock acquisition with one WAL group commit. The returned
+// slices parallel writes: ids carries the allocated vertex ID for each
+// vertex record (0 for edges and failures) and errs the per-record
+// rejection (nil for successes). The batch is not transactional across
+// records — a rejected edge does not abort the rest — but every accepted
+// record commits (or rolls back) together, so a batch is never partially
+// durable. The error return reports whole-batch failures (closed store,
+// WAL commit failure).
+func (s *Store) ApplyBatch(writes []protocol.TrajWrite) (ids []int64, errs []error, err error) {
+	if len(writes) == 0 {
+		return nil, nil, nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	ids = make([]int64, len(writes))
+	errs = make([]error, len(writes))
+	recs := make([]walRecord, 0, len(writes))
+	applied := make([]appliedWrite, 0, len(writes))
+	m := s.m
+	var rejected int64
+	for i, w := range writes {
+		switch w.Kind {
+		case protocol.TrajWriteVertex:
+			if w.Event == nil {
+				errs[i] = errors.New("trajstore: batch vertex requires an event")
+				rejected++
+				continue
+			}
+			v := s.applyVertexLocked(*w.Event)
+			ids[i] = v.ID
+			vc := *v
+			recs = append(recs, walRecord{Op: "v", Vertex: &vc})
+			applied = append(applied, appliedWrite{isVertex: true, id: v.ID})
+		case protocol.TrajWriteEdge:
+			edge, aerr := s.applyEdgeLocked(w.From, w.To, w.Weight)
+			if aerr != nil {
+				errs[i] = aerr
+				rejected++
+				continue
+			}
+			ec := edge
+			recs = append(recs, walRecord{Op: "e", Edge: &ec})
+			applied = append(applied, appliedWrite{from: edge.From, to: edge.To})
+		default:
+			errs[i] = fmt.Errorf("trajstore: unknown batch record kind %q", w.Kind)
+			rejected++
+		}
+	}
+	var wait <-chan error
+	var start time.Time
+	if s.persist != nil && len(recs) > 0 {
+		start = s.clk.Now()
+		wait = s.persist.enqueue(recs)
+	}
+	s.mu.Unlock()
+	if rejected > 0 {
+		m.writeErrs.Add(rejected)
+	}
+	if wait != nil {
+		if werr := <-wait; werr != nil {
+			s.mu.Lock()
+			for i := len(applied) - 1; i >= 0; i-- {
+				a := applied[i]
+				if a.isVertex {
+					s.rollbackVertexLocked(a.id)
+				} else {
+					s.rollbackEdgeLocked(a.from, a.to)
+				}
+			}
+			s.mu.Unlock()
+			m.writeErrs.Add(int64(len(applied)))
+			return nil, nil, werr
+		}
+		m.flushHist.Observe(s.clk.Now().Sub(start).Seconds())
+	}
+	var nv, ne int64
+	for _, a := range applied {
+		if a.isVertex {
+			nv++
+		} else {
+			ne++
+		}
+	}
+	m.vertices.Add(nv)
+	m.edges.Add(ne)
+	return ids, errs, nil
+}
+
+// WALStats returns the persister's lifetime group-commit counters plus
+// the number of torn WAL tails truncated during replay. Zero-valued for
+// in-memory stores.
+func (s *Store) WALStats() WALStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var st WALStats
+	if s.persist != nil {
+		st = s.persist.stats()
+	}
+	st.TailTruncations = s.walTailTruncations
+	return st
 }
 
 // Vertex returns a vertex by ID.
