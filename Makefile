@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench fmt cover ci
+.PHONY: all build test race vet bench fmt cover staticcheck ci
 
 all: build
 
@@ -36,4 +36,14 @@ cover:
 		echo 'goroutine-leak checks were skipped' >&2; exit 1; \
 	fi
 
-ci: build vet race cover
+# staticcheck runs honnef.co/go/tools if the binary is on PATH and skips
+# with a warning otherwise, so local ci works in environments that cannot
+# install tools; the CI workflow installs it explicitly.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo 'staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)' >&2; \
+	fi
+
+ci: build vet staticcheck race cover

@@ -21,7 +21,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -45,7 +44,8 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		obs.DefaultLogger().WithComponent("coral-node").Error(err.Error())
+		os.Exit(1)
 	}
 }
 
@@ -57,7 +57,13 @@ func run() error {
 		trajAddr  = flag.String("trajstore", "127.0.0.1:7001", "trajectory store address")
 		frameAddr = flag.String("framestore", "", "frame store address (empty = do not store frames)")
 		heartbeat = flag.Duration("heartbeat", 2*time.Second, "heartbeat interval")
-		obsListen = flag.String("obs-listen", "127.0.0.1:0", "telemetry HTTP address for /metrics, /healthz, /debug/obs (empty = disabled)")
+		obsListen = flag.String("obs-listen", "127.0.0.1:0", "telemetry HTTP address for /metrics, /healthz, /debug/obs, /debug/trace (empty = disabled)")
+		obsPProf  = flag.Bool("obs-pprof", false, "also mount net/http/pprof profiling handlers on the telemetry server")
+
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "log format: text or json")
+		traceOut    = flag.String("trace-out", "", "append finished trace spans as JSON lines to this file (empty = disabled)")
+		traceSample = flag.Int("trace-sample", 1, "record every Nth trace root (1 = all)")
 
 		cameras   = flag.Int("corridor-cameras", 3, "cameras on the shared demo corridor")
 		index     = flag.Int("corridor-index", 0, "this node's position on the corridor")
@@ -71,6 +77,12 @@ func run() error {
 		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long a SIGINT/SIGTERM shutdown may spend draining in-flight work")
 	)
 	flag.Parse()
+
+	baseLogger, err := obs.InitDefaultLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	logger := baseLogger.WithComponent("coral-node").With("camera", *id)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -117,7 +129,22 @@ func run() error {
 		return err
 	}
 	ep.Use(obs.Default())
-	tracer := obs.NewTracer(clock.Real{}, 1024)
+	// The ID prefix keeps span IDs globally unique across the deployment's
+	// nodes, so a cross-camera trace assembles without collisions.
+	tracer := obs.NewTracerWith(obs.TracerConfig{
+		Clock:       clock.Real{},
+		Capacity:    4096,
+		IDPrefix:    *id + "-",
+		SampleEvery: *traceSample,
+	})
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		tracer.SetSink(obs.NewJSONLWriter(f).Export)
+	}
 
 	trajClient, err := trajstore.Dial(*trajAddr)
 	if err != nil {
@@ -166,13 +193,18 @@ func run() error {
 	}
 	defer func() { _ = node.Topology().Close() }()
 
+	var obsSrv *obs.Server
 	if *obsListen != "" {
-		obsSrv, err := obs.Serve(*obsListen, obs.NewMux(obs.Default(), tracer))
-		if err != nil {
+		mux := obs.NewMuxWith(obs.MuxConfig{
+			Registry: obs.Default(),
+			Tracer:   tracer,
+			PProf:    *obsPProf,
+		})
+		if obsSrv, err = obs.Serve(*obsListen, mux); err != nil {
 			return err
 		}
 		defer func() { _ = obsSrv.Close() }()
-		log.Printf("%s telemetry on http://%s/metrics", *id, obsSrv.Addr())
+		logger.Info("telemetry listening", "url", "http://"+obsSrv.Addr()+"/metrics")
 	}
 
 	epoch := time.Unix(*epochUnix, 0)
@@ -184,8 +216,10 @@ func run() error {
 		return err
 	}
 
-	log.Printf("%s listening on %s, corridor index %d/%d, traffic epoch %s",
-		*id, ep.Addr(), *index, *cameras, epoch.Format(time.RFC3339))
+	logger.Info("listening",
+		"addr", ep.Addr(),
+		"corridor", fmt.Sprintf("%d/%d", *index, *cameras),
+		"epoch", epoch.Format(time.RFC3339))
 	// RunLive exits on stream end or on SIGINT/SIGTERM (ctx cancel); a
 	// cancelled run still flushes live tracks and returns nil, so the
 	// process exits 0 on a clean signal-driven stop.
@@ -193,19 +227,28 @@ func run() error {
 		return err
 	}
 	if ctx.Err() != nil {
-		log.Printf("%s interrupted; draining", *id)
+		logger.Info("interrupted; draining")
 	}
 	stop() // restore default signal handling: a second ^C force-kills
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := ep.Shutdown(shutdownCtx); err != nil {
-		log.Printf("transport shutdown: %v", err)
+		logger.Warn("transport shutdown", "err", err.Error())
+	}
+	if obsSrv != nil {
+		if err := obsSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Warn("telemetry shutdown", "err", err.Error())
+		}
 	}
 
 	st := node.Stats()
-	log.Printf("%s done: frames=%d events=%d informsSent=%d informsRecv=%d reidMatches=%d",
-		*id, st.FramesProcessed, st.EventsGenerated, st.InformsSent, st.InformsReceived, st.ReidMatches)
+	logger.Info("done",
+		"frames", fmt.Sprint(st.FramesProcessed),
+		"events", fmt.Sprint(st.EventsGenerated),
+		"informsSent", fmt.Sprint(st.InformsSent),
+		"informsRecv", fmt.Sprint(st.InformsReceived),
+		"reidMatches", fmt.Sprint(st.ReidMatches))
 	return nil
 }
 

@@ -13,7 +13,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -32,7 +31,8 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		obs.DefaultLogger().WithComponent("coral-sim").Error(err.Error())
+		os.Exit(1)
 	}
 }
 
@@ -45,11 +45,23 @@ func run() error {
 		heartbeat = flag.Duration("heartbeat", 2*time.Second, "camera heartbeat interval")
 		failSpec  = flag.String("fail", "", "fail a camera mid-run, e.g. cam2@40s")
 		track     = flag.String("track", "veh-00", "vehicle whose trajectory to reconstruct")
-		obsListen = flag.String("obs-listen", "", "telemetry HTTP address for /metrics, /healthz, /debug/obs (empty = disabled)")
-		dumpObs   = flag.Bool("dump-metrics", false, "print the final Prometheus metric snapshot")
-		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long shutdown may spend flushing stores")
+		obsListen = flag.String("obs-listen", "", "telemetry HTTP address for /metrics, /healthz, /debug/obs, /debug/trace (empty = disabled)")
+		obsPProf  = flag.Bool("obs-pprof", false, "also mount net/http/pprof profiling handlers on the telemetry server")
+
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "log format: text or json")
+		traceOut    = flag.String("trace-out", "", "append finished trace spans as JSON lines to this file (empty = disabled)")
+		traceSample = flag.Int("trace-sample", 1, "record every Nth trace root (1 = all)")
+		dumpObs     = flag.Bool("dump-metrics", false, "print the final Prometheus metric snapshot")
+		drain       = flag.Duration("drain-timeout", 5*time.Second, "how long shutdown may spend flushing stores")
 	)
 	flag.Parse()
+
+	baseLogger, err := obs.InitDefaultLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	logger := baseLogger.WithComponent("coral-sim")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -62,9 +74,18 @@ func run() error {
 		Graph:             graph,
 		Seed:              *seed,
 		HeartbeatInterval: *heartbeat,
+		TraceSampleEvery:  *traceSample,
 	})
 	if err != nil {
 		return err
+	}
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		sys.Tracer().SetSink(obs.NewJSONLWriter(f).Export)
 	}
 
 	var camIDs []string
@@ -90,13 +111,18 @@ func run() error {
 		}
 	}
 
+	var obsSrv *obs.Server
 	if *obsListen != "" {
-		obsSrv, err := obs.Serve(*obsListen, obs.NewMux(sys.Telemetry(), sys.Tracer()))
-		if err != nil {
+		mux := obs.NewMuxWith(obs.MuxConfig{
+			Registry: sys.Telemetry(),
+			Tracer:   sys.Tracer(),
+			PProf:    *obsPProf,
+		})
+		if obsSrv, err = obs.Serve(*obsListen, mux); err != nil {
 			return err
 		}
 		defer func() { _ = obsSrv.Close() }()
-		log.Printf("telemetry on http://%s/metrics", obsSrv.Addr())
+		logger.Info("telemetry listening", "url", "http://"+obsSrv.Addr()+"/metrics")
 	}
 
 	sys.Start(ctx)
@@ -108,10 +134,10 @@ func run() error {
 		}
 		sys.Sim().Schedule(at, func() {
 			if err := sys.FailCamera(victim); err != nil {
-				log.Printf("fail %s: %v", victim, err)
+				logger.Error("fail camera", "camera", victim, "err", err.Error())
 				return
 			}
-			log.Printf("t=%v: camera %s failed", sys.Sim().Now(), victim)
+			logger.Info("camera failed", "camera", victim, "t", sys.Sim().Now().String())
 		})
 	}
 
@@ -120,7 +146,7 @@ func run() error {
 		*cameras, *vehicles, horizon.Round(time.Second))
 	sys.Run(horizon)
 	if ctx.Err() != nil {
-		log.Printf("interrupted at t=%v of virtual time; flushing", sys.Sim().Now())
+		logger.Info("interrupted; flushing", "t", sys.Sim().Now().String())
 	}
 	stop() // restore default signal handling: a second ^C force-kills
 	sys.Stop()
@@ -155,6 +181,11 @@ func run() error {
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if obsSrv != nil {
+		if err := obsSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Warn("telemetry shutdown", "err", err.Error())
+		}
+	}
 	return sys.Shutdown(shutdownCtx)
 }
 

@@ -10,7 +10,7 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
@@ -23,7 +23,8 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		obs.DefaultLogger().WithComponent("framestore-server").Error(err.Error())
+		os.Exit(1)
 	}
 }
 
@@ -32,9 +33,18 @@ func run() error {
 		listen    = flag.String("listen", "127.0.0.1:7002", "address to listen on")
 		dir       = flag.String("dir", "", "persistence directory (empty = in-memory)")
 		obsListen = flag.String("obs-listen", "127.0.0.1:9092", "telemetry HTTP address for /metrics, /healthz, /debug/obs (empty = disabled)")
+		obsPProf  = flag.Bool("obs-pprof", false, "also mount net/http/pprof profiling handlers on the telemetry server")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
 		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long a SIGINT/SIGTERM shutdown may spend draining in-flight frames")
 	)
 	flag.Parse()
+
+	baseLogger, err := obs.InitDefaultLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	logger := baseLogger.WithComponent("framestore-server")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -56,15 +66,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	log.Printf("frame store on %s (dir=%q)", ep.Addr(), *dir)
+	logger.Info("frame store listening", "addr", ep.Addr(), "dir", *dir)
 
+	var obsSrv *obs.Server
 	if *obsListen != "" {
-		obsSrv, err := obs.Serve(*obsListen, obs.NewMux(obs.Default(), nil))
-		if err != nil {
+		mux := obs.NewMuxWith(obs.MuxConfig{Registry: obs.Default(), PProf: *obsPProf})
+		if obsSrv, err = obs.Serve(*obsListen, mux); err != nil {
 			return err
 		}
 		defer func() { _ = obsSrv.Close() }()
-		log.Printf("telemetry on http://%s/metrics", obsSrv.Addr())
+		logger.Info("telemetry listening", "url", "http://"+obsSrv.Addr()+"/metrics")
 	}
 
 	<-ctx.Done()
@@ -75,9 +86,15 @@ func run() error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := ep.Shutdown(shutdownCtx); err != nil {
-		log.Printf("transport shutdown: %v", err)
+		logger.Warn("transport shutdown", "err", err.Error())
+	}
+	if obsSrv != nil {
+		if err := obsSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Warn("telemetry shutdown", "err", err.Error())
+		}
 	}
 	received, errs := srv.Stats()
-	log.Printf("shutting down; frames stored: %d, handler errors: %d", received, errs)
+	logger.Info("shutting down",
+		"framesStored", fmt.Sprint(received), "handlerErrors", fmt.Sprint(errs))
 	return nil
 }

@@ -13,7 +13,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"syscall"
@@ -28,7 +27,8 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		obs.DefaultLogger().WithComponent("topology-server").Error(err.Error())
+		os.Exit(1)
 	}
 }
 
@@ -40,17 +40,23 @@ func run() error {
 		heartbeat = flag.Duration("heartbeat", 2*time.Second, "expected camera heartbeat interval")
 		snap      = flag.Float64("snap-meters", 30, "radius for snapping cameras to intersections")
 		obsListen = flag.String("obs-listen", "127.0.0.1:9090", "telemetry HTTP address for /metrics, /healthz, /debug/obs (empty = disabled)")
+		obsPProf  = flag.Bool("obs-pprof", false, "also mount net/http/pprof profiling handlers on the telemetry server")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
 		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long a SIGINT/SIGTERM shutdown may spend draining in-flight work")
 	)
 	flag.Parse()
 
+	baseLogger, err := obs.InitDefaultLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	logger := baseLogger.WithComponent("topology-server")
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var (
-		graph *roadnet.Graph
-		err   error
-	)
+	var graph *roadnet.Graph
 	switch {
 	case *campus:
 		graph, _, err = roadnet.Campus()
@@ -86,28 +92,36 @@ func run() error {
 		return err
 	}
 
+	var obsSrv *obs.Server
 	if *obsListen != "" {
-		obsSrv, err := obs.Serve(*obsListen, obs.NewMux(obs.Default(), nil))
-		if err != nil {
+		mux := obs.NewMuxWith(obs.MuxConfig{Registry: obs.Default(), PProf: *obsPProf})
+		if obsSrv, err = obs.Serve(*obsListen, mux); err != nil {
 			return err
 		}
 		defer func() { _ = obsSrv.Close() }()
-		log.Printf("telemetry on http://%s/metrics", obsSrv.Addr())
+		logger.Info("telemetry listening", "url", "http://"+obsSrv.Addr()+"/metrics")
 	}
 
-	log.Printf("topology server on %s (%d intersections, heartbeat %v)",
-		ep.Addr(), graph.NumNodes(), *heartbeat)
+	logger.Info("topology server listening",
+		"addr", ep.Addr(),
+		"intersections", fmt.Sprint(graph.NumNodes()),
+		"heartbeat", heartbeat.String())
 
 	<-ctx.Done()
 	stop() // restore default signal handling: a second ^C force-kills
-	log.Printf("shutting down; cameras registered: %d", len(srv.Cameras()))
+	logger.Info("shutting down", "cameras", fmt.Sprint(len(srv.Cameras())))
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("topology shutdown: %v", err)
+		logger.Warn("topology shutdown", "err", err.Error())
 	}
 	if err := ep.Shutdown(shutdownCtx); err != nil {
-		log.Printf("transport shutdown: %v", err)
+		logger.Warn("transport shutdown", "err", err.Error())
+	}
+	if obsSrv != nil {
+		if err := obsSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Warn("telemetry shutdown", "err", err.Error())
+		}
 	}
 	return nil
 }

@@ -9,7 +9,7 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
@@ -21,7 +21,8 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		log.Fatal(err)
+		obs.DefaultLogger().WithComponent("trajstore-server").Error(err.Error())
+		os.Exit(1)
 	}
 }
 
@@ -30,20 +31,29 @@ func run() error {
 		listen    = flag.String("listen", "127.0.0.1:7001", "address to listen on")
 		dir       = flag.String("dir", "", "persistence directory (empty = in-memory)")
 		compact   = flag.Duration("compact-every", 10*time.Minute, "snapshot compaction interval (persistent stores)")
-		obsListen = flag.String("obs-listen", "127.0.0.1:9091", "telemetry HTTP address for /metrics, /healthz, /debug/obs (empty = disabled)")
-		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long a SIGINT/SIGTERM shutdown may spend draining in-flight requests")
-		fsync     = flag.Bool("fsync", false, "fsync every WAL group commit (durable across power loss; pair with -group-commit-window)")
-		window    = flag.Duration("group-commit-window", 0, "WAL group-commit window: writes acknowledged within one window share one flush (0 = flush immediately)")
+		obsListen = flag.String("obs-listen", "127.0.0.1:9091", "telemetry HTTP address for /metrics, /healthz, /debug/obs, /debug/trace (empty = disabled)")
+		obsPProf  = flag.Bool("obs-pprof", false, "also mount net/http/pprof profiling handlers on the telemetry server")
+
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "log format: text or json")
+		traceOut    = flag.String("trace-out", "", "append finished trace spans as JSON lines to this file (empty = disabled)")
+		traceSample = flag.Int("trace-sample", 1, "record every Nth locally rooted trace (1 = all; spans joining a camera's trace always record)")
+		drain       = flag.Duration("drain-timeout", 5*time.Second, "how long a SIGINT/SIGTERM shutdown may spend draining in-flight requests")
+		fsync       = flag.Bool("fsync", false, "fsync every WAL group commit (durable across power loss; pair with -group-commit-window)")
+		window      = flag.Duration("group-commit-window", 0, "WAL group-commit window: writes acknowledged within one window share one flush (0 = flush immediately)")
 	)
 	flag.Parse()
+
+	baseLogger, err := obs.InitDefaultLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	logger := baseLogger.WithComponent("trajstore-server")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var (
-		store *trajstore.Store
-		err   error
-	)
+	var store *trajstore.Store
 	if *dir == "" {
 		store = trajstore.NewMemStore()
 	} else {
@@ -57,20 +67,42 @@ func run() error {
 	}
 	defer func() { _ = store.Close() }()
 	store.Instrument(obs.Default(), nil)
+	// WAL group commits append a wal_commit span to any trace context a
+	// camera attached to its write, completing the cross-node trace.
+	tracer := obs.NewTracerWith(obs.TracerConfig{
+		Capacity:    4096,
+		IDPrefix:    "traj-",
+		SampleEvery: *traceSample,
+	})
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		tracer.SetSink(obs.NewJSONLWriter(f).Export)
+	}
+	store.UseTracer(tracer)
 
 	srv, err := trajstore.Serve(store, *listen)
 	if err != nil {
 		return err
 	}
-	log.Printf("trajectory store on %s (dir=%q, %d vertices)", srv.Addr(), *dir, store.NumVertices())
+	logger.Info("trajectory store listening",
+		"addr", srv.Addr(), "dir", *dir, "vertices", fmt.Sprint(store.NumVertices()))
 
+	var obsSrv *obs.Server
 	if *obsListen != "" {
-		obsSrv, err := obs.Serve(*obsListen, obs.NewMux(obs.Default(), nil))
-		if err != nil {
+		mux := obs.NewMuxWith(obs.MuxConfig{
+			Registry: obs.Default(),
+			Tracer:   tracer,
+			PProf:    *obsPProf,
+		})
+		if obsSrv, err = obs.Serve(*obsListen, mux); err != nil {
 			return err
 		}
 		defer func() { _ = obsSrv.Close() }()
-		log.Printf("telemetry on http://%s/metrics", obsSrv.Addr())
+		logger.Info("telemetry listening", "url", "http://"+obsSrv.Addr()+"/metrics")
 	}
 
 	doneCompact := make(chan struct{})
@@ -85,7 +117,7 @@ func run() error {
 			select {
 			case <-ticker.C:
 				if err := store.Compact(); err != nil {
-					log.Printf("compact: %v", err)
+					logger.Error("compact", "err", err.Error())
 				}
 			case <-ctx.Done():
 				return
@@ -101,8 +133,14 @@ func run() error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "err", err.Error())
 	}
-	log.Printf("shutting down with %d vertices / %d edges", store.NumVertices(), store.NumEdges())
+	if obsSrv != nil {
+		if err := obsSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Warn("telemetry shutdown", "err", err.Error())
+		}
+	}
+	logger.Info("shutting down",
+		"vertices", fmt.Sprint(store.NumVertices()), "edges", fmt.Sprint(store.NumEdges()))
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -44,6 +45,19 @@ type TrajStore interface {
 // accounting when the batch lands.
 type EdgeQueuer interface {
 	QueueEdge(from, to int64, weight float64, done func(error))
+}
+
+// TracedEdgeQueuer is EdgeQueuer with trace-context propagation: the
+// store records its WAL group commit as a child of the camera's commit
+// span. trajstore.BatchWriter implements it.
+type TracedEdgeQueuer interface {
+	QueueEdgeTraced(from, to int64, weight float64, tc protocol.TraceContext, done func(error))
+}
+
+// TracedEdgeWriter is the synchronous traced edge path, implemented by
+// trajstore.Store and trajstore.Client.
+type TracedEdgeWriter interface {
+	AddEdgeTraced(from, to int64, weight float64, tc protocol.TraceContext) error
 }
 
 // EdgeFlusher is the optional drain hook for queued edges; FlushContext
@@ -124,6 +138,7 @@ type nodeMetrics struct {
 	vertices         *obs.Counter
 	edges            *obs.Counter
 	sendErrors       *obs.Counter
+	e2eCommit        *obs.Histogram
 }
 
 func newNodeMetrics(reg *obs.Registry, cameraID string) nodeMetrics {
@@ -148,6 +163,8 @@ func newNodeMetrics(reg *obs.Registry, cameraID string) nodeMetrics {
 		vertices:         c("coralpie_camnode_vertices_total", "trajectory-graph vertices inserted"),
 		edges:            c("coralpie_camnode_edges_total", "trajectory-graph edges inserted"),
 		sendErrors:       c("coralpie_camnode_send_errors_total", "failed sends and frame-store writes"),
+		e2eCommit: reg.Histogram("coralpie_e2e_track_commit_seconds",
+			"frame capture to trajectory edge-commit acknowledgement", nil, l...),
 	}
 }
 
@@ -311,7 +328,7 @@ func (n *Node) HandleEnvelope(ctx context.Context, env protocol.Envelope) {
 	}
 	switch m := msg.(type) {
 	case protocol.Inform:
-		n.handleInform(m)
+		n.handleInform(ctx, m)
 	case protocol.Confirm:
 		n.handleConfirm(ctx, m)
 	case protocol.Retire:
@@ -321,11 +338,15 @@ func (n *Node) HandleEnvelope(ctx context.Context, env protocol.Envelope) {
 	}
 }
 
-func (n *Node) handleInform(m protocol.Inform) {
+func (n *Node) handleInform(ctx context.Context, m protocol.Inform) {
 	now := n.cfg.Clock.Now()
 	n.m.informsReceived.Inc()
 	if n.cfg.Tracer != nil {
-		n.cfg.Tracer.Begin(string(m.Event.ID), "handoff:"+n.cfg.CameraID)
+		// Join the informing camera's trace when its span context rode in
+		// on the envelope; without one this is a standalone span, exactly
+		// as before.
+		parent, _ := obs.SpanFromContext(ctx)
+		n.cfg.Tracer.BeginIn(parent, string(m.Event.ID), "handoff:"+n.cfg.CameraID)
 	}
 	n.mu.Lock()
 	n.stats.InformsReceived++
@@ -424,11 +445,28 @@ func (n *Node) ProcessFrame(f *vision.Frame) error {
 // vehicles, re-identification, the communication protocol, and storage.
 // Sends triggered by the frame are bounded by ctx.
 func (n *Node) ProcessFrameContext(ctx context.Context, f *vision.Frame) error {
+	var ft frameTiming
+	if f != nil {
+		ft.capture = f.Time
+	}
+	ft.detectStart = n.cfg.Clock.Now()
 	kept, raw, err := n.detect(f)
 	if err != nil {
 		return err
 	}
-	return n.ingest(ctx, f, kept, raw)
+	ft.detectEnd = n.cfg.Clock.Now()
+	return n.ingest(ctx, f, kept, raw, ft)
+}
+
+// frameTiming carries one frame's pipeline timestamps through to
+// emitEvent, where they become the capture/detect/track spans of the
+// event's trace and the start point of the end-to-end commit histogram.
+// Zero fields (e.g. on the Flush path, which has no triggering frame)
+// fall back to the event time.
+type frameTiming struct {
+	capture     time.Time
+	detectStart time.Time
+	detectEnd   time.Time
 }
 
 // detect runs the RPi-1 half of the pipeline: inference plus the
@@ -447,7 +485,7 @@ func (n *Node) detect(f *vision.Frame) (kept []vision.Detection, rawCount int, e
 
 // ingest runs the RPi-2 half: tracking, feature accumulation, event
 // generation, re-identification, communication, and storage.
-func (n *Node) ingest(ctx context.Context, f *vision.Frame, kept []vision.Detection, rawCount int) error {
+func (n *Node) ingest(ctx context.Context, f *vision.Frame, kept []vision.Detection, rawCount int, ft frameTiming) error {
 	n.m.frames.Inc()
 	n.m.detectionsRaw.Add(int64(rawCount))
 	n.m.detectionsKept.Add(int64(len(kept)))
@@ -500,7 +538,7 @@ func (n *Node) ingest(ctx context.Context, f *vision.Frame, kept []vision.Detect
 	}
 
 	for _, tr := range departed {
-		if err := n.emitEvent(ctx, tr); err != nil {
+		if err := n.emitEvent(ctx, tr, ft); err != nil {
 			return err
 		}
 	}
@@ -540,7 +578,7 @@ func (n *Node) FlushContext(ctx context.Context) error {
 	departed := n.tracker.ConfirmedDeparted(flushed)
 	n.mu.Unlock()
 	for _, tr := range departed {
-		if err := n.emitEvent(ctx, tr); err != nil {
+		if err := n.emitEvent(ctx, tr, frameTiming{}); err != nil {
 			return err
 		}
 	}
@@ -557,7 +595,7 @@ func (n *Node) FlushContext(ctx context.Context) error {
 // emitEvent turns a departed track into a detection event: signature and
 // direction extraction, trajectory-graph vertex insertion,
 // re-identification, the confirming stage, and the informing stage.
-func (n *Node) emitEvent(ctx context.Context, tr *tracker.Track) error {
+func (n *Node) emitEvent(ctx context.Context, tr *tracker.Track, ft frameTiming) error {
 	now := n.cfg.Clock.Now()
 
 	n.mu.Lock()
@@ -610,6 +648,26 @@ func (n *Node) emitEvent(ctx context.Context, tr *tracker.Track) error {
 	n.stats.VerticesInserted++
 	n.mu.Unlock()
 
+	// Root this event's trace (trace ID = event ID) with the retroactive
+	// capture → detect → track chain. The sampling decision taken here
+	// follows the trace everywhere, including across the wire.
+	var trackSC obs.SpanContext
+	if tc := n.cfg.Tracer; tc != nil {
+		capT, ds, de := ft.capture, ft.detectStart, ft.detectEnd
+		if capT.IsZero() {
+			capT = now
+		}
+		if ds.IsZero() {
+			ds = now
+		}
+		if de.IsZero() {
+			de = now
+		}
+		capSC := tc.RecordRoot(string(ev.ID), "capture", capT, ds, "camera", n.cfg.CameraID)
+		detSC := tc.RecordChild(capSC, "detect", ds, de)
+		trackSC = tc.RecordChild(detSC, "track", de, now)
+	}
+
 	// (b) Re-identify against the candidate pool.
 	matched, matchEntry, dist := false, reid.Entry{}, 0.0
 	if entry, d, ok := n.matcher.Match(hist, n.pool, now); ok {
@@ -624,37 +682,68 @@ func (n *Node) emitEvent(ctx context.Context, tr *tracker.Track) error {
 		n.mu.Lock()
 		n.stats.ReidMatches++
 		n.mu.Unlock()
-		if n.cfg.Tracer != nil {
-			n.cfg.Tracer.Finish(string(up.ID), "handoff:"+n.cfg.CameraID,
+		// Grab the handoff span's context before Finish closes it: the
+		// commit and confirm spans below hang off it, stitching this
+		// camera's work into the upstream event's trace.
+		var handoffSC obs.SpanContext
+		if tc := n.cfg.Tracer; tc != nil {
+			handoffSC, _ = tc.ActiveContext(string(up.ID), "handoff:"+n.cfg.CameraID)
+			tc.Finish(string(up.ID), "handoff:"+n.cfg.CameraID,
 				"outcome", "matched", "event", string(ev.ID))
 		}
-		n.insertEdge(up.VertexID, vid, dist)
+		n.insertEdge(up.VertexID, vid, dist, handoffSC, ft.capture)
 		n.pool.MarkMatched(up.ID)
-		// Confirming stage: notify the predecessor camera.
+		// Confirming stage: notify the predecessor camera. The confirm
+		// span's context rides on the envelope, so the predecessor's
+		// retire fan-out joins the same trace.
 		if addr := n.upstreamAddr(up); addr != "" {
-			n.send(ctx, addr, protocol.Confirm{
+			confirmCtx := ctx
+			var confirmSC obs.SpanContext
+			if tc := n.cfg.Tracer; tc != nil && handoffSC.Valid() {
+				confirmSC = tc.StartChild(handoffSC, "confirm")
+				if confirmSC.Valid() {
+					confirmCtx = obs.ContextWithSpan(ctx, confirmSC)
+				}
+			}
+			n.send(confirmCtx, addr, protocol.Confirm{
 				EventID:        up.ID,
 				ByCameraID:     n.cfg.CameraID,
 				MatchedEventID: ev.ID,
 				Distance:       dist,
 			}, &n.stats.ConfirmsSent, n.m.confirmsSent)
+			if n.cfg.Tracer != nil && confirmSC.Valid() {
+				n.cfg.Tracer.EndSpan(confirmSC, "to", addr)
+			}
 		}
 	} else {
 		n.m.reidMisses.Inc()
 	}
 
 	// Informing stage: forward the event to the MDCS for its direction.
+	// The inform span's context travels on each envelope, so receiving
+	// cameras open their handoff spans inside this event's trace.
 	if dir.Valid() {
 		refs := n.top.Lookup(dir)
 		if len(refs) > 0 {
 			inform := protocol.Inform{Event: ev, FromAddr: n.ep.Addr()}
+			informCtx := ctx
+			var informSC obs.SpanContext
+			if tc := n.cfg.Tracer; tc != nil && trackSC.Valid() {
+				informSC = tc.StartChild(trackSC, "inform")
+				if informSC.Valid() {
+					informCtx = obs.ContextWithSpan(ctx, informSC)
+				}
+			}
 			sent := make([]protocol.CameraRef, 0, len(refs))
 			for _, ref := range refs {
 				if ref.Addr == "" {
 					continue
 				}
-				n.send(ctx, ref.Addr, inform, &n.stats.InformsSent, n.m.informsSent)
+				n.send(informCtx, ref.Addr, inform, &n.stats.InformsSent, n.m.informsSent)
 				sent = append(sent, ref)
+			}
+			if n.cfg.Tracer != nil && informSC.Valid() {
+				n.cfg.Tracer.EndSpan(informSC, "fanout", strconv.Itoa(len(sent)))
 			}
 			if len(sent) > 0 {
 				n.rememberInform(ev.ID, sent)
@@ -675,13 +764,49 @@ func (n *Node) emitEvent(ctx context.Context, tr *tracker.Track) error {
 // insertEdge writes a re-identification edge, preferring the queued
 // batch path when the store offers one (the buffered writer retries
 // transient failures before reporting). Either way the final result
-// flows through edgeResult so Stats/obs accounting stays exact.
-func (n *Node) insertEdge(from, to int64, weight float64) {
+// flows through edgeCommitted so Stats/obs accounting stays exact. When
+// a handoff span context is available, a "commit" child span brackets
+// queue-to-ack and its context travels to the store, which records the
+// WAL group commit underneath it.
+func (n *Node) insertEdge(from, to int64, weight float64, parent obs.SpanContext, capture time.Time) {
+	var commitSC obs.SpanContext
+	if n.cfg.Tracer != nil && parent.Valid() {
+		commitSC = n.cfg.Tracer.StartChild(parent, "commit")
+	}
+	done := func(err error) { n.edgeCommitted(commitSC, capture, err) }
+	if commitSC.Valid() && commitSC.Sampled {
+		wire := protocol.TraceContext(commitSC)
+		if q, ok := n.cfg.TrajStore.(TracedEdgeQueuer); ok {
+			q.QueueEdgeTraced(from, to, weight, wire, done)
+			return
+		}
+		if w, ok := n.cfg.TrajStore.(TracedEdgeWriter); ok {
+			done(w.AddEdgeTraced(from, to, weight, wire))
+			return
+		}
+	}
 	if q, ok := n.cfg.TrajStore.(EdgeQueuer); ok {
-		q.QueueEdge(from, to, weight, n.edgeResult)
+		q.QueueEdge(from, to, weight, done)
 		return
 	}
-	n.edgeResult(n.cfg.TrajStore.AddEdge(from, to, weight))
+	done(n.cfg.TrajStore.AddEdge(from, to, weight))
+}
+
+// edgeCommitted finishes the commit span and observes the end-to-end
+// capture→ack latency before feeding the usual edge accounting. Like
+// edgeResult it may run on the batch writer's flusher goroutine.
+func (n *Node) edgeCommitted(commitSC obs.SpanContext, capture time.Time, err error) {
+	if n.cfg.Tracer != nil && commitSC.Valid() {
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+		}
+		n.cfg.Tracer.EndSpan(commitSC, "outcome", outcome)
+	}
+	if err == nil && !capture.IsZero() {
+		n.m.e2eCommit.Observe(n.cfg.Clock.Now().Sub(capture).Seconds())
+	}
+	n.edgeResult(err)
 }
 
 // edgeResult records the outcome of one edge insert. It may run on the

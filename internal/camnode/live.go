@@ -22,6 +22,7 @@ type liveJob struct {
 	frame *vision.Frame
 	kept  []vision.Detection
 	raw   int
+	ft    frameTiming
 }
 
 // RunLive drains a frame source through a two-stage concurrent pipeline
@@ -62,15 +63,20 @@ func (n *Node) RunLive(ctx context.Context, src FrameSource) error {
 		OnError: setErr,
 	},
 		pipeline.Stage[*liveJob]{Name: "detect", Proc: func(j *liveJob) error {
+			if j.frame != nil {
+				j.ft.capture = j.frame.Time
+			}
+			j.ft.detectStart = n.cfg.Clock.Now()
 			kept, raw, err := n.detect(j.frame)
 			if err != nil {
 				return err
 			}
+			j.ft.detectEnd = n.cfg.Clock.Now()
 			j.kept, j.raw = kept, raw
 			return nil
 		}},
 		pipeline.Stage[*liveJob]{Name: "ingest", Proc: func(j *liveJob) error {
-			return n.ingest(ctx, j.frame, j.kept, j.raw)
+			return n.ingest(ctx, j.frame, j.kept, j.raw, j.ft)
 		}},
 	)
 	if err != nil {

@@ -38,9 +38,9 @@ func TestDuplicateInformRedelivery(t *testing.T) {
 	n := newTestNode(t, bus, "dupcam", cfg)
 
 	evA, evB := informEvent("up#A"), informEvent("up#B")
-	n.handleInform(protocol.Inform{Event: evA, FromAddr: "addrA"})
-	n.handleInform(protocol.Inform{Event: evA, FromAddr: "addrA2"}) // redelivery
-	n.handleInform(protocol.Inform{Event: evB, FromAddr: "addrB"})
+	n.handleInform(context.Background(), protocol.Inform{Event: evA, FromAddr: "addrA"})
+	n.handleInform(context.Background(), protocol.Inform{Event: evA, FromAddr: "addrA2"}) // redelivery
+	n.handleInform(context.Background(), protocol.Inform{Event: evB, FromAddr: "addrB"})
 
 	n.mu.Lock()
 	ordLen, mapLen := len(n.upOrd), len(n.upstream)
@@ -224,7 +224,7 @@ func TestExpiredPoolEntriesFinishSpans(t *testing.T) {
 	n := newTestNode(t, bus, "excam", cfg)
 
 	for i := 0; i < 3; i++ {
-		n.handleInform(protocol.Inform{Event: informEvent(fmt.Sprintf("up#%d", i)), FromAddr: "up"})
+		n.handleInform(context.Background(), protocol.Inform{Event: informEvent(fmt.Sprintf("up#%d", i)), FromAddr: "up"})
 	}
 
 	// Three spans began; inserting the third pushed the pool over its

@@ -71,6 +71,12 @@ type Config struct {
 	// never share counters.
 	Registry *obs.Registry
 
+	// TraceSampleEvery records every Nth trace root (0 or 1 records all).
+	// The decision is made per root, so a sampled trace keeps every one of
+	// its spans. Span IDs come from a per-system sequence, so two
+	// same-seed runs allocate byte-identical trace topologies.
+	TraceSampleEvery int
+
 	// Vision-stack parameters (zero values use the paper prototype's).
 	Tracker     tracker.Config
 	Matcher     reid.MatcherConfig
@@ -171,7 +177,11 @@ func NewSystem(cfg Config) (*System, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	tracer := obs.NewTracer(simClock, 1024)
+	tracer := obs.NewTracerWith(obs.TracerConfig{
+		Clock:       simClock,
+		Capacity:    4096,
+		SampleEvery: cfg.TraceSampleEvery,
+	})
 
 	bus := transport.NewSimBus(dsim, cfg.NetworkLatency)
 	bus.Use(reg)
@@ -201,6 +211,7 @@ func NewSystem(cfg Config) (*System, error) {
 
 	traj := trajstore.NewMemStore()
 	traj.Instrument(reg, simClock)
+	traj.UseTracer(tracer)
 
 	frames, err := framestore.OpenStore("")
 	if err != nil {

@@ -30,13 +30,19 @@ func metricValue(reg *obs.Registry, name string) (int64, bool) {
 
 func buildTelemetrySystem(t *testing.T, seed int64) (*System, []string) {
 	t.Helper()
+	return buildTelemetrySystemWithSampling(t, seed, 0)
+}
+
+func buildTelemetrySystemWithSampling(t *testing.T, seed int64, sampleEvery int) (*System, []string) {
+	t.Helper()
 	g, ids, err := roadnet.Corridor(3, 150, geo.Point{Lat: 33.7756, Lon: -84.3963})
 	if err != nil {
 		t.Fatal(err)
 	}
 	sys, err := NewSystem(Config{
-		Graph: g,
-		Seed:  seed,
+		Graph:            g,
+		Seed:             seed,
+		TraceSampleEvery: sampleEvery,
 		DetectorFactory: func(string) (vision.Detector, error) {
 			return vision.PerfectDetector{}, nil
 		},

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// attrValue returns a span attribute by name.
+func attrValue(sp obs.Span, name string) string {
+	for _, l := range sp.Attrs {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// collectNames flattens a span tree into the set of span names reached
+// from its roots.
+func collectNames(nodes []*obs.TraceNode, into map[string]*obs.TraceNode) {
+	for _, n := range nodes {
+		into[n.Name] = n
+		collectNames(n.Children, into)
+	}
+}
+
+// findHandoffTrace scans the tracer for a single trace that tells the
+// whole cross-camera story: rooted at one camera's capture and carrying
+// the handoff, confirm, commit, and WAL-commit spans recorded at the
+// re-identifying camera and the store.
+func findHandoffTrace(tr *obs.Tracer) (string, []*obs.TraceNode) {
+	for _, id := range tr.Traces() {
+		roots := tr.AssembleTrace(id)
+		if len(roots) != 1 || roots[0].Name != "capture" {
+			continue
+		}
+		names := make(map[string]*obs.TraceNode)
+		collectNames(roots, names)
+		need := []string{"capture", "detect", "track", "inform", "confirm", "commit", "wal_commit"}
+		ok := true
+		for _, n := range need {
+			if names[n] == nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// The handoff span is keyed by the receiving camera; require it to
+		// be a different node than the one that captured the root frame.
+		rootCam := attrValue(roots[0].Span, "camera")
+		for name := range names {
+			if cam, found := strings.CutPrefix(name, "handoff:"); found && cam != rootCam {
+				return id, roots
+			}
+		}
+	}
+	return "", nil
+}
+
+// TestCrossCameraHandoffTrace runs the simulated deployment and asserts
+// at least one vehicle handoff produced a single trace spanning frame
+// capture on one camera through detect, track, inform, the receiving
+// camera's handoff/confirm/commit, and the store's WAL commit — and that
+// the trace is retrievable over /debug/trace, exported via the JSONL
+// sink, and accompanied by a non-empty end-to-end latency histogram.
+func TestCrossCameraHandoffTrace(t *testing.T) {
+	sys, _ := buildTelemetrySystem(t, 99)
+	var jsonl bytes.Buffer
+	exporter := obs.NewJSONLWriter(&jsonl)
+	sys.Tracer().SetSink(exporter.Export)
+
+	sys.Start(context.Background())
+	sys.Run(sys.World().LastVehicleDone() + 10*time.Second)
+	sys.Stop()
+	if err := sys.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	traceID, roots := findHandoffTrace(sys.Tracer())
+	if traceID == "" {
+		t.Fatalf("no complete cross-camera handoff trace among %d traces: %v",
+			len(sys.Tracer().Traces()), sys.Tracer().Traces())
+	}
+
+	// The tree must be connected: wal_commit hangs off commit, which
+	// hangs off the handoff span, which joins the capture-rooted trace.
+	names := make(map[string]*obs.TraceNode)
+	collectNames(roots, names)
+	commit := names["commit"]
+	walOK := false
+	for _, c := range commit.Children {
+		if c.Name == "wal_commit" {
+			walOK = true
+		}
+	}
+	if !walOK {
+		t.Errorf("wal_commit is not a child of commit: %+v", commit.Children)
+	}
+	if names["inform"].ParentID != names["track"].SpanID {
+		t.Errorf("inform parented to %q, want track %q", names["inform"].ParentID, names["track"].SpanID)
+	}
+
+	// /debug/trace?id= serves the same assembled tree.
+	mux := obs.NewMuxWith(obs.MuxConfig{Registry: sys.Telemetry(), Tracer: sys.Tracer()})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/trace?id=" + url.QueryEscape(traceID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace status = %d", resp.StatusCode)
+	}
+	var body struct {
+		TraceID string           `json:"traceId"`
+		Roots   []*obs.TraceNode `json:"roots"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode /debug/trace: %v", err)
+	}
+	if body.TraceID != traceID || len(body.Roots) != 1 || body.Roots[0].Name != "capture" {
+		t.Fatalf("/debug/trace returned %+v", body)
+	}
+
+	// The JSONL sink saw every recorded span, including this trace's.
+	if exporter.Count() == 0 || exporter.Err() != nil {
+		t.Fatalf("JSONL exporter count=%d err=%v", exporter.Count(), exporter.Err())
+	}
+	if !strings.Contains(jsonl.String(), `"trace":"`+traceID+`"`) {
+		t.Error("exported JSONL is missing the handoff trace's spans")
+	}
+
+	// The end-to-end capture→commit histogram observed the commits.
+	var prom bytes.Buffer
+	if err := sys.Telemetry().WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	counts := regexp.MustCompile(`coralpie_e2e_track_commit_seconds_count\{[^}]*\} (\d+)`).
+		FindAllStringSubmatch(prom.String(), -1)
+	var total int64
+	for _, m := range counts {
+		n, _ := strconv.ParseInt(m[1], 10, 64)
+		total += n
+	}
+	if total == 0 {
+		t.Error("coralpie_e2e_track_commit_seconds histogram is empty")
+	}
+}
+
+// renderTopology serializes every trace's span tree — names, span IDs,
+// parent IDs, in ring order — so two runs can be compared structurally.
+func renderTopology(tr *obs.Tracer) string {
+	var b strings.Builder
+	var walk func(n *obs.TraceNode, depth int)
+	walk = func(n *obs.TraceNode, depth int) {
+		fmt.Fprintf(&b, "%s%s id=%s parent=%s\n",
+			strings.Repeat("  ", depth), n.Name, n.SpanID, n.ParentID)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, id := range tr.Traces() {
+		fmt.Fprintf(&b, "trace %s\n", id)
+		for _, root := range tr.AssembleTrace(id) {
+			walk(root, 1)
+		}
+	}
+	return b.String()
+}
+
+// TestTraceTopologyDeterministic runs the same seeded simulation twice
+// and requires identical trace topologies, span IDs included: span
+// allocation must be a pure function of the seed.
+func TestTraceTopologyDeterministic(t *testing.T) {
+	run := func() string {
+		sys, _ := buildTelemetrySystem(t, 99)
+		sys.Start(context.Background())
+		sys.Run(sys.World().LastVehicleDone() + 10*time.Second)
+		sys.Stop()
+		if err := sys.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+		return renderTopology(sys.Tracer())
+	}
+	a, b := run(), run()
+	if a == "" {
+		t.Fatal("no traces recorded")
+	}
+	if a != b {
+		t.Errorf("same-seed runs produced different trace topologies:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestTraceSampling asserts SampleEvery thins whole traces, not
+// individual spans: the sampled run records a strict, non-empty subset
+// of the full run's traces.
+func TestTraceSampling(t *testing.T) {
+	g := func(sampleEvery int) int {
+		sys, _ := buildTelemetrySystemWithSampling(t, 99, sampleEvery)
+		sys.Start(context.Background())
+		sys.Run(sys.World().LastVehicleDone() + 10*time.Second)
+		sys.Stop()
+		if err := sys.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+		return len(sys.Tracer().Traces())
+	}
+	all, sampled := g(1), g(3)
+	if all == 0 {
+		t.Fatal("no traces with sampling disabled")
+	}
+	if sampled >= all {
+		t.Errorf("SampleEvery=3 recorded %d traces, want fewer than %d", sampled, all)
+	}
+	if sampled == 0 {
+		t.Error("SampleEvery=3 recorded no traces at all")
+	}
+}

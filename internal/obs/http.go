@@ -1,35 +1,61 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
 // HealthCheck reports nil while its subsystem is serving.
 type HealthCheck func() error
 
+// MuxConfig configures NewMuxWith.
+type MuxConfig struct {
+	// Registry backs /metrics and /debug/obs; nil uses Default().
+	Registry *Registry
+	// Tracer backs the span half of /debug/obs and all of
+	// /debug/trace; nil omits spans and 404s /debug/trace.
+	Tracer *Tracer
+	// PProf mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiling endpoints expose stack traces and symbol names, so
+	// binaries gate this behind an explicit -obs-pprof flag.
+	PProf bool
+	// Checks back /healthz; with none, /healthz always reports ok.
+	Checks []HealthCheck
+}
+
 // NewMux builds the telemetry HTTP handler:
 //
-//   - /metrics    — Prometheus text exposition of reg
-//   - /healthz    — 200 "ok" while every check passes, 503 otherwise
-//   - /debug/obs  — JSON snapshot: metrics plus recent/active spans
+//   - /metrics      — Prometheus text exposition of reg
+//   - /healthz      — 200 "ok" while every check passes, 503 otherwise
+//   - /debug/obs    — JSON snapshot: metrics plus recent/active spans
+//   - /debug/trace  — assembled span tree for ?id=<trace>, or the list
+//     of known trace IDs without ?id (404 when no tracer is attached)
 //
 // reg may be nil (Default is used); tr may be nil (span fields are
-// omitted).
+// omitted). NewMuxWith additionally offers opt-in pprof handlers.
 func NewMux(reg *Registry, tr *Tracer, checks ...HealthCheck) *http.ServeMux {
+	return NewMuxWith(MuxConfig{Registry: reg, Tracer: tr, Checks: checks})
+}
+
+// NewMuxWith is NewMux with full configuration; see MuxConfig.
+func NewMuxWith(cfg MuxConfig) *http.ServeMux {
+	reg := cfg.Registry
 	if reg == nil {
 		reg = Default()
 	}
+	tr := cfg.Tracer
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		for _, check := range checks {
+		for _, check := range cfg.Checks {
 			if err := check(); err != nil {
 				http.Error(w, err.Error(), http.StatusServiceUnavailable)
 				return
@@ -54,6 +80,38 @@ func NewMux(reg *Registry, tr *Tracer, checks ...HealthCheck) *http.ServeMux {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(state)
 	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if tr == nil {
+			http.Error(w, "tracing not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			_ = enc.Encode(struct {
+				Traces []string `json:"traces"`
+			}{Traces: tr.Traces()})
+			return
+		}
+		roots := tr.AssembleTrace(id)
+		if len(roots) == 0 {
+			http.Error(w, fmt.Sprintf("no spans for trace %q", id), http.StatusNotFound)
+			return
+		}
+		_ = enc.Encode(struct {
+			TraceID string       `json:"traceId"`
+			Roots   []*TraceNode `json:"roots"`
+		}{TraceID: id, Roots: roots})
+	})
+	if cfg.PProf {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -65,7 +123,9 @@ type Server struct {
 
 // Serve starts an HTTP server for handler on addr ("host:0" picks an
 // ephemeral port; read it back with Addr). It returns once the listener
-// is bound; requests are served on a background goroutine.
+// is bound; requests are served on a background goroutine. The server
+// carries explicit read timeouts so a stalled client cannot pin a
+// handler goroutine forever.
 func Serve(addr string, handler http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -76,6 +136,7 @@ func Serve(addr string, handler http.Handler) (*Server, error) {
 		srv: &http.Server{
 			Handler:           handler,
 			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
 		},
 	}
 	go func() { _ = s.srv.Serve(ln) }()
@@ -85,5 +146,17 @@ func Serve(addr string, handler http.Handler) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and in-flight handlers.
+// Shutdown stops accepting connections and waits for in-flight
+// requests until ctx expires, then hard-closes whatever remains. It
+// follows the repo-wide graceful-shutdown convention: best effort
+// within the deadline, guaranteed teardown after it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		_ = s.srv.Close()
+	}
+	return err
+}
+
+// Close stops the listener and in-flight handlers immediately.
 func (s *Server) Close() error { return s.srv.Close() }

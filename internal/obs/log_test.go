@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// fixedClock pins log timestamps for exact-output assertions.
+type fixedClock struct{ t time.Time }
+
+func (c fixedClock) Now() time.Time { return c.t }
+
+var _ clock.Clock = fixedClock{}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]LogLevel{
+		"debug": LevelDebug, "info": LevelInfo, "INFO": LevelInfo,
+		"warn": LevelWarn, "warning": LevelWarn, "error": LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel should reject unknown levels")
+	}
+	if _, err := ParseLogFormat("yaml"); err == nil {
+		t.Fatal("ParseLogFormat should reject unknown formats")
+	}
+}
+
+func TestLoggerLevelGate(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn, FormatText)
+	l.Debug("d")
+	l.Info("i")
+	if buf.Len() != 0 {
+		t.Fatalf("below-level lines written: %q", buf.String())
+	}
+	l.Warn("w")
+	l.Error("e")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), buf.String())
+	}
+	if !l.Enabled(LevelError) || l.Enabled(LevelInfo) {
+		t.Fatal("Enabled gate wrong")
+	}
+}
+
+func TestLoggerTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	ts := time.Date(2020, 12, 7, 10, 0, 0, 0, time.UTC)
+	l := NewLogger(&buf, LevelInfo, FormatText).WithClock(fixedClock{ts}).
+		WithComponent("camnode").With("camera", "cam0")
+	l.Info("frame processed", "detections", "3", "note", "two words")
+
+	got := strings.TrimSpace(buf.String())
+	want := `2020-12-07T10:00:00Z INFO "frame processed" component=camnode camera=cam0 detections=3 note="two words"`
+	if got != want {
+		t.Fatalf("text line:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerJSONFormat(t *testing.T) {
+	var buf bytes.Buffer
+	ts := time.Date(2020, 12, 7, 10, 0, 0, 0, time.UTC)
+	l := NewLogger(&buf, LevelDebug, FormatJSON).WithClock(fixedClock{ts}).
+		WithComponent("trajstore")
+	l.Warn("truncated torn wal tail", "offset", "512")
+
+	var m map[string]string
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, buf.String())
+	}
+	for k, want := range map[string]string{
+		"ts": "2020-12-07T10:00:00Z", "level": "warn",
+		"msg": "truncated torn wal tail", "component": "trajstore", "offset": "512",
+	} {
+		if m[k] != want {
+			t.Fatalf("field %q = %q, want %q (line %q)", k, m[k], want, buf.String())
+		}
+	}
+}
+
+func TestLoggerWithTrace(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, FormatText).
+		WithClock(fixedClock{time.Unix(0, 0).UTC()}).
+		WithTrace(SpanContext{TraceID: "cam0#1", SpanID: "7"})
+	l.Info("matched")
+	if !strings.Contains(buf.String(), "trace_id=cam0#1") {
+		t.Fatalf("trace_id missing: %q", buf.String())
+	}
+	// A zero context binds nothing.
+	buf.Reset()
+	NewLogger(&buf, LevelInfo, FormatText).
+		WithClock(fixedClock{time.Unix(0, 0).UTC()}).
+		WithTrace(SpanContext{}).Info("x")
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Fatalf("zero trace bound: %q", buf.String())
+	}
+}
+
+func TestLoggerWithDoesNotMutateParent(t *testing.T) {
+	var buf bytes.Buffer
+	base := NewLogger(&buf, LevelInfo, FormatText).WithClock(fixedClock{time.Unix(0, 0).UTC()})
+	a := base.With("k", "a")
+	_ = a.With("extra", "1") // must not leak into b
+	b := a.With("k2", "b")
+	buf.Reset()
+	b.Info("m")
+	line := strings.TrimSpace(buf.String())
+	if strings.Contains(line, "extra=1") {
+		t.Fatalf("sibling field leaked: %q", line)
+	}
+	if !strings.Contains(line, "k=a") || !strings.Contains(line, "k2=b") {
+		t.Fatalf("chained fields missing: %q", line)
+	}
+}
+
+func TestDefaultLoggerSwap(t *testing.T) {
+	old := DefaultLogger()
+	defer SetDefaultLogger(old)
+
+	var buf bytes.Buffer
+	SetDefaultLogger(NewLogger(&buf, LevelInfo, FormatText).WithClock(fixedClock{time.Unix(0, 0).UTC()}))
+	DefaultLogger().Info("hello")
+	if !strings.Contains(buf.String(), "hello") {
+		t.Fatalf("default logger not swapped: %q", buf.String())
+	}
+	SetDefaultLogger(nil) // ignored
+	if DefaultLogger() == nil {
+		t.Fatal("nil default installed")
+	}
+}
+
+func TestInitDefaultLogger(t *testing.T) {
+	old := DefaultLogger()
+	defer SetDefaultLogger(old)
+
+	if _, err := InitDefaultLogger("info", "json"); err != nil {
+		t.Fatalf("InitDefaultLogger: %v", err)
+	}
+	if _, err := InitDefaultLogger("nope", "text"); err == nil {
+		t.Fatal("bad level should error")
+	}
+	if _, err := InitDefaultLogger("info", "nope"); err == nil {
+		t.Fatal("bad format should error")
+	}
+}

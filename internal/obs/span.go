@@ -10,13 +10,18 @@ import (
 // Span is one completed traced interval. Spans are keyed by a trace ID —
 // in Coral-Pie, the detection-event ID that travels with a vehicle
 // handoff from the informing camera through the MDCS to the
-// re-identifying camera — plus a span name identifying the leg.
+// re-identifying camera — plus a span name identifying the leg. SpanID
+// and ParentID link spans into a tree: every span carries its own ID and
+// (except for roots) the ID of the span that caused it, possibly on
+// another node.
 type Span struct {
-	Trace string    `json:"trace"`
-	Name  string    `json:"name"`
-	Start time.Time `json:"start"`
-	End   time.Time `json:"end"`
-	Attrs []Label   `json:"attrs,omitempty"`
+	Trace    string    `json:"trace"`
+	Name     string    `json:"name"`
+	SpanID   string    `json:"spanId,omitempty"`
+	ParentID string    `json:"parentId,omitempty"`
+	Start    time.Time `json:"start"`
+	End      time.Time `json:"end"`
+	Attrs    []Label   `json:"attrs,omitempty"`
 }
 
 // Duration returns the span's elapsed time.
@@ -28,12 +33,20 @@ func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
 // active table exceeds its bound, so lost handoffs (vehicles that leave
 // the camera network) cannot leak memory.
 //
-// Timestamps come from the injected clock, so a Tracer driven by the
-// discrete-event simulator's virtual clock produces identical spans on
-// identical runs.
+// The hierarchical API (RecordRoot, RecordChild, StartChild, BeginIn) in
+// trace.go additionally links spans into per-trace trees via SpanContext
+// and applies head sampling at trace roots.
+//
+// Timestamps come from the injected clock and span IDs from the injected
+// IDSource, so a Tracer driven by the discrete-event simulator's virtual
+// clock produces identical spans — including identical tree topology —
+// on identical runs.
 type Tracer struct {
-	clk clock.Clock
-	max int
+	clk         clock.Clock
+	max         int
+	ids         IDSource
+	idPrefix    string
+	sampleEvery int
 
 	mu        sync.Mutex
 	active    map[string]*Span
@@ -43,22 +56,62 @@ type Tracer struct {
 	full      bool
 	finished  int64
 	evicted   int64
+	roots     int64 // sampling decisions taken at RecordRoot
+	sink      SpanSink
+}
+
+// TracerConfig configures NewTracerWith. The zero value of every field
+// has a sensible default.
+type TracerConfig struct {
+	// Clock provides span timestamps; nil uses real time.
+	Clock clock.Clock
+	// Capacity bounds both the active-span table and the recent-span
+	// ring (minimum 1).
+	Capacity int
+	// IDs allocates span IDs; nil uses a fresh process-local sequence.
+	// Inject a shared or pre-seeded source when merging spans from
+	// several tracers.
+	IDs IDSource
+	// IDPrefix prefixes every allocated span ID (e.g. the node name
+	// plus "-"), keeping IDs unique across processes whose spans are
+	// stitched into one trace offline.
+	IDPrefix string
+	// SampleEvery keeps 1 of every N traces rooted at this tracer
+	// (RecordRoot); values <= 1 keep everything. The decision is
+	// modular on the root sequence number — deterministic, not random —
+	// and child spans inherit it, including across the wire.
+	SampleEvery int
 }
 
 // NewTracer returns a tracer bounding both the active-span table and the
 // recent-span ring to capacity (minimum 1). A nil clock uses real time.
 func NewTracer(clk clock.Clock, capacity int) *Tracer {
+	return NewTracerWith(TracerConfig{Clock: clk, Capacity: capacity})
+}
+
+// NewTracerWith returns a tracer with explicit ID allocation and
+// sampling configuration. See TracerConfig.
+func NewTracerWith(cfg TracerConfig) *Tracer {
+	clk := cfg.Clock
 	if clk == nil {
 		clk = clock.Real{}
 	}
+	capacity := cfg.Capacity
 	if capacity < 1 {
 		capacity = 1
 	}
+	ids := cfg.IDs
+	if ids == nil {
+		ids = &SeqIDs{}
+	}
 	return &Tracer{
-		clk:    clk,
-		max:    capacity,
-		active: make(map[string]*Span),
-		recent: make([]Span, capacity),
+		clk:         clk,
+		max:         capacity,
+		ids:         ids,
+		idPrefix:    cfg.IDPrefix,
+		sampleEvery: cfg.SampleEvery,
+		active:      make(map[string]*Span),
+		recent:      make([]Span, capacity),
 	}
 }
 
@@ -72,13 +125,15 @@ type activeRef struct {
 }
 
 // Begin opens a span. A second Begin with the same key restarts the
-// span's clock.
+// span's clock. Begin always records (sampling applies only to traces
+// rooted via RecordRoot); use BeginIn to join an incoming trace context.
 func (t *Tracer) Begin(trace, name string) {
-	now := t.clk.Now()
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	key := spanKey(trace, name)
-	sp := &Span{Trace: trace, Name: name, Start: now}
+	t.BeginIn(SpanContext{}, trace, name)
+}
+
+// beginLocked inserts an open span under key and enforces the FIFO
+// bound. Caller holds t.mu.
+func (t *Tracer) beginLocked(key string, sp *Span) {
 	t.active[key] = sp
 	t.activeOrd = append(t.activeOrd, activeRef{key: key, sp: sp})
 	for len(t.activeOrd) > t.max {
@@ -117,7 +172,7 @@ func (t *Tracer) Record(trace, name string, start, end time.Time, attrs ...strin
 	t.record(Span{Trace: trace, Name: name, Start: start, End: end, Attrs: labelsOf(canonicalize(attrs))})
 }
 
-// record appends to the ring. Caller holds t.mu.
+// record appends to the ring and feeds the sink. Caller holds t.mu.
 func (t *Tracer) record(sp Span) {
 	t.recent[t.next] = sp
 	t.next++
@@ -125,6 +180,9 @@ func (t *Tracer) record(sp Span) {
 	if t.next == len(t.recent) {
 		t.next = 0
 		t.full = true
+	}
+	if t.sink != nil {
+		t.sink(sp)
 	}
 }
 

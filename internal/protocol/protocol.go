@@ -183,10 +183,14 @@ type FrameRecord struct {
 	Annotations []BoxAnnotation `json:"annotations,omitempty"`
 }
 
-// Envelope frames a typed payload.
+// Envelope frames a typed payload. Trace optionally carries the
+// sender's span context so a receiver can continue the distributed
+// trace; transports inject it from the caller's context on Send and
+// extract it into the handler's context on delivery.
 type Envelope struct {
 	Type    MessageType     `json:"type"`
 	Payload json.RawMessage `json:"payload"`
+	Trace   *TraceContext   `json:"trace,omitempty"`
 }
 
 // ErrUnknownType is returned when decoding an envelope with an

@@ -1,0 +1,21 @@
+package protocol
+
+// TraceContext is the wire form of a distributed-tracing span context.
+// It mirrors obs.SpanContext field-for-field, so the two types convert
+// with a plain struct conversion in either direction; protocol keeps
+// its own copy to stay free of an obs dependency.
+//
+// TraceID names the trace (Coral-Pie uses the detection-event ID),
+// SpanID the sender's span, ParentID that span's parent, and Sampled
+// the head-sampling decision taken at the trace root. The field is
+// optional everywhere it appears: messages without it are fully
+// backward compatible.
+type TraceContext struct {
+	TraceID  string `json:"traceId"`
+	SpanID   string `json:"spanId"`
+	ParentID string `json:"parentId,omitempty"`
+	Sampled  bool   `json:"sampled"`
+}
+
+// Valid reports whether tc identifies a trace position.
+func (tc TraceContext) Valid() bool { return tc.TraceID != "" && tc.SpanID != "" }

@@ -24,6 +24,15 @@ type TrajWrite struct {
 	From   int64           `json:"from,omitempty"`
 	To     int64           `json:"to,omitempty"`
 	Weight float64         `json:"weight,omitempty"`
+	// Trace optionally carries the writer's span context so the store
+	// can record its WAL commit as part of the same distributed trace.
+	Trace *TraceContext `json:"trace,omitempty"`
+}
+
+// WithTrace returns a copy of w carrying the given trace context.
+func (w TrajWrite) WithTrace(tc TraceContext) TrajWrite {
+	w.Trace = &tc
+	return w
 }
 
 // VertexWrite builds a vertex batch record.

@@ -60,6 +60,7 @@ var ErrWriterClosed = errors.New("trajstore: batch writer closed")
 type queuedEdge struct {
 	from, to int64
 	weight   float64
+	trace    *protocol.TraceContext
 	done     func(error)
 	attempts int
 }
@@ -119,6 +120,18 @@ func (w *BatchWriter) AddVertex(e protocol.DetectionEvent) (int64, error) {
 // queue is far over the flush threshold the caller is backpressured into
 // flushing inline rather than growing the buffer without bound.
 func (w *BatchWriter) QueueEdge(from, to int64, weight float64, done func(error)) {
+	w.queueEdge(queuedEdge{from: from, to: to, weight: weight, done: done})
+}
+
+// QueueEdgeTraced is QueueEdge carrying the writer's trace context; it
+// rides the batch record to the server, which records the WAL group
+// commit as part of the caller's trace.
+func (w *BatchWriter) QueueEdgeTraced(from, to int64, weight float64, tc protocol.TraceContext, done func(error)) {
+	w.queueEdge(queuedEdge{from: from, to: to, weight: weight, trace: &tc, done: done})
+}
+
+func (w *BatchWriter) queueEdge(qe queuedEdge) {
+	done := qe.done
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -127,7 +140,7 @@ func (w *BatchWriter) QueueEdge(from, to int64, weight float64, done func(error)
 		}
 		return
 	}
-	w.queue = append(w.queue, queuedEdge{from: from, to: to, weight: weight, done: done})
+	w.queue = append(w.queue, qe)
 	n := len(w.queue)
 	w.mu.Unlock()
 
@@ -250,7 +263,9 @@ func (w *BatchWriter) flushOnce(ctx context.Context) {
 
 	writes := make([]protocol.TrajWrite, len(batch))
 	for i, qe := range batch {
-		writes[i] = protocol.EdgeWrite(qe.from, qe.to, qe.weight)
+		wr := protocol.EdgeWrite(qe.from, qe.to, qe.weight)
+		wr.Trace = qe.trace
+		writes[i] = wr
 	}
 
 	rpcCtx, cancel := context.WithTimeout(ctx, w.cfg.FlushTimeout)

@@ -7,12 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 const (
@@ -426,7 +428,9 @@ func (s *Store) truncateWALTail(path string, offset int64) error {
 		return fmt.Errorf("trajstore: truncate torn wal tail: %w", err)
 	}
 	s.walTailTruncations++
-	log.Printf("trajstore: truncated torn wal tail at byte %d (expected after a crash)", offset)
+	obs.DefaultLogger().WithComponent("trajstore").Warn("truncated torn wal tail",
+		"offset", strconv.FormatInt(offset, 10),
+		"note", "expected after a crash")
 	return nil
 }
 

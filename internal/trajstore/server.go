@@ -40,6 +40,10 @@ type request struct {
 	EventID protocol.EventID         `json:"eventId,omitempty"`
 	Limits  *TraceLimits             `json:"limits,omitempty"`
 	Batch   []protocol.TrajWrite     `json:"batch,omitempty"`
+	// Trace carries the caller's span context on add_edge so the store
+	// can record the WAL commit in the caller's trace (batch records
+	// carry their own per-record Trace fields instead).
+	Trace *protocol.TraceContext `json:"trace,omitempty"`
 }
 
 // response is one server -> client reply.
@@ -194,7 +198,13 @@ func (s *Server) handle(req request) response {
 		}
 		return response{OK: true, VertexID: id}
 	case opAddEdge:
-		if err := s.store.AddEdge(req.From, req.To, req.Weight); err != nil {
+		var err error
+		if req.Trace != nil {
+			err = s.store.AddEdgeTraced(req.From, req.To, req.Weight, *req.Trace)
+		} else {
+			err = s.store.AddEdge(req.From, req.To, req.Weight)
+		}
+		if err != nil {
 			return fail(err)
 		}
 		return response{OK: true}
@@ -520,6 +530,21 @@ func (c *Client) AddEdgeContext(ctx context.Context, from, to int64, weight floa
 // AddEdge inserts an edge remotely using the default per-call timeout.
 func (c *Client) AddEdge(from, to int64, weight float64) error {
 	return c.AddEdgeContext(context.Background(), from, to, weight)
+}
+
+// AddEdgeTracedContext inserts an edge remotely with the writer's trace
+// context attached, so the server records its WAL commit inside the
+// caller's trace. The context survives the client's redial/retry path:
+// it is part of the request frame, not the connection.
+func (c *Client) AddEdgeTracedContext(ctx context.Context, from, to int64, weight float64, tc protocol.TraceContext) error {
+	_, err := c.do(ctx, request{Op: opAddEdge, From: from, To: to, Weight: weight, Trace: &tc})
+	return err
+}
+
+// AddEdgeTraced inserts a traced edge using the default per-call
+// timeout.
+func (c *Client) AddEdgeTraced(from, to int64, weight float64, tc protocol.TraceContext) error {
+	return c.AddEdgeTracedContext(context.Background(), from, to, weight, tc)
 }
 
 // AddBatchContext applies a mixed batch of vertex/edge writes in one RPC

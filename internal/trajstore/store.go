@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -91,6 +92,7 @@ type Store struct {
 	persistCfg StoreConfig
 	m          storeMetrics
 	clk        clock.Clock
+	tracer     *obs.Tracer // nil disables wal_commit spans
 
 	walTailTruncations int64 // torn tails discarded during replay
 }
@@ -124,6 +126,17 @@ func (s *Store) Instrument(reg *obs.Registry, clk clock.Clock) {
 		edges += int64(len(es))
 	}
 	s.m.edgeSize.Set(edges)
+}
+
+// UseTracer attaches a tracer that records a "wal_commit" span — apply
+// through commit acknowledgement — for every write that arrives with a
+// propagated trace context (AddEdgeTraced, or batch records carrying
+// TrajWrite.Trace). In-memory stores record the apply as the commit.
+// Call before traffic flows.
+func (s *Store) UseTracer(tr *obs.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = tr
 }
 
 // applyVertexLocked allocates an ID and inserts the event. Caller holds
@@ -256,6 +269,27 @@ func (s *Store) AddEdge(from, to int64, weight float64) error {
 	return nil
 }
 
+// AddEdgeTraced is AddEdge carrying the writer's trace context: with a
+// tracer attached (UseTracer) and a sampled context, the write is
+// recorded as a "wal_commit" child span bracketing the in-memory apply
+// and the WAL group-commit wait.
+func (s *Store) AddEdgeTraced(from, to int64, weight float64, tc protocol.TraceContext) error {
+	s.mu.RLock()
+	tr, clk := s.tracer, s.clk
+	s.mu.RUnlock()
+	if tr == nil || !tc.Valid() || !tc.Sampled {
+		return s.AddEdge(from, to, weight)
+	}
+	start := clk.Now()
+	err := s.AddEdge(from, to, weight)
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	tr.RecordChild(obs.SpanContext(tc), "wal_commit", start, clk.Now(), "outcome", outcome)
+	return err
+}
+
 // appliedWrite remembers one batch record's in-memory effect for
 // rollback if the group commit fails.
 type appliedWrite struct {
@@ -287,6 +321,11 @@ func (s *Store) ApplyBatch(writes []protocol.TrajWrite) (ids []int64, errs []err
 	recs := make([]walRecord, 0, len(writes))
 	applied := make([]appliedWrite, 0, len(writes))
 	m := s.m
+	trc := s.tracer
+	var traceStart time.Time
+	if trc != nil {
+		traceStart = s.clk.Now()
+	}
 	var rejected int64
 	for i, w := range writes {
 		switch w.Kind {
@@ -342,6 +381,19 @@ func (s *Store) ApplyBatch(writes []protocol.TrajWrite) (ids []int64, errs []err
 			return nil, nil, werr
 		}
 		m.flushHist.Observe(s.clk.Now().Sub(start).Seconds())
+	}
+	// Every accepted record that carried a sampled trace context gets a
+	// wal_commit span bracketing the shared apply + group commit; the
+	// interval is common to the batch, the parentage per record.
+	if trc != nil {
+		traceEnd := s.clk.Now()
+		for i, w := range writes {
+			if w.Trace == nil || !w.Trace.Valid() || !w.Trace.Sampled || errs[i] != nil {
+				continue
+			}
+			trc.RecordChild(obs.SpanContext(*w.Trace), "wal_commit", traceStart, traceEnd,
+				"batch", strconv.Itoa(len(writes)))
+		}
 	}
 	var nv, ne int64
 	for _, a := range applied {

@@ -149,14 +149,15 @@ func (b *Bus) deliver(ctx context.Context, to string, env protocol.Envelope) err
 	}
 	if sim == nil {
 		m.delivered.Inc()
-		h(ctx, env)
+		h(extractTrace(ctx, env), env)
 		return nil
 	}
 	sim.Schedule(latency, func() {
 		// Re-check at delivery time: the endpoint may have failed while
 		// the message was in flight. The sender's context does not travel
 		// with the simulated in-flight message (it may be done by the
-		// time the message lands), so delivery runs under Background.
+		// time the message lands), so delivery runs under Background —
+		// only the envelope's trace context crosses the simulated wire.
 		b.mu.Lock()
 		cur, stillThere := b.endpoints[to]
 		var handler Handler
@@ -166,7 +167,7 @@ func (b *Bus) deliver(ctx context.Context, to string, env protocol.Envelope) err
 		b.mu.Unlock()
 		if handler != nil {
 			m.delivered.Inc()
-			handler(context.Background(), env)
+			handler(extractTrace(context.Background(), env), env)
 		}
 	})
 	return nil
@@ -204,6 +205,7 @@ func (e *busEndpoint) Send(ctx context.Context, addr string, env protocol.Envelo
 	if !e.bus.attached(e.name) {
 		return fmt.Errorf("%w: %q is partitioned", ErrClosed, e.name)
 	}
+	injectTrace(ctx, &env)
 	return e.bus.deliver(ctx, addr, env)
 }
 

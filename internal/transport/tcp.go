@@ -176,7 +176,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 		m.bytesIn.Add(int64(len(env.Payload)))
 		if h != nil {
 			m.delivered.Inc()
-			h(t.rootCtx, env)
+			h(extractTrace(t.rootCtx, env), env)
 			t.handlerWG.Done()
 		}
 	}
@@ -186,6 +186,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 // demand with capped exponential backoff. The context bounds the whole
 // operation; without a deadline, SendTimeout applies.
 func (t *TCP) Send(ctx context.Context, addr string, env protocol.Envelope) error {
+	injectTrace(ctx, &env)
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, t.cfg.SendTimeout)

@@ -1,0 +1,30 @@
+package transport
+
+import (
+	"context"
+
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+// injectTrace stamps the caller's span context (if any) onto the
+// envelope, unless the envelope already carries one — a sender that set
+// env.Trace explicitly knows better than the ambient context.
+func injectTrace(ctx context.Context, env *protocol.Envelope) {
+	if env.Trace != nil {
+		return
+	}
+	if sc, ok := obs.SpanFromContext(ctx); ok {
+		tc := protocol.TraceContext(sc)
+		env.Trace = &tc
+	}
+}
+
+// extractTrace returns base carrying the envelope's span context, if
+// any, so handlers can continue the sender's trace.
+func extractTrace(base context.Context, env protocol.Envelope) context.Context {
+	if env.Trace == nil || !env.Trace.Valid() {
+		return base
+	}
+	return obs.ContextWithSpan(base, obs.SpanContext(*env.Trace))
+}

@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+var testSpan = obs.SpanContext{
+	TraceID:  "cam0#1",
+	SpanID:   "cam0-7",
+	ParentID: "cam0-3",
+	Sampled:  true,
+}
+
+func TestBusTracePropagation(t *testing.T) {
+	bus := NewBus()
+	a, err := bus.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bus.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got obs.SpanContext
+	var ok bool
+	b.SetHandler(func(ctx context.Context, env protocol.Envelope) {
+		got, ok = obs.SpanFromContext(ctx)
+	})
+
+	ctx := obs.ContextWithSpan(context.Background(), testSpan)
+	if err := a.Send(ctx, "b", retireEnv(t, "cam0#1")); err != nil {
+		t.Fatal(err)
+	}
+	if !ok || got != testSpan {
+		t.Fatalf("handler ctx span = %+v, %v; want %+v", got, ok, testSpan)
+	}
+}
+
+func TestSimBusTracePropagation(t *testing.T) {
+	sim := des.New(time.Unix(0, 0).UTC())
+	bus := NewSimBus(sim, 2*time.Millisecond)
+	a, err := bus.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bus.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got obs.SpanContext
+	var ok bool
+	b.SetHandler(func(ctx context.Context, env protocol.Envelope) {
+		got, ok = obs.SpanFromContext(ctx)
+	})
+
+	ctx := obs.ContextWithSpan(context.Background(), testSpan)
+	if err := a.Send(ctx, "b", retireEnv(t, "cam0#1")); err != nil {
+		t.Fatal(err)
+	}
+	// The delivery is scheduled; the trace must cross via the envelope,
+	// not the (long-gone) caller context.
+	sim.RunFor(10 * time.Millisecond)
+	if !ok || got != testSpan {
+		t.Fatalf("handler ctx span = %+v, %v; want %+v", got, ok, testSpan)
+	}
+}
+
+func TestTCPTracePropagation(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	type result struct {
+		sc obs.SpanContext
+		ok bool
+	}
+	done := make(chan result, 1)
+	b.SetHandler(func(ctx context.Context, env protocol.Envelope) {
+		sc, ok := obs.SpanFromContext(ctx)
+		done <- result{sc, ok}
+	})
+
+	ctx := obs.ContextWithSpan(context.Background(), testSpan)
+	if err := a.Send(ctx, b.Addr(), retireEnv(t, "cam0#1")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-done:
+		if !r.ok || r.sc != testSpan {
+			t.Fatalf("handler ctx span = %+v, %v; want %+v", r.sc, r.ok, testSpan)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for delivery")
+	}
+}
+
+func TestInjectTraceKeepsExplicitContext(t *testing.T) {
+	// A message that already carries a trace context (e.g. forwarded)
+	// must not have it overwritten by the sender's ambient span.
+	explicit := &protocol.TraceContext{TraceID: "cam9#9", SpanID: "cam9-1", Sampled: true}
+	env := retireEnv(t, "cam0#1")
+	env.Trace = explicit
+
+	ctx := obs.ContextWithSpan(context.Background(), testSpan)
+	injectTrace(ctx, &env)
+	if env.Trace != explicit {
+		t.Fatalf("explicit trace overwritten: %+v", env.Trace)
+	}
+
+	// And with no ambient span, nothing is attached.
+	env2 := retireEnv(t, "cam0#1")
+	injectTrace(context.Background(), &env2)
+	if env2.Trace != nil {
+		t.Fatalf("trace attached from empty context: %+v", env2.Trace)
+	}
+}
