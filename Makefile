@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench fmt cover staticcheck ci
+.PHONY: all build test race vet bench fmt cover staticcheck govulncheck ci
 
 all: build
 
@@ -19,6 +19,7 @@ vet:
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/obs/ ./internal/pipeline/
 	$(GO) test -run=NONE -bench=BenchmarkTrajstoreWritePath -benchtime=2s .
+	$(GO) test -run=NONE -bench=BenchmarkRPCMiddlewareOverhead -benchtime=1s -benchmem ./internal/transport/
 
 fmt:
 	gofmt -l -w cmd internal examples
@@ -46,4 +47,14 @@ staticcheck:
 		echo 'staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)' >&2; \
 	fi
 
-ci: build vet staticcheck race cover
+# govulncheck scans dependencies (here: just the stdlib) for known
+# vulnerabilities, with the same skip-if-not-installed escape hatch as
+# staticcheck for offline environments.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo 'govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)' >&2; \
+	fi
+
+ci: build vet staticcheck govulncheck race cover

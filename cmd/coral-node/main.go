@@ -35,6 +35,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/reid"
 	"repro/internal/roadnet"
+	"repro/internal/rpc"
 	"repro/internal/sim"
 	"repro/internal/tracker"
 	"repro/internal/trajstore"
@@ -76,6 +77,7 @@ func run() error {
 		dumpGraph = flag.String("dump-graph", "", "write the corridor road graph JSON here and exit")
 		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long a SIGINT/SIGTERM shutdown may spend draining in-flight work")
 	)
+	rpcFlags := rpc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	baseLogger, err := obs.InitDefaultLogger(*logLevel, *logFormat)
@@ -124,7 +126,7 @@ func run() error {
 	}
 	_ = world
 
-	ep, err := transport.ListenTCP(*listen)
+	ep, err := transport.ListenTCPConfig(*listen, transport.TCPConfigFromFlags(rpcFlags))
 	if err != nil {
 		return err
 	}
@@ -146,7 +148,9 @@ func run() error {
 		tracer.SetSink(obs.NewJSONLWriter(f).Export)
 	}
 
-	trajClient, err := trajstore.Dial(*trajAddr)
+	trajCfg := trajstore.ClientConfigFromFlags(rpcFlags)
+	trajCfg.Registry = obs.Default()
+	trajClient, err := trajstore.DialContext(ctx, *trajAddr, trajCfg)
 	if err != nil {
 		return fmt.Errorf("trajectory store: %w", err)
 	}

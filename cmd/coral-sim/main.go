@@ -25,6 +25,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/obs"
 	"repro/internal/roadnet"
+	"repro/internal/rpc/faultinject"
 	"repro/internal/sim"
 	"repro/internal/trajstore"
 )
@@ -44,9 +45,14 @@ func run() error {
 		seed      = flag.Int64("seed", 42, "randomness seed")
 		heartbeat = flag.Duration("heartbeat", 2*time.Second, "camera heartbeat interval")
 		failSpec  = flag.String("fail", "", "fail a camera mid-run, e.g. cam2@40s")
-		track     = flag.String("track", "veh-00", "vehicle whose trajectory to reconstruct")
-		obsListen = flag.String("obs-listen", "", "telemetry HTTP address for /metrics, /healthz, /debug/obs, /debug/trace (empty = disabled)")
-		obsPProf  = flag.Bool("obs-pprof", false, "also mount net/http/pprof profiling handlers on the telemetry server")
+
+		faultDrop    = flag.Float64("fault-drop-rate", 0, "drop each network message with this probability, in [0,1)")
+		faultErr     = flag.Float64("fault-error-rate", 0, "fail each network send with an injected error with this probability, in [0,1)")
+		faultLatency = flag.Duration("fault-latency", 0, "extra latency added to every network message")
+		faultJitter  = flag.Duration("fault-latency-jitter", 0, "uniform extra latency in [0,jitter) per message, drawn from the seeded fault RNG")
+		track        = flag.String("track", "veh-00", "vehicle whose trajectory to reconstruct")
+		obsListen    = flag.String("obs-listen", "", "telemetry HTTP address for /metrics, /healthz, /debug/obs, /debug/trace (empty = disabled)")
+		obsPProf     = flag.Bool("obs-pprof", false, "also mount net/http/pprof profiling handlers on the telemetry server")
 
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat   = flag.String("log-format", "text", "log format: text or json")
@@ -75,6 +81,14 @@ func run() error {
 		Seed:              *seed,
 		HeartbeatInterval: *heartbeat,
 		TraceSampleEvery:  *traceSample,
+		// The fault RNG is derived from -seed inside NewSystem, so two
+		// runs with the same seed inject the same faults.
+		Fault: faultinject.Config{
+			DropRate:      *faultDrop,
+			ErrorRate:     *faultErr,
+			Latency:       *faultLatency,
+			LatencyJitter: *faultJitter,
+		},
 	})
 	if err != nil {
 		return err

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/framestore"
 	"repro/internal/obs"
+	"repro/internal/rpc"
 	"repro/internal/transport"
 )
 
@@ -38,6 +39,7 @@ func run() error {
 		logFormat = flag.String("log-format", "text", "log format: text or json")
 		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long a SIGINT/SIGTERM shutdown may spend draining in-flight frames")
 	)
+	rpcFlags := rpc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	baseLogger, err := obs.InitDefaultLogger(*logLevel, *logFormat)
@@ -56,7 +58,7 @@ func run() error {
 	defer func() { _ = store.Close() }()
 	store.Instrument(obs.Default(), nil)
 
-	ep, err := transport.ListenTCP(*listen)
+	ep, err := transport.ListenTCPConfig(*listen, transport.TCPConfigFromFlags(rpcFlags))
 	if err != nil {
 		return err
 	}
@@ -66,6 +68,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	srv.Use(obs.Default(), nil)
 	logger.Info("frame store listening", "addr", ep.Addr(), "dir", *dir)
 
 	var obsSrv *obs.Server
@@ -81,12 +84,18 @@ func run() error {
 	<-ctx.Done()
 	stop() // restore default signal handling: a second ^C force-kills
 	// Drain in-flight frame handlers before closing the store, so the
-	// last frames land in the per-camera logs before they are flushed by
-	// the deferred store.Close.
+	// last frames land in the per-camera logs before they are flushed.
+	// Transport first (stop the inbound stream), then the server's own
+	// graceful shutdown: cut intake, drain handlers, flush and close the
+	// store, and record the drain duration in
+	// coralpie_framestore_shutdown_drain_seconds.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := ep.Shutdown(shutdownCtx); err != nil {
 		logger.Warn("transport shutdown", "err", err.Error())
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Warn("framestore shutdown", "err", err.Error())
 	}
 	if obsSrv != nil {
 		if err := obsSrv.Shutdown(shutdownCtx); err != nil {

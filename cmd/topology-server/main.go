@@ -21,6 +21,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/obs"
 	"repro/internal/roadnet"
+	"repro/internal/rpc"
 	"repro/internal/topology"
 	"repro/internal/transport"
 )
@@ -45,6 +46,7 @@ func run() error {
 		logFormat = flag.String("log-format", "text", "log format: text or json")
 		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long a SIGINT/SIGTERM shutdown may spend draining in-flight work")
 	)
+	rpcFlags := rpc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	baseLogger, err := obs.InitDefaultLogger(*logLevel, *logFormat)
@@ -74,7 +76,7 @@ func run() error {
 		return fmt.Errorf("load graph: %w", err)
 	}
 
-	ep, err := transport.ListenTCP(*listen)
+	ep, err := transport.ListenTCPConfig(*listen, transport.TCPConfigFromFlags(rpcFlags))
 	if err != nil {
 		return err
 	}

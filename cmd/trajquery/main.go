@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/protocol"
 	"repro/internal/query"
+	"repro/internal/rpc"
 	"repro/internal/trajstore"
 )
 
@@ -39,14 +40,17 @@ func run() error {
 		maxDepth = flag.Int("max-depth", 64, "traversal depth limit")
 		maxPaths = flag.Int("max-paths", 32, "candidate path limit")
 		stats    = flag.Bool("stats", false, "print store statistics and exit")
-		timeout  = flag.Duration("timeout", 5*time.Second, "per-RPC deadline for store calls")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-RPC deadline for store calls (overrides -rpc-call-timeout)")
 	)
+	rpcFlags := rpc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	client, err := trajstore.DialContext(ctx, *server, trajstore.ClientConfig{CallTimeout: *timeout})
+	cfg := trajstore.ClientConfigFromFlags(rpcFlags)
+	cfg.CallTimeout = *timeout
+	client, err := trajstore.DialContext(ctx, *server, cfg)
 	if err != nil {
 		return err
 	}

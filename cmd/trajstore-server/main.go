@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/rpc"
 	"repro/internal/trajstore"
 )
 
@@ -42,6 +43,7 @@ func run() error {
 		fsync       = flag.Bool("fsync", false, "fsync every WAL group commit (durable across power loss; pair with -group-commit-window)")
 		window      = flag.Duration("group-commit-window", 0, "WAL group-commit window: writes acknowledged within one window share one flush (0 = flush immediately)")
 	)
+	rpcFlags := rpc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	baseLogger, err := obs.InitDefaultLogger(*logLevel, *logFormat)
@@ -84,7 +86,10 @@ func run() error {
 	}
 	store.UseTracer(tracer)
 
-	srv, err := trajstore.Serve(store, *listen)
+	srv, err := trajstore.ServeWith(store, *listen, trajstore.ServerOptions{
+		WriteTimeout: rpcFlags.CallTimeout,
+		Logger:       logger,
+	})
 	if err != nil {
 		return err
 	}

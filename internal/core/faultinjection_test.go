@@ -1,12 +1,14 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"testing"
 	"time"
 
 	"repro/internal/geo"
 	"repro/internal/roadnet"
+	"repro/internal/rpc/faultinject"
 	"repro/internal/vision"
 )
 
@@ -87,5 +89,64 @@ func TestLossRateValidationInConfig(t *testing.T) {
 	}
 	if _, err := NewSystem(Config{Graph: g, MessageLossRate: 1.5}); err == nil {
 		t.Error("loss rate > 1 accepted")
+	}
+	if _, err := NewSystem(Config{Graph: g, Fault: faultinject.Config{ErrorRate: 2}}); err == nil {
+		t.Error("error rate > 1 accepted")
+	}
+}
+
+// TestFaultInjectionDeterministic runs the same seeded simulation twice
+// with every fault class enabled (drop, error, latency with jitter) and
+// requires byte-identical Prometheus renderings: the injected fault
+// stream must be a pure function of the seed, so robustness experiments
+// stay reproducible.
+func TestFaultInjectionDeterministic(t *testing.T) {
+	render := func() []byte {
+		g, ids, err := roadnet.Corridor(3, 150, geo.Point{Lat: 33.7756, Lon: -84.3963})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := NewSystem(Config{
+			Graph: g,
+			Seed:  99,
+			Fault: faultinject.Config{
+				DropRate:      0.05,
+				ErrorRate:     0.02,
+				Latency:       500 * time.Microsecond,
+				LatencyJitter: time.Millisecond,
+			},
+			DetectorFactory: func(string) (vision.Detector, error) {
+				return vision.PerfectDetector{}, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, node := range ids {
+			if err := sys.AddCameraAt(camID(i), node, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for v := 0; v < 2; v++ {
+			addVehicle(t, sys, "veh-"+string(rune('0'+v)), v, ids, time.Duration(v)*15*time.Second)
+		}
+		sys.Start(context.Background())
+		sys.Run(sys.World().LastVehicleDone() + 10*time.Second)
+		sys.Stop()
+		if err := sys.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sys.Telemetry().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if len(a) == 0 {
+		t.Fatal("empty metric rendering")
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("same-seed faulty runs rendered different metrics:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
 	}
 }

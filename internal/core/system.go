@@ -22,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/reid"
 	"repro/internal/roadnet"
+	"repro/internal/rpc/faultinject"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/tracker"
@@ -47,8 +48,14 @@ type Config struct {
 	// network (the paper measures 2 ms on the campus LAN).
 	NetworkLatency time.Duration
 	// MessageLossRate drops each network message with this probability,
-	// for failure-injection studies. Zero disables loss.
+	// for failure-injection studies. Zero disables loss. Shorthand for
+	// Fault.DropRate (which wins when both are set).
 	MessageLossRate float64
+	// Fault configures deterministic network-fault injection (drop,
+	// latency, error) on the simulated bus. When Fault.RNG is nil the
+	// fault stream is derived from Seed, so same-seed runs inject the
+	// same faults.
+	Fault faultinject.Config
 	// HeartbeatInterval is the camera heartbeat period (paper: 2 s / 5 s).
 	HeartbeatInterval time.Duration
 	// LivenessMultiple sets the server's liveness timeout as a multiple
@@ -185,9 +192,17 @@ func NewSystem(cfg Config) (*System, error) {
 
 	bus := transport.NewSimBus(dsim, cfg.NetworkLatency)
 	bus.Use(reg)
-	if cfg.MessageLossRate > 0 {
-		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x10552a7e))
-		if err := bus.SetLossRate(cfg.MessageLossRate, rng); err != nil {
+	fault := cfg.Fault
+	if fault.DropRate == 0 {
+		fault.DropRate = cfg.MessageLossRate
+	}
+	if fault.DropRate != 0 || fault.Enabled() {
+		if fault.RNG == nil {
+			// Same seed derivation the retired loss model used, so
+			// existing seeded loss studies reproduce bit-for-bit.
+			fault.RNG = rand.New(rand.NewSource(cfg.Seed ^ 0x10552a7e))
+		}
+		if err := bus.InjectFaults(fault); err != nil {
 			return nil, err
 		}
 	}

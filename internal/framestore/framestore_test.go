@@ -248,3 +248,70 @@ func TestClientValidation(t *testing.T) {
 		t.Error("empty addr accepted")
 	}
 }
+
+func TestServerGracefulShutdown(t *testing.T) {
+	dir := t.TempDir()
+	bus := transport.NewBus()
+	sep, err := bus.Endpoint("framestore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(store, sep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cep, err := bus.Endpoint("cam1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewClient(cep, "framestore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := int64(1); seq <= 3; seq++ {
+		if err := cl.StoreFrame(record("cam1", seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if got := srv.DrainObservations(); got != 1 {
+		t.Errorf("drain observations = %d, want 1", got)
+	}
+	// Intake is cut: frames after shutdown neither land nor count.
+	_ = cl.StoreFrame(record("cam1", 4))
+	received, errs := srv.Stats()
+	if received != 3 || errs != 0 {
+		t.Errorf("stats after shutdown = %d/%d, want 3/0", received, errs)
+	}
+	// The store was flushed and closed as part of the drain.
+	if err := store.Put(record("cam1", 5)); !errors.Is(err, ErrClosed) {
+		t.Errorf("store accepts writes after shutdown: %v", err)
+	}
+	// Idempotent.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	if got := srv.DrainObservations(); got != 1 {
+		t.Errorf("drain observations after repeat = %d, want 1", got)
+	}
+
+	// The flushed frames survive a reopen.
+	re, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = re.Close() }()
+	if got := re.Count("cam1"); got != 3 {
+		t.Errorf("reopened store holds %d frames, want 3", got)
+	}
+}

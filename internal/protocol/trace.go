@@ -19,3 +19,9 @@ type TraceContext struct {
 
 // Valid reports whether tc identifies a trace position.
 func (tc TraceContext) Valid() bool { return tc.TraceID != "" && tc.SpanID != "" }
+
+// TraceContext and SetTraceContext implement the rpc layer's
+// trace-carrier contract, letting the trace inject/extract middleware
+// move span contexts through envelopes without knowing the frame type.
+func (e *Envelope) TraceContext() *TraceContext      { return e.Trace }
+func (e *Envelope) SetTraceContext(tc *TraceContext) { e.Trace = tc }

@@ -1,0 +1,100 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// BackoffConfig shapes the capped exponential backoff with full jitter
+// used between dial retries. The same policy used to live, copied, in
+// transport.TCP and trajstore.Client; this is the single source of
+// truth.
+type BackoffConfig struct {
+	// Base is the first retry delay (default 50ms); it doubles per
+	// attempt.
+	Base time.Duration
+	// Max caps the delay (default 1s).
+	Max time.Duration
+}
+
+func (c BackoffConfig) withDefaults() BackoffConfig {
+	if c.Base <= 0 {
+		c.Base = 50 * time.Millisecond
+	}
+	if c.Max <= 0 {
+		c.Max = time.Second
+	}
+	return c
+}
+
+// jitter returns a sleep in [d/2, d]: full jitter decorrelates
+// concurrent clients hammering a restarting peer.
+func jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// DialHooks lets transports observe and veto dial attempts without
+// owning the retry loop.
+type DialHooks struct {
+	// OnAttempt runs before each dial attempt (e.g. a redial counter).
+	OnAttempt func()
+	// Abort, when non-nil, is checked before each attempt; a non-nil
+	// return stops the loop with that error (e.g. endpoint closed).
+	Abort func() error
+}
+
+// DialWithBackoff dials addr via dial, retrying with capped exponential
+// backoff plus jitter until a connection succeeds or ctx expires.
+// Transient listener restarts (e.g. a store server rebooting) are
+// ridden out instead of failing the first call.
+func DialWithBackoff(ctx context.Context, addr string, dial func(context.Context) (net.Conn, error), cfg BackoffConfig, hooks DialHooks) (net.Conn, error) {
+	cfg = cfg.withDefaults()
+	backoff := cfg.Base
+	for {
+		if hooks.Abort != nil {
+			if err := hooks.Abort(); err != nil {
+				return nil, err
+			}
+		}
+		if hooks.OnAttempt != nil {
+			hooks.OnAttempt()
+		}
+		conn, err := dial(ctx)
+		if err == nil {
+			return conn, nil
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("rpc: dial %s: %w (last attempt: %v)", addr, ctx.Err(), err)
+		}
+		timer := time.NewTimer(jitter(backoff))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, fmt.Errorf("rpc: dial %s: %w (last attempt: %v)", addr, ctx.Err(), err)
+		case <-timer.C:
+		}
+		backoff *= 2
+		if backoff > cfg.Max {
+			backoff = cfg.Max
+		}
+	}
+}
+
+// Sleep pauses for d or until ctx is done, returning ctx.Err() in the
+// latter case. Transports use it to honor injected fault latency.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	select {
+	case <-ctx.Done():
+		timer.Stop()
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

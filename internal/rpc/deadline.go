@@ -1,0 +1,118 @@
+package rpc
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// deadlineContext is a deadline-only context that arms its machinery
+// lazily. The fast path of a transport call reads Deadline() (to set
+// socket write deadlines) and polls Err(), but never selects on Done(),
+// so the runtime timer plus stop goroutine that context.WithTimeout
+// sets up per call would be pure overhead — measurably so on the Send
+// hot path. The timer and the parent-cancellation watcher are created
+// only if Done() is actually called (dial backoff, fault-latency
+// sleeps).
+type deadlineContext struct {
+	parent   context.Context
+	deadline time.Time
+
+	mu      sync.Mutex
+	done    chan struct{} // allocated lazily by Done
+	err     error         // set before done is closed
+	timer   *time.Timer
+	unwatch chan struct{} // stops the parent watcher goroutine
+}
+
+var _ context.Context = (*deadlineContext)(nil)
+
+func newDeadlineContext(parent context.Context, deadline time.Time) *deadlineContext {
+	return &deadlineContext{parent: parent, deadline: deadline}
+}
+
+func (c *deadlineContext) Deadline() (time.Time, bool) { return c.deadline, true }
+func (c *deadlineContext) Value(key any) any           { return c.parent.Value(key) }
+
+func (c *deadlineContext) Err() error {
+	if err := c.parent.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	// Eager check: no timer may be armed yet, so report expiry straight
+	// from the clock.
+	if !time.Now().Before(c.deadline) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// expireLocked settles the context with err: stops the timer and
+// watcher, closes done if anyone is listening. Caller holds mu; the
+// first settlement wins.
+func (c *deadlineContext) expireLocked(err error) {
+	if c.err != nil {
+		return
+	}
+	c.err = err
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	if c.unwatch != nil {
+		close(c.unwatch)
+		c.unwatch = nil
+	}
+	if c.done != nil {
+		close(c.done)
+	}
+}
+
+func (c *deadlineContext) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done != nil {
+		return c.done
+	}
+	c.done = make(chan struct{})
+	if c.err != nil { // settled before anyone asked
+		close(c.done)
+		return c.done
+	}
+	rem := time.Until(c.deadline)
+	if rem <= 0 {
+		c.expireLocked(context.DeadlineExceeded)
+		return c.done
+	}
+	c.timer = time.AfterFunc(rem, func() {
+		c.mu.Lock()
+		c.expireLocked(context.DeadlineExceeded)
+		c.mu.Unlock()
+	})
+	if pd := c.parent.Done(); pd != nil {
+		stop := make(chan struct{})
+		c.unwatch = stop
+		go func() {
+			select {
+			case <-pd:
+				c.mu.Lock()
+				c.expireLocked(c.parent.Err())
+				c.mu.Unlock()
+			case <-stop:
+			}
+		}()
+	}
+	return c.done
+}
+
+// release cancels the context and frees the timer and watcher, like the
+// CancelFunc returned by context.WithTimeout. Idempotent.
+func (c *deadlineContext) release() {
+	c.mu.Lock()
+	c.expireLocked(context.Canceled)
+	c.mu.Unlock()
+}

@@ -1,0 +1,44 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"os"
+)
+
+// IsDeadlineError reports whether err stems from a context deadline or
+// a socket timeout. This is the single copy of a helper that used to be
+// duplicated in internal/transport and internal/trajstore.
+func IsDeadlineError(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// retryableError marks a transient failure — typically a write on a
+// cached connection that turned out to be stale — that WithRetry may
+// spend budget on.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// MarkRetryable wraps err so IsRetryable reports true; nil stays nil.
+// Base transports mark exactly the failures a retry can fix (a stale
+// cached connection), keeping retry policy out of the transports.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &retryableError{err: err}
+}
+
+// IsRetryable reports whether err (or anything it wraps) was marked by
+// MarkRetryable.
+func IsRetryable(err error) bool {
+	var re *retryableError
+	return errors.As(err, &re)
+}

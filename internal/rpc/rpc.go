@@ -1,0 +1,131 @@
+// Package rpc is the shared substrate under every Coral-Pie wire
+// protocol: the peer-to-peer camera envelopes, topology heartbeats,
+// trajectory-store calls, and frame shipping are all "just messages",
+// so their cross-cutting concerns — tracing, metrics, deadlines,
+// logging, retry/redial policy, fault injection — live here once, as
+// composable interceptors, instead of being hand-stitched into each
+// transport.
+//
+// The model is a typed request/response plus one-way-message core over
+// the existing length-prefixed-JSON wire formats (the wire bytes are
+// unchanged; this layer is purely in-process). Client and server sides
+// each compose a chain of interceptors in the onion model: the first
+// interceptor is outermost, the base handler (the actual transport
+// write or the protocol handler) is innermost.
+package rpc
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// Request is one outbound call or inbound message traveling through an
+// interceptor chain.
+type Request struct {
+	// Method names the operation: the envelope message type for one-way
+	// transport sends, or the wire op for request/response calls.
+	Method string
+	// Addr is the destination address (empty on the server side).
+	Addr string
+	// Body is the protocol-level message. Middleware that moves trace
+	// contexts asserts it to TraceCarrier; transports assert it back to
+	// their concrete frame type.
+	Body any
+	// OneWay marks fire-and-forget sends: no response body is expected
+	// and a dropped message is indistinguishable from a delivered one.
+	OneWay bool
+	// Delay is latency injected by fault middleware. Transports honor
+	// it at the last moment — the in-proc bus adds it to the simulated
+	// network latency (keeping DES runs deterministic), the TCP
+	// transport sleeps — and consume it, so retries do not pay it
+	// twice.
+	Delay time.Duration
+}
+
+// Response carries a call's reply body; one-way sends return an empty
+// Response.
+type Response struct {
+	Body any
+}
+
+// Handler is the innermost stage of a chain: it performs the actual
+// send, round trip, or protocol dispatch.
+type Handler func(ctx context.Context, req *Request) (*Response, error)
+
+// ClientInterceptor wraps outbound calls. It may mutate the request,
+// short-circuit by not calling next, or retry by calling next more
+// than once.
+type ClientInterceptor func(ctx context.Context, req *Request, next Handler) (*Response, error)
+
+// ServerInterceptor wraps inbound dispatch with the same shape and
+// contract as ClientInterceptor.
+type ServerInterceptor func(ctx context.Context, req *Request, next Handler) (*Response, error)
+
+// ChainClient composes interceptors onion-style: the first argument is
+// outermost, the handler passed at call time is innermost.
+func ChainClient(ics ...ClientInterceptor) ClientInterceptor {
+	return func(ctx context.Context, req *Request, next Handler) (*Response, error) {
+		h := next
+		for i := len(ics) - 1; i >= 0; i-- {
+			ic, inner := ics[i], h
+			h = func(c context.Context, r *Request) (*Response, error) {
+				return ic(c, r, inner)
+			}
+		}
+		return h(ctx, req)
+	}
+}
+
+// BindClient composes interceptors around a fixed base handler, once.
+// ChainClient rebuilds the onion per call — one closure allocation per
+// interceptor per call — which is fine for occasional calls but not for
+// the transport send hot path; a bound chain is allocation-free at call
+// time. Order matches ChainClient: the first interceptor is outermost.
+func BindClient(base Handler, ics ...ClientInterceptor) Handler {
+	h := base
+	for i := len(ics) - 1; i >= 0; i-- {
+		ic, inner := ics[i], h
+		h = func(ctx context.Context, req *Request) (*Response, error) {
+			return ic(ctx, req, inner)
+		}
+	}
+	return h
+}
+
+// BindServer is BindClient for server interceptor chains.
+func BindServer(base Handler, ics ...ServerInterceptor) Handler {
+	h := base
+	for i := len(ics) - 1; i >= 0; i-- {
+		ic, inner := ics[i], h
+		h = func(ctx context.Context, req *Request) (*Response, error) {
+			return ic(ctx, req, inner)
+		}
+	}
+	return h
+}
+
+// ChainServer composes server interceptors with the same onion order
+// as ChainClient.
+func ChainServer(ics ...ServerInterceptor) ServerInterceptor {
+	return func(ctx context.Context, req *Request, next Handler) (*Response, error) {
+		h := next
+		for i := len(ics) - 1; i >= 0; i-- {
+			ic, inner := ics[i], h
+			h = func(c context.Context, r *Request) (*Response, error) {
+				return ic(c, r, inner)
+			}
+		}
+		return h(ctx, req)
+	}
+}
+
+// TraceCarrier is implemented by wire messages that can carry a trace
+// context across the network (protocol.Envelope, the trajstore request
+// frame). The trace middleware reads and writes through it without
+// knowing the concrete frame type.
+type TraceCarrier interface {
+	TraceContext() *protocol.TraceContext
+	SetTraceContext(*protocol.TraceContext)
+}

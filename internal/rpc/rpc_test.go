@@ -1,0 +1,331 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+// tag appends a marker before and after next, building the onion order.
+func tagClient(name string, order *[]string) ClientInterceptor {
+	return func(ctx context.Context, req *Request, next Handler) (*Response, error) {
+		*order = append(*order, name+">")
+		resp, err := next(ctx, req)
+		*order = append(*order, "<"+name)
+		return resp, err
+	}
+}
+
+func tagServer(name string, order *[]string) ServerInterceptor {
+	return func(ctx context.Context, req *Request, next Handler) (*Response, error) {
+		*order = append(*order, name+">")
+		resp, err := next(ctx, req)
+		*order = append(*order, "<"+name)
+		return resp, err
+	}
+}
+
+func TestChainClientOnionOrder(t *testing.T) {
+	var order []string
+	chain := ChainClient(tagClient("a", &order), tagClient("b", &order), tagClient("c", &order))
+	_, err := chain(context.Background(), &Request{Method: "m"}, func(ctx context.Context, r *Request) (*Response, error) {
+		order = append(order, "base")
+		return &Response{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a>", "b>", "c>", "base", "<c", "<b", "<a"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestBindClientMatchesChainOrder(t *testing.T) {
+	var order []string
+	call := BindClient(func(ctx context.Context, r *Request) (*Response, error) {
+		order = append(order, "base")
+		return &Response{}, nil
+	}, tagClient("a", &order), tagClient("b", &order), tagClient("c", &order))
+	if _, err := call(context.Background(), &Request{Method: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a>", "b>", "c>", "base", "<c", "<b", "<a"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestChainServerOnionOrder(t *testing.T) {
+	var order []string
+	chain := ChainServer(tagServer("outer", &order), tagServer("inner", &order))
+	_, err := chain(context.Background(), &Request{Method: "m"}, func(ctx context.Context, r *Request) (*Response, error) {
+		order = append(order, "base")
+		return &Response{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"outer>", "inner>", "base", "<inner", "<outer"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestChainShortCircuit(t *testing.T) {
+	boom := errors.New("boom")
+	var after, base bool
+	chain := ChainClient(
+		func(ctx context.Context, req *Request, next Handler) (*Response, error) {
+			return nil, boom // never calls next
+		},
+		func(ctx context.Context, req *Request, next Handler) (*Response, error) {
+			after = true
+			return next(ctx, req)
+		},
+	)
+	_, err := chain(context.Background(), &Request{}, func(ctx context.Context, r *Request) (*Response, error) {
+		base = true
+		return &Response{}, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want %v", err, boom)
+	}
+	if after || base {
+		t.Errorf("short-circuited chain still ran inner stages: after=%v base=%v", after, base)
+	}
+}
+
+func TestChainEmptyIsIdentity(t *testing.T) {
+	called := false
+	_, err := ChainClient()(context.Background(), &Request{}, func(ctx context.Context, r *Request) (*Response, error) {
+		called = true
+		return &Response{}, nil
+	})
+	if err != nil || !called {
+		t.Fatalf("empty chain: called=%v err=%v", called, err)
+	}
+}
+
+func TestWithRetrySpendsBudgetOnlyOnRetryable(t *testing.T) {
+	fails := 2
+	base := func(ctx context.Context, r *Request) (*Response, error) {
+		if fails > 0 {
+			fails--
+			return nil, MarkRetryable(errors.New("stale conn"))
+		}
+		return &Response{}, nil
+	}
+	var retries, exhausted int
+	retry := WithRetry(RetryConfig{
+		Budget:      2,
+		OnRetry:     func() { retries++ },
+		OnExhausted: func() { exhausted++ },
+	})
+	if _, err := retry(context.Background(), &Request{}, base); err != nil {
+		t.Fatalf("call with budget 2 over 2 failures: %v", err)
+	}
+	if retries != 2 || exhausted != 0 {
+		t.Errorf("retries=%d exhausted=%d, want 2, 0", retries, exhausted)
+	}
+
+	// A terminal (unmarked) error must not be retried.
+	calls := 0
+	_, err := retry(context.Background(), &Request{}, func(ctx context.Context, r *Request) (*Response, error) {
+		calls++
+		return nil, errors.New("terminal")
+	})
+	if err == nil || calls != 1 {
+		t.Errorf("terminal error: calls=%d err=%v, want 1 call and an error", calls, err)
+	}
+}
+
+func TestRetryExhaustionCountedInMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg, "component", "test")
+	chain := ChainClient(
+		WithMetrics(m),
+		WithRetry(m.RetryHooks(RetryConfig{Budget: 1})),
+	)
+	_, err := chain(context.Background(), &Request{Method: "op"}, func(ctx context.Context, r *Request) (*Response, error) {
+		return nil, MarkRetryable(errors.New("always stale"))
+	})
+	if err == nil {
+		t.Fatal("want error after exhausting the retry budget")
+	}
+	if got := m.Retries.Value(); got != 1 {
+		t.Errorf("retries counter = %d, want 1", got)
+	}
+	if got := m.RetryExhausted.Value(); got != 1 {
+		t.Errorf("retry_exhausted counter = %d, want 1", got)
+	}
+	if got := m.Calls.Value(); got != 1 {
+		t.Errorf("calls counter = %d, want 1 (metrics sit outside retry)", got)
+	}
+	if got := m.Errors.Value(); got != 1 {
+		t.Errorf("errors counter = %d, want 1", got)
+	}
+}
+
+func TestRetryBudgetZeroDefaultsToOne(t *testing.T) {
+	calls := 0
+	_, _ = WithRetry(RetryConfig{})(context.Background(), &Request{}, func(ctx context.Context, r *Request) (*Response, error) {
+		calls++
+		return nil, MarkRetryable(errors.New("stale"))
+	})
+	if calls != 2 {
+		t.Errorf("zero budget: %d attempts, want 2 (default one retry)", calls)
+	}
+	calls = 0
+	_, _ = WithRetry(RetryConfig{Budget: -1})(context.Background(), &Request{}, func(ctx context.Context, r *Request) (*Response, error) {
+		calls++
+		return nil, MarkRetryable(errors.New("stale"))
+	})
+	if calls != 1 {
+		t.Errorf("negative budget: %d attempts, want 1 (retries disabled)", calls)
+	}
+}
+
+func TestWithDefaultDeadline(t *testing.T) {
+	mw := WithDefaultDeadline(time.Minute)
+	_, err := mw(context.Background(), &Request{}, func(ctx context.Context, r *Request) (*Response, error) {
+		if _, ok := ctx.Deadline(); !ok {
+			t.Error("no deadline applied to a bare context")
+		}
+		return &Response{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An existing (tighter) deadline wins.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(time.Second))
+	defer cancel()
+	want, _ := ctx.Deadline()
+	_, err = mw(ctx, &Request{}, func(ctx context.Context, r *Request) (*Response, error) {
+		if got, _ := ctx.Deadline(); !got.Equal(want) {
+			t.Errorf("deadline overridden: got %v, want %v", got, want)
+		}
+		return &Response{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceInjectAndExtract(t *testing.T) {
+	span := obs.SpanContext{TraceID: "cam0#1", SpanID: "cam0-5", Sampled: true}
+	env := &protocol.Envelope{}
+	ctx := obs.ContextWithSpan(context.Background(), span)
+	_, err := WithTraceInject()(ctx, &Request{Body: env}, func(ctx context.Context, r *Request) (*Response, error) {
+		return &Response{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Trace == nil || obs.SpanContext(*env.Trace) != span {
+		t.Fatalf("injected trace = %+v, want %+v", env.Trace, span)
+	}
+
+	// Extraction resumes the carried span on the server side.
+	var got obs.SpanContext
+	var ok bool
+	_, err = WithTraceExtract()(context.Background(), &Request{Body: env}, func(ctx context.Context, r *Request) (*Response, error) {
+		got, ok = obs.SpanFromContext(ctx)
+		return &Response{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || got != span {
+		t.Errorf("extracted span = %+v, %v; want %+v", got, ok, span)
+	}
+
+	// An explicit carrier context is never overwritten by the ambient span.
+	explicit := protocol.TraceContext{TraceID: "cam9#9", SpanID: "cam9-1", Sampled: true}
+	env2 := &protocol.Envelope{Trace: &explicit}
+	_, err = WithTraceInject()(ctx, &Request{Body: env2}, func(ctx context.Context, r *Request) (*Response, error) {
+		return &Response{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *env2.Trace != explicit {
+		t.Errorf("explicit trace overwritten: %+v", env2.Trace)
+	}
+}
+
+func TestIsDeadlineError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{context.DeadlineExceeded, true},
+		{fmt.Errorf("wrap: %w", context.DeadlineExceeded), true},
+		{os.ErrDeadlineExceeded, true},
+		{errors.New("plain"), false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := IsDeadlineError(c.err); got != c.want {
+			t.Errorf("IsDeadlineError(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestMarkRetryable(t *testing.T) {
+	if MarkRetryable(nil) != nil {
+		t.Error("MarkRetryable(nil) != nil")
+	}
+	base := errors.New("stale")
+	marked := MarkRetryable(base)
+	if !IsRetryable(marked) {
+		t.Error("marked error not retryable")
+	}
+	if !errors.Is(marked, base) {
+		t.Error("marking hides the underlying error from errors.Is")
+	}
+	if IsRetryable(fmt.Errorf("plain")) {
+		t.Error("plain error reported retryable")
+	}
+	if !IsRetryable(fmt.Errorf("wrapped: %w", marked)) {
+		t.Error("wrapping loses retryability")
+	}
+}
+
+func TestDialWithBackoffHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	attempts := 0
+	_, err := DialWithBackoff(ctx, "nowhere",
+		func(context.Context) (net.Conn, error) { attempts++; return nil, errors.New("refused") },
+		BackoffConfig{Base: 10 * time.Millisecond, Max: 20 * time.Millisecond},
+		DialHooks{})
+	if err == nil {
+		t.Fatal("dial to nowhere succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want a deadline error", err)
+	}
+	if attempts < 2 {
+		t.Errorf("attempts = %d, want >= 2 (retried within the deadline)", attempts)
+	}
+}
+
+func TestDialWithBackoffAbort(t *testing.T) {
+	closed := errors.New("endpoint closed")
+	_, err := DialWithBackoff(context.Background(), "nowhere",
+		func(context.Context) (net.Conn, error) { return nil, errors.New("refused") },
+		BackoffConfig{Base: time.Millisecond, Max: time.Millisecond},
+		DialHooks{Abort: func() error { return closed }})
+	if !errors.Is(err, closed) {
+		t.Errorf("err = %v, want the abort error", err)
+	}
+}

@@ -1,0 +1,232 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ServerCodec translates between wire frames and Requests/Responses for
+// one request/response protocol served by Server. Implementations do
+// not need to be safe for concurrent use; the server uses one codec
+// value across connections but calls are not interleaved per
+// connection.
+type ServerCodec interface {
+	// ReadRequest blocks for the next request frame on r. Any error —
+	// including io.EOF — ends the connection.
+	ReadRequest(r io.Reader) (*Request, error)
+	// WriteResponse writes the reply for req. herr is the handler
+	// chain's error; protocol codecs typically encode it into the
+	// response frame (so old clients see the same wire shape) rather
+	// than killing the connection.
+	WriteResponse(w io.Writer, req *Request, resp *Response, herr error) error
+}
+
+// ServerConfig tunes a Server.
+type ServerConfig struct {
+	// WriteTimeout bounds each response write (0 = none).
+	WriteTimeout time.Duration
+	// Interceptors wrap the handler, outermost first, after the
+	// built-in trace extraction.
+	Interceptors []ServerInterceptor
+	// Drain, when non-nil, receives graceful-shutdown drain durations
+	// in seconds (defaults to a standalone histogram).
+	Drain *obs.Histogram
+}
+
+// Server accepts framed request/response connections (one goroutine
+// per connection, requests served in order per connection) and
+// dispatches each request through the server interceptor chain. It owns
+// the accept/serve/graceful-shutdown lifecycle that trajstore.Server
+// used to implement privately.
+type Server struct {
+	ln      net.Listener
+	codec   ServerCodec
+	handler Handler
+	chain   ServerInterceptor
+	cfg     ServerConfig
+
+	// rootCtx is the base context handed to request chains; cancelled
+	// once the server hard-closes so stuck handlers can bail out.
+	rootCtx context.Context
+	cancel  context.CancelFunc
+
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	drain *obs.Histogram
+}
+
+// NewServer listens on addr and serves the codec's protocol through
+// handler wrapped in cfg.Interceptors (trace extraction is always
+// outermost).
+func NewServer(addr string, codec ServerCodec, handler Handler, cfg ServerConfig) (*Server, error) {
+	if codec == nil || handler == nil {
+		return nil, fmt.Errorf("rpc: codec and handler required")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	drain := cfg.Drain
+	if drain == nil {
+		drain = new(obs.Histogram)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		ln:      ln,
+		codec:   codec,
+		handler: handler,
+		chain:   ChainServer(append([]ServerInterceptor{WithTraceExtract()}, cfg.Interceptors...)...),
+		cfg:     cfg,
+		rootCtx: ctx,
+		cancel:  cancel,
+		conns:   make(map[net.Conn]struct{}),
+		drain:   drain,
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := s.codec.ReadRequest(conn)
+		if err != nil {
+			return // EOF, peer reset, shutdown read deadline, or framing error
+		}
+		resp, herr := s.chain(s.rootCtx, req, s.handler)
+		if s.cfg.WriteTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		if err := s.codec.WriteResponse(conn, req, resp, herr); err != nil {
+			return
+		}
+		if s.cfg.WriteTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Time{})
+		}
+	}
+}
+
+// Shutdown gracefully stops the server: it stops accepting new
+// connections, lets any request currently being served finish, and only
+// hard-closes connections once idle (or once ctx expires, whichever is
+// first). The drain duration lands in the drain histogram. Safe to call
+// concurrently with Close; both are idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	start := time.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	lnErr := s.ln.Close()
+	// Unblock idle readers immediately; a connection mid-request has
+	// already consumed its frame and finishes handle+reply first. Bound
+	// the reply write by the shutdown deadline so a stalled client
+	// cannot hold the drain open.
+	for _, c := range conns {
+		_ = c.SetReadDeadline(time.Now())
+		if deadline, ok := ctx.Deadline(); ok {
+			_ = c.SetWriteDeadline(deadline)
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = fmt.Errorf("rpc: shutdown drain: %w", ctx.Err())
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		<-done
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.cancel()
+	s.drain.Observe(time.Since(start).Seconds())
+	if drainErr != nil {
+		return drainErr
+	}
+	return lnErr
+}
+
+// DrainObservations returns how many graceful shutdowns have recorded a
+// drain duration (at most one per server; exposed for tests and
+// telemetry wiring).
+func (s *Server) DrainObservations() uint64 { return s.drain.Count() }
+
+// Close stops accepting, closes connections, and waits for handlers.
+// Unlike Shutdown it does not wait for in-flight requests.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.cancel()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}

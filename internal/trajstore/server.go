@@ -7,13 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
-	"sync"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/protocol"
+	"repro/internal/rpc"
 )
 
 // Request ops for the trajectory store wire protocol.
@@ -40,11 +39,17 @@ type request struct {
 	EventID protocol.EventID         `json:"eventId,omitempty"`
 	Limits  *TraceLimits             `json:"limits,omitempty"`
 	Batch   []protocol.TrajWrite     `json:"batch,omitempty"`
-	// Trace carries the caller's span context on add_edge so the store
-	// can record the WAL commit in the caller's trace (batch records
-	// carry their own per-record Trace fields instead).
+	// Trace carries the caller's span context so the server can resume
+	// the caller's trace (batch records carry their own per-record
+	// Trace fields instead). It is stamped by the rpc trace-inject
+	// middleware and read back by trace-extract on the server.
 	Trace *protocol.TraceContext `json:"trace,omitempty"`
 }
+
+// TraceContext and SetTraceContext implement rpc.TraceCarrier, so the
+// shared trace middleware moves span contexts through request frames.
+func (r *request) TraceContext() *protocol.TraceContext      { return r.Trace }
+func (r *request) SetTraceContext(tc *protocol.TraceContext) { r.Trace = tc }
 
 // response is one server -> client reply.
 type response struct {
@@ -107,85 +112,83 @@ func readFrame(r io.Reader, v any) error {
 	return nil
 }
 
+// wireCodec adapts the store's length-prefixed-JSON frames to the
+// generic rpc server. The wire format is unchanged: handler errors are
+// encoded into the response frame's err field, exactly as before, so
+// old clients interoperate.
+type wireCodec struct{}
+
+func (wireCodec) ReadRequest(r io.Reader) (*rpc.Request, error) {
+	var req request
+	if err := readFrame(r, &req); err != nil {
+		return nil, err
+	}
+	return &rpc.Request{Method: req.Op, Body: &req}, nil
+}
+
+func (wireCodec) WriteResponse(w io.Writer, _ *rpc.Request, resp *rpc.Response, herr error) error {
+	if herr != nil {
+		return writeFrame(w, response{Err: herr.Error()})
+	}
+	return writeFrame(w, *resp.Body.(*response))
+}
+
+// ServerOptions tunes a trajectory store server beyond the defaults.
+type ServerOptions struct {
+	// WriteTimeout bounds each response write (0 = none).
+	WriteTimeout time.Duration
+	// Interceptors wrap request handling, after trace extraction.
+	Interceptors []rpc.ServerInterceptor
+	// Logger, when non-nil, logs each call (debug on success, warn on
+	// error) with its trace.
+	Logger *obs.Logger
+}
+
 // Server exposes a Store over TCP with a simple request/response
-// protocol.
+// protocol, served through the shared rpc layer (accept/serve/shutdown
+// lifecycle, trace extraction, middleware).
 type Server struct {
 	store *Store
-	ln    net.Listener
-	wg    sync.WaitGroup
-
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-
-	drain *obs.Histogram // graceful-shutdown drain duration, seconds
+	rs    *rpc.Server
 }
 
 // Serve starts a server for the store on addr (use "127.0.0.1:0" for an
 // ephemeral port).
 func Serve(store *Store, addr string) (*Server, error) {
+	return ServeWith(store, addr, ServerOptions{})
+}
+
+// ServeWith starts a server with explicit middleware/timeout tuning.
+func ServeWith(store *Store, addr string, opts ServerOptions) (*Server, error) {
 	if store == nil {
 		return nil, errors.New("trajstore: nil store")
 	}
-	ln, err := net.Listen("tcp", addr)
+	s := &Server{store: store}
+	ics := opts.Interceptors
+	if opts.Logger != nil {
+		ics = append([]rpc.ServerInterceptor{rpc.WithServerLogging(opts.Logger)}, ics...)
+	}
+	rs, err := rpc.NewServer(addr, wireCodec{}, s.dispatch, rpc.ServerConfig{
+		WriteTimeout: opts.WriteTimeout,
+		Interceptors: ics,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("trajstore: listen %s: %w", addr, err)
 	}
-	s := &Server{
-		store: store,
-		ln:    ln,
-		conns: make(map[net.Conn]struct{}),
-		drain: new(obs.Histogram),
-	}
-	s.wg.Add(1)
-	go s.acceptLoop()
+	s.rs = rs
 	return s, nil
 }
 
 // Addr returns the bound listen address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+func (s *Server) Addr() string { return s.rs.Addr() }
 
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			_ = conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go s.serveConn(conn)
-	}
+// dispatch is the base handler under the server chain.
+func (s *Server) dispatch(ctx context.Context, req *rpc.Request) (*rpc.Response, error) {
+	resp := s.handle(ctx, *req.Body.(*request))
+	return &rpc.Response{Body: &resp}, nil
 }
 
-func (s *Server) serveConn(conn net.Conn) {
-	defer s.wg.Done()
-	defer func() {
-		_ = conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-	}()
-	for {
-		var req request
-		if err := readFrame(conn, &req); err != nil {
-			return
-		}
-		resp := s.handle(req)
-		if err := writeFrame(conn, resp); err != nil {
-			return
-		}
-	}
-}
-
-func (s *Server) handle(req request) response {
+func (s *Server) handle(ctx context.Context, req request) response {
 	fail := func(err error) response { return response{Err: err.Error()} }
 	switch req.Op {
 	case opAddVertex:
@@ -198,9 +201,12 @@ func (s *Server) handle(req request) response {
 		}
 		return response{OK: true, VertexID: id}
 	case opAddEdge:
+		// The caller's span context, when present on the frame, was
+		// installed in ctx by the trace-extract middleware; record the
+		// WAL commit inside that trace.
 		var err error
-		if req.Trace != nil {
-			err = s.store.AddEdgeTraced(req.From, req.To, req.Weight, *req.Trace)
+		if sc, ok := obs.SpanFromContext(ctx); ok {
+			err = s.store.AddEdgeTraced(req.From, req.To, req.Weight, protocol.TraceContext(sc))
 		} else {
 			err = s.store.AddEdge(req.From, req.To, req.Weight)
 		}
@@ -268,85 +274,21 @@ func (s *Server) handle(req request) response {
 // first). The drain duration is recorded in the server's shutdown
 // histogram. Safe to call concurrently with Close; both are idempotent.
 func (s *Server) Shutdown(ctx context.Context) error {
-	start := time.Now()
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	conns := make([]net.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
-
-	lnErr := s.ln.Close()
-	// Unblock idle readers immediately; a connection mid-request has
-	// already consumed its frame and finishes handle+reply first. Bound
-	// the reply write by the shutdown deadline so a stalled client
-	// cannot hold the drain open.
-	for _, c := range conns {
-		_ = c.SetReadDeadline(time.Now())
-		if deadline, ok := ctx.Deadline(); ok {
-			_ = c.SetWriteDeadline(deadline)
-		}
-	}
-
-	done := make(chan struct{})
-	go func() {
-		s.wg.Wait()
-		close(done)
-	}()
-	var drainErr error
-	select {
-	case <-done:
-	case <-ctx.Done():
-		drainErr = fmt.Errorf("trajstore: shutdown drain: %w", ctx.Err())
-		for _, c := range conns {
-			_ = c.Close()
-		}
-		<-done
-	}
-	for _, c := range conns {
-		_ = c.Close()
-	}
-	s.drain.Observe(time.Since(start).Seconds())
-	if drainErr != nil {
-		return drainErr
-	}
-	return lnErr
+	return s.rs.Shutdown(ctx)
 }
 
 // DrainObservations returns how many graceful shutdowns have recorded a
 // drain duration (at most one per server; exposed for tests and
 // telemetry wiring).
-func (s *Server) DrainObservations() uint64 { return s.drain.Count() }
+func (s *Server) DrainObservations() uint64 { return s.rs.DrainObservations() }
 
 // Close stops accepting, closes connections, and waits for handlers.
 // Unlike Shutdown it does not wait for in-flight requests.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	conns := make([]net.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
-	err := s.ln.Close()
-	for _, c := range conns {
-		_ = c.Close()
-	}
-	s.wg.Wait()
-	return err
-}
+func (s *Server) Close() error { return s.rs.Close() }
 
-// ClientConfig tunes the client's per-call deadlines and reconnect
-// backoff. The zero value selects the defaults noted per field.
+// ClientConfig tunes the client's per-call deadlines, reconnect
+// backoff, retry budget, and middleware. The zero value selects the
+// defaults noted per field.
 type ClientConfig struct {
 	// CallTimeout bounds one RPC (dial + write + read) when the caller's
 	// context carries no deadline of its own. Default 5s.
@@ -357,6 +299,16 @@ type ClientConfig struct {
 	// deadline.
 	DialBackoffBase time.Duration
 	DialBackoffMax  time.Duration
+	// RetryBudget is how many times one call may retry after its cached
+	// connection proves stale (default 1, the historical retry-once
+	// behavior; negative disables retries).
+	RetryBudget int
+	// Interceptors are appended to the default client chain (deadline,
+	// trace inject, metrics) ahead of the retry stage.
+	Interceptors []rpc.ClientInterceptor
+	// Registry receives the client's coralpie_rpc_* telemetry
+	// (component="trajstore_client"); nil keeps standalone handles.
+	Registry *obs.Registry
 }
 
 func (cfg ClientConfig) withDefaults() ClientConfig {
@@ -372,15 +324,29 @@ func (cfg ClientConfig) withDefaults() ClientConfig {
 	return cfg
 }
 
-// Client is a synchronous TCP client for a trajectory store server. It is
-// safe for concurrent use; calls are serialized over one connection.
-// A call that finds its cached connection dead (the server restarted)
-// redials with capped, jittered backoff and retries once within the
-// call's deadline, so clients ride out server restarts transparently.
+// ClientConfigFromFlags maps the shared -rpc-* flag block onto a
+// ClientConfig, so every binary tunes its store client the same way.
+func ClientConfigFromFlags(f *rpc.Flags) ClientConfig {
+	return ClientConfig{
+		CallTimeout:     f.CallTimeout,
+		DialBackoffBase: f.BackoffBase,
+		DialBackoffMax:  f.BackoffMax,
+		RetryBudget:     f.RetryBudget,
+	}
+}
+
+// Client is a synchronous TCP client for a trajectory store server. It
+// is safe for concurrent use; calls are serialized over one managed
+// connection. Every call runs through the shared rpc middleware chain
+// (default deadline, trace inject, metrics, retry); a call that finds
+// its cached connection dead (the server restarted) redials with
+// capped, jittered backoff and retries within the call's deadline, so
+// clients ride out server restarts transparently. The client holds no
+// private dial/backoff/retry logic of its own.
 type Client struct {
-	mu   sync.Mutex
-	addr string
-	conn net.Conn
+	cc   *rpc.ClientConn
+	call rpc.Handler // middleware chain bound once around roundTrip
+	m    *rpc.Metrics
 	cfg  ClientConfig
 }
 
@@ -391,118 +357,71 @@ func Dial(addr string) (*Client, error) {
 
 // DialContext connects to a trajectory store server, bounding the
 // initial dial by ctx (or cfg.CallTimeout when ctx has no deadline).
+// The eager dial is a single attempt so an unreachable server fails
+// fast at construction.
 func DialContext(ctx context.Context, addr string, cfg ClientConfig) (*Client, error) {
-	c := &Client{addr: addr, cfg: cfg.withDefaults()}
-	ctx, cancel := c.callBound(ctx)
-	defer cancel()
-	d := net.Dialer{}
-	conn, err := d.DialContext(ctx, "tcp", addr)
-	if err != nil {
+	cfg = cfg.withDefaults()
+	c := &Client{
+		cfg: cfg,
+		cc: rpc.NewClientConn(addr, rpc.BackoffConfig{
+			Base: cfg.DialBackoffBase,
+			Max:  cfg.DialBackoffMax,
+		}),
+		m: rpc.NewMetrics(cfg.Registry, "component", "trajstore_client"),
+	}
+	chain := append([]rpc.ClientInterceptor{
+		rpc.WithDefaultDeadline(cfg.CallTimeout),
+		rpc.WithTraceInject(),
+		rpc.WithMetrics(c.m),
+	}, cfg.Interceptors...)
+	chain = append(chain, rpc.WithRetry(c.m.RetryHooks(rpc.RetryConfig{Budget: cfg.RetryBudget})))
+	c.call = rpc.BindClient(c.roundTrip, chain...)
+
+	dctx := ctx
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, cfg.CallTimeout)
+		defer cancel()
+	}
+	if err := c.cc.Prime(dctx); err != nil {
 		return nil, fmt.Errorf("trajstore: dial %s: %w", addr, err)
 	}
-	c.conn = conn
 	return c, nil
 }
 
-// callBound applies the default per-call timeout when ctx carries no
-// deadline of its own.
-func (c *Client) callBound(ctx context.Context) (context.Context, context.CancelFunc) {
-	if _, ok := ctx.Deadline(); ok {
-		return ctx, func() {}
-	}
-	return context.WithTimeout(ctx, c.cfg.CallTimeout)
-}
+// Metrics exposes the client's rpc telemetry handles (standalone unless
+// a registry was configured).
+func (c *Client) Metrics() *rpc.Metrics { return c.m }
 
-// dialLocked redials the server with capped exponential backoff plus
-// full jitter until it connects or ctx expires. Caller holds c.mu.
-func (c *Client) dialLocked(ctx context.Context) (net.Conn, error) {
-	backoff := c.cfg.DialBackoffBase
-	for {
-		d := net.Dialer{}
-		conn, err := d.DialContext(ctx, "tcp", c.addr)
-		if err == nil {
-			return conn, nil
-		}
-		if ctx.Err() != nil {
-			return nil, fmt.Errorf("trajstore: redial %s: %w", c.addr, err)
-		}
-		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
-		timer := time.NewTimer(sleep)
-		select {
-		case <-ctx.Done():
-			timer.Stop()
-			return nil, fmt.Errorf("trajstore: redial %s: %w", c.addr, ctx.Err())
-		case <-timer.C:
-		}
-		backoff *= 2
-		if backoff > c.cfg.DialBackoffMax {
-			backoff = c.cfg.DialBackoffMax
-		}
-	}
-}
-
-func (c *Client) do(ctx context.Context, req request) (response, error) {
-	ctx, cancel := c.callBound(ctx)
-	defer cancel()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
-		if err := ctx.Err(); err != nil {
-			if lastErr != nil {
-				return response{}, lastErr
-			}
-			return response{}, err
-		}
-		cached := c.conn != nil
-		if !cached {
-			conn, err := c.dialLocked(ctx)
-			if err != nil {
-				return response{}, err
-			}
-			c.conn = conn
-		}
-		resp, err := c.roundTripLocked(ctx, req)
-		if err == nil {
-			if !resp.OK {
-				return response{}, fmt.Errorf("trajstore: server: %s", resp.Err)
-			}
-			return resp, nil
-		}
-		c.resetLocked()
-		lastErr = err
-		if !cached {
-			// A freshly dialed connection failing is a real error, not a
-			// stale cache; retrying would only repeat it.
-			break
-		}
-	}
-	return response{}, lastErr
-}
-
-// roundTripLocked performs one framed request/response over the cached
-// connection, bounding both directions by the context deadline. Caller
-// holds c.mu.
-func (c *Client) roundTripLocked(ctx context.Context, req request) (response, error) {
-	if deadline, ok := ctx.Deadline(); ok {
-		_ = c.conn.SetDeadline(deadline)
-	}
-	if err := writeFrame(c.conn, req); err != nil {
+func (c *Client) do(ctx context.Context, wreq request) (response, error) {
+	req := &rpc.Request{Method: wreq.Op, Addr: c.cc.Addr(), Body: &wreq}
+	resp, err := c.call(ctx, req)
+	if err != nil {
 		return response{}, err
 	}
-	var resp response
-	if err := readFrame(c.conn, &resp); err != nil {
-		return response{}, err
-	}
-	_ = c.conn.SetDeadline(time.Time{})
-	return resp, nil
+	return *resp.Body.(*response), nil
 }
 
-func (c *Client) resetLocked() {
-	if c.conn != nil {
-		_ = c.conn.Close()
-		c.conn = nil
+// roundTrip is the base handler under the middleware chain: one framed
+// request/response over the managed connection. A server-side rejection
+// is terminal (the request reached the server; retrying would repeat
+// it), while transport failures on a cached connection surface as
+// retryable for the retry stage above.
+func (c *Client) roundTrip(ctx context.Context, req *rpc.Request) (*rpc.Response, error) {
+	var wresp response
+	err := c.cc.Call(ctx, func(conn net.Conn) error {
+		if err := writeFrame(conn, req.Body.(*request)); err != nil {
+			return err
+		}
+		return readFrame(conn, &wresp)
+	})
+	if err != nil {
+		return nil, err
 	}
+	if !wresp.OK {
+		return nil, fmt.Errorf("trajstore: server: %s", wresp.Err)
+	}
+	return &rpc.Response{Body: &wresp}, nil
 }
 
 // AddVertexContext inserts a detection event remotely and returns its
@@ -535,7 +454,9 @@ func (c *Client) AddEdge(from, to int64, weight float64) error {
 // AddEdgeTracedContext inserts an edge remotely with the writer's trace
 // context attached, so the server records its WAL commit inside the
 // caller's trace. The context survives the client's redial/retry path:
-// it is part of the request frame, not the connection.
+// it is part of the request frame, not the connection. (The explicit
+// trace wins over any ambient span — the inject middleware only fills
+// empty carriers.)
 func (c *Client) AddEdgeTracedContext(ctx context.Context, from, to int64, weight float64, tc protocol.TraceContext) error {
 	_, err := c.do(ctx, request{Op: opAddEdge, From: from, To: to, Weight: weight, Trace: &tc})
 	return err
@@ -674,13 +595,4 @@ func (c *Client) Stats() (vertices, edges int, err error) {
 }
 
 // Close closes the client connection.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn != nil {
-		err := c.conn.Close()
-		c.conn = nil
-		return err
-	}
-	return nil
-}
+func (c *Client) Close() error { return c.cc.Close() }

@@ -1,0 +1,186 @@
+package trajstore
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// rawCall speaks the wire protocol by hand — 4-byte big-endian length
+// prefix plus a JSON object built from a plain map, with no help from
+// this package's request/response types — standing in for a client
+// built against the pre-rpc-layer protocol.
+func rawCall(t *testing.T, conn net.Conn, req map[string]any) map[string]any {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(buf, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestWireCompatOldClientNewServer verifies the rpc-layer server still
+// speaks the original length-prefixed-JSON protocol: a hand-rolled
+// legacy client can write vertices and edges and read stats.
+func TestWireCompatOldClientNewServer(t *testing.T) {
+	store := NewMemStore()
+	srv, err := Serve(store, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.DialTimeout("tcp", srv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	ev := event("cam#1")
+	evJSON, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evMap map[string]any
+	if err := json.Unmarshal(evJSON, &evMap); err != nil {
+		t.Fatal(err)
+	}
+	resp := rawCall(t, conn, map[string]any{"op": "add_vertex", "event": evMap})
+	if resp["ok"] != true {
+		t.Fatalf("add_vertex response: %v", resp)
+	}
+	if resp["vertexId"] != float64(1) {
+		t.Fatalf("vertexId = %v, want 1", resp["vertexId"])
+	}
+
+	ev2 := event("cam#2")
+	ev2JSON, _ := json.Marshal(ev2)
+	var ev2Map map[string]any
+	_ = json.Unmarshal(ev2JSON, &ev2Map)
+	if resp := rawCall(t, conn, map[string]any{"op": "add_vertex", "event": ev2Map}); resp["ok"] != true {
+		t.Fatalf("second add_vertex: %v", resp)
+	}
+	if resp := rawCall(t, conn, map[string]any{"op": "add_edge", "from": 1, "to": 2, "weight": 0.5}); resp["ok"] != true {
+		t.Fatalf("add_edge: %v", resp)
+	}
+
+	resp = rawCall(t, conn, map[string]any{"op": "stats"})
+	if resp["ok"] != true || resp["vertices"] != float64(2) || resp["edges"] != float64(1) {
+		t.Fatalf("stats: %v", resp)
+	}
+
+	// A server-side rejection travels as an err field in a well-formed
+	// frame, not a dropped connection.
+	resp = rawCall(t, conn, map[string]any{"op": "no_such_op"})
+	if resp["ok"] == true {
+		t.Fatal("unknown op accepted")
+	}
+	if s, _ := resp["err"].(string); s == "" {
+		t.Fatalf("unknown op response carries no err: %v", resp)
+	}
+	// The connection survives the rejection.
+	if resp := rawCall(t, conn, map[string]any{"op": "stats"}); resp["ok"] != true {
+		t.Fatalf("stats after rejection: %v", resp)
+	}
+}
+
+// TestWireCompatNewClientOldServer runs the rpc-layer client against a
+// hand-rolled single-connection server that only understands the
+// original frame format.
+func TestWireCompatNewClientOldServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		nextID := int64(0)
+		for {
+			var lenBuf [4]byte
+			if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+				return
+			}
+			buf := make([]byte, binary.BigEndian.Uint32(lenBuf[:]))
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				return
+			}
+			var req map[string]any
+			if err := json.Unmarshal(buf, &req); err != nil {
+				return
+			}
+			var resp map[string]any
+			switch req["op"] {
+			case "add_vertex":
+				nextID++
+				resp = map[string]any{"ok": true, "vertexId": nextID}
+			case "stats":
+				resp = map[string]any{"ok": true, "vertices": nextID}
+			default:
+				resp = map[string]any{"err": fmt.Sprintf("unknown op %v", req["op"])}
+			}
+			data, _ := json.Marshal(resp)
+			binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+			if _, err := conn.Write(lenBuf[:]); err != nil {
+				return
+			}
+			if _, err := conn.Write(data); err != nil {
+				return
+			}
+		}
+	}()
+
+	client, err := DialContext(context.Background(), ln.Addr().String(), ClientConfig{CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	id, err := client.AddVertex(event("cam#1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Errorf("vertex id = %d, want 1", id)
+	}
+	vertices, _, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vertices != 1 {
+		t.Errorf("vertices = %d, want 1", vertices)
+	}
+	// A legacy rejection surfaces as the familiar terminal error.
+	if err := client.AddEdge(1, 2, 0.5); err == nil {
+		t.Error("legacy rejection not surfaced")
+	}
+}

@@ -10,29 +10,37 @@ import (
 	"repro/internal/des"
 	"repro/internal/obs"
 	"repro/internal/protocol"
+	"repro/internal/rpc"
+	"repro/internal/rpc/faultinject"
 )
 
 // Bus is an in-process network. Endpoints register by name; Send routes
-// envelopes to the destination's handler, either synchronously or — when
-// the bus is attached to a discrete-event simulator — after a simulated
-// network latency.
+// envelopes through the same rpc middleware chain as the TCP transport
+// (metrics, trace inject, fault injection) to the destination's
+// handler, either synchronously or — when the bus is attached to a
+// discrete-event simulator — after a simulated network latency.
 type Bus struct {
 	mu        sync.Mutex
 	endpoints map[string]*busEndpoint
 	sim       *des.Simulator
 	latency   time.Duration
-	lossRate  float64
-	lossRNG   *rand.Rand
+	faults    rpc.ClientInterceptor
 	m         *endpointMetrics
+
+	// ccall is the send chain bound once around transmit (see TCP.ccall).
+	ccall  rpc.Handler
+	schain rpc.ServerInterceptor
 }
 
 // NewBus returns a bus that delivers synchronously (zero latency) on the
 // caller's goroutine.
 func NewBus() *Bus {
-	return &Bus{
+	b := &Bus{
 		endpoints: make(map[string]*busEndpoint),
 		m:         newEndpointMetrics(nil, "bus"),
 	}
+	b.initChains()
+	return b
 }
 
 // NewSimBus returns a bus that schedules deliveries on the simulator,
@@ -40,12 +48,22 @@ func NewBus() *Bus {
 // simulator's goroutine, which is what makes large-scale experiments
 // deterministic.
 func NewSimBus(sim *des.Simulator, latency time.Duration) *Bus {
-	return &Bus{
+	b := &Bus{
 		endpoints: make(map[string]*busEndpoint),
 		sim:       sim,
 		latency:   latency,
 		m:         newEndpointMetrics(nil, "bus"),
 	}
+	b.initChains()
+	return b
+}
+
+// initChains assembles the fixed middleware chains. The fault stage
+// reads the current interceptor per message, so fault injection can be
+// (re)configured on a live bus.
+func (b *Bus) initChains() {
+	b.ccall = rpc.BindClient(b.transmit, b.countSend, rpc.WithTraceInject(), b.faultStage)
+	b.schain = rpc.ChainServer(rpc.WithTraceExtract())
 }
 
 // Use re-homes the bus's telemetry onto reg (coralpie_transport_* with
@@ -91,9 +109,38 @@ func (b *Bus) attached(name string) bool {
 	return ok
 }
 
+// InjectFaults installs deterministic fault injection (drop, latency,
+// error) on every send through the bus, replacing any previous fault
+// middleware; a config with no enabled fault clears it. Dropped
+// messages are counted in Dropped() and coralpie_transport_lost_total.
+func (b *Bus) InjectFaults(cfg faultinject.Config) error {
+	if !cfg.Enabled() {
+		b.mu.Lock()
+		b.faults = nil
+		b.mu.Unlock()
+		return nil
+	}
+	user := cfg.OnDrop
+	cfg.OnDrop = func() {
+		b.countDrop()
+		if user != nil {
+			user()
+		}
+	}
+	ic, err := faultinject.New(cfg)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.faults = ic
+	b.mu.Unlock()
+	return nil
+}
+
 // SetLossRate makes the bus silently drop each message with the given
-// probability, for failure-injection tests. The rng must be dedicated to
-// the bus. Rate 0 (the default) disables loss.
+// probability — now a thin wrapper over the faultinject middleware,
+// kept for its validation contract and existing callers. The rng must
+// be dedicated to the bus. Rate 0 (the default) disables loss.
 func (b *Bus) SetLossRate(rate float64, rng *rand.Rand) error {
 	if rate < 0 || rate >= 1 {
 		return fmt.Errorf("transport: loss rate %v out of [0,1)", rate)
@@ -101,14 +148,10 @@ func (b *Bus) SetLossRate(rate float64, rng *rand.Rand) error {
 	if rate > 0 && rng == nil {
 		return fmt.Errorf("transport: loss rate needs an RNG")
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.lossRate = rate
-	b.lossRNG = rng
-	return nil
+	return b.InjectFaults(faultinject.Config{DropRate: rate, RNG: rng})
 }
 
-// Dropped returns how many messages the loss model has discarded. The
+// Dropped returns how many messages fault injection has discarded. The
 // count is backed by the bus's telemetry counter, so it is also exported
 // as coralpie_transport_lost_total once a registry is attached.
 func (b *Bus) Dropped() int64 {
@@ -117,19 +160,48 @@ func (b *Bus) Dropped() int64 {
 	return b.m.lost.Value()
 }
 
-func (b *Bus) deliver(ctx context.Context, to string, env protocol.Envelope) error {
+func (b *Bus) countDrop() {
+	b.mu.Lock()
+	m := b.m
+	b.mu.Unlock()
+	m.lost.Inc()
+}
+
+// countSend counts every message entering the bus — including ones the
+// fault stage then drops, matching the loss model's historical
+// accounting (a dropped datagram was still sent).
+func (b *Bus) countSend(ctx context.Context, req *rpc.Request, next rpc.Handler) (*rpc.Response, error) {
+	env := req.Body.(*protocol.Envelope)
 	b.mu.Lock()
 	m := b.m
 	m.sends.Inc()
 	m.bytesOut.Add(int64(len(env.Payload)))
-	if peer := m.peer("bus", to); peer != nil {
+	peer := m.peer("bus", req.Addr)
+	b.mu.Unlock()
+	if peer != nil {
 		peer.Inc()
 	}
-	if b.lossRate > 0 && b.lossRNG.Float64() < b.lossRate {
-		m.lost.Inc()
-		b.mu.Unlock()
-		return nil // silently lost, like a dropped datagram
+	return next(ctx, req)
+}
+
+// faultStage applies the currently installed fault middleware, if any.
+func (b *Bus) faultStage(ctx context.Context, req *rpc.Request, next rpc.Handler) (*rpc.Response, error) {
+	b.mu.Lock()
+	f := b.faults
+	b.mu.Unlock()
+	if f == nil {
+		return next(ctx, req)
 	}
+	return f(ctx, req, next)
+}
+
+// transmit is the base handler under the send chain: route to the
+// destination handler, now or on the simulator.
+func (b *Bus) transmit(ctx context.Context, req *rpc.Request) (*rpc.Response, error) {
+	env := *req.Body.(*protocol.Envelope)
+	to := req.Addr
+	b.mu.Lock()
+	m := b.m
 	ep, ok := b.endpoints[to]
 	var h Handler
 	if ok {
@@ -141,18 +213,21 @@ func (b *Bus) deliver(ctx context.Context, to string, env protocol.Envelope) err
 
 	if !ok {
 		m.sendErrors.Inc()
-		return fmt.Errorf("%w: %q", ErrUnknownAddress, to)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAddress, to)
 	}
 	if h == nil {
 		m.sendErrors.Inc()
-		return fmt.Errorf("%w: %q", ErrNoHandler, to)
+		return nil, fmt.Errorf("%w: %q", ErrNoHandler, to)
 	}
 	if sim == nil {
+		if err := rpc.Sleep(ctx, req.Delay); err != nil {
+			return nil, err
+		}
 		m.delivered.Inc()
-		h(extractTrace(ctx, env), env)
-		return nil
+		b.dispatch(ctx, h, env)
+		return &rpc.Response{}, nil
 	}
-	sim.Schedule(latency, func() {
+	sim.Schedule(latency+req.Delay, func() {
 		// Re-check at delivery time: the endpoint may have failed while
 		// the message was in flight. The sender's context does not travel
 		// with the simulated in-flight message (it may be done by the
@@ -167,10 +242,21 @@ func (b *Bus) deliver(ctx context.Context, to string, env protocol.Envelope) err
 		b.mu.Unlock()
 		if handler != nil {
 			m.delivered.Inc()
-			handler(extractTrace(context.Background(), env), env)
+			b.dispatch(context.Background(), handler, env)
 		}
 	})
-	return nil
+	return &rpc.Response{}, nil
+}
+
+// dispatch runs the handler under the server-side chain (trace
+// extraction), so bus handlers see the same middleware contract as TCP
+// handlers.
+func (b *Bus) dispatch(base context.Context, h Handler, env protocol.Envelope) {
+	req := &rpc.Request{Method: string(env.Type), Body: &env, OneWay: true}
+	_, _ = b.schain(base, req, func(ctx context.Context, r *rpc.Request) (*rpc.Response, error) {
+		h(ctx, *r.Body.(*protocol.Envelope))
+		return &rpc.Response{}, nil
+	})
 }
 
 type busEndpoint struct {
@@ -205,8 +291,9 @@ func (e *busEndpoint) Send(ctx context.Context, addr string, env protocol.Envelo
 	if !e.bus.attached(e.name) {
 		return fmt.Errorf("%w: %q is partitioned", ErrClosed, e.name)
 	}
-	injectTrace(ctx, &env)
-	return e.bus.deliver(ctx, addr, env)
+	req := &rpc.Request{Method: string(env.Type), Addr: addr, Body: &env, OneWay: true}
+	_, err := e.bus.ccall(ctx, req)
+	return err
 }
 
 func (e *busEndpoint) Close() error {

@@ -21,6 +21,8 @@ type endpointMetrics struct {
 	bytesOut         *obs.Counter   // payload bytes submitted
 	bytesIn          *obs.Counter   // payload bytes received
 	deadlineExceeded *obs.Counter   // sends/drains aborted by a context or socket deadline
+	retries          *obs.Counter   // sends retried after a stale cached connection
+	retryExhausted   *obs.Counter   // sends that failed after the whole retry budget
 	drain            *obs.Histogram // graceful-shutdown drain duration
 
 	peerSends map[string]*obs.Counter // registry-bound only
@@ -38,6 +40,8 @@ func newEndpointMetrics(reg *obs.Registry, kind string) *endpointMetrics {
 		m.bytesOut = new(obs.Counter)
 		m.bytesIn = new(obs.Counter)
 		m.deadlineExceeded = new(obs.Counter)
+		m.retries = new(obs.Counter)
+		m.retryExhausted = new(obs.Counter)
 		m.drain = new(obs.Histogram)
 		return m
 	}
@@ -60,6 +64,10 @@ func newEndpointMetrics(reg *obs.Registry, kind string) *endpointMetrics {
 		"payload bytes received", label...)
 	m.deadlineExceeded = reg.Counter("coralpie_transport_deadline_exceeded_total",
 		"sends or shutdown drains aborted by a context or socket deadline", label...)
+	m.retries = reg.Counter("coralpie_transport_retries_total",
+		"sends retried after a stale cached connection", label...)
+	m.retryExhausted = reg.Counter("coralpie_transport_retry_exhausted_total",
+		"sends that failed after exhausting their retry budget", label...)
 	m.drain = reg.Histogram("coralpie_transport_shutdown_drain_seconds",
 		"graceful-shutdown drain duration", nil, label...)
 	return m

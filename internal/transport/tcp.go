@@ -5,18 +5,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
-	"os"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/protocol"
+	"repro/internal/rpc"
 )
 
-// TCPConfig tunes a TCP endpoint's deadlines and dial-retry policy.
-// Zero values take the defaults documented per field.
+// TCPConfig tunes a TCP endpoint's deadlines, dial-retry policy, and
+// middleware. Zero values take the defaults documented per field.
 type TCPConfig struct {
 	// DialTimeout bounds one connection attempt (default 2s). The whole
 	// dial-with-retry sequence is bounded by the Send context.
@@ -33,6 +32,17 @@ type TCPConfig struct {
 	// connections between envelopes; idle peers are dropped (they
 	// reconnect transparently on their next Send). Zero disables it.
 	IdleTimeout time.Duration
+	// RetryBudget is how many times one Send may retry after a stale
+	// cached connection fails (default 1, the historical redial-once
+	// behavior; negative disables retries).
+	RetryBudget int
+	// ClientInterceptors are appended to the default outbound chain
+	// (deadline, trace inject, metrics) ahead of the retry stage — e.g.
+	// a faultinject middleware.
+	ClientInterceptors []rpc.ClientInterceptor
+	// ServerInterceptors wrap inbound handler dispatch, after trace
+	// extraction.
+	ServerInterceptors []rpc.ServerInterceptor
 }
 
 func (c *TCPConfig) applyDefaults() {
@@ -50,26 +60,47 @@ func (c *TCPConfig) applyDefaults() {
 	}
 }
 
+// TCPConfigFromFlags maps the shared -rpc-* flag block onto a
+// TCPConfig, so every binary tunes its transport the same way.
+func TCPConfigFromFlags(f *rpc.Flags) TCPConfig {
+	return TCPConfig{
+		DialTimeout:     f.DialTimeout,
+		SendTimeout:     f.CallTimeout,
+		DialBackoffBase: f.BackoffBase,
+		DialBackoffMax:  f.BackoffMax,
+		RetryBudget:     f.RetryBudget,
+	}
+}
+
 // TCP is an Endpoint over real TCP sockets: a listener that decodes
-// length-prefixed protocol envelopes, and a cache of outgoing connections
-// that redials with capped exponential backoff. Handlers may be invoked
-// concurrently (one goroutine per inbound connection) and must be safe
-// for concurrent use; they receive a context cancelled at shutdown.
+// length-prefixed protocol envelopes, and a cache of outgoing
+// connections. Outbound sends and inbound dispatch both run through rpc
+// interceptor chains (deadline, trace inject/extract, metrics, retry);
+// the dial/redial policy is the shared rpc backoff. Handlers may be
+// invoked concurrently (one goroutine per inbound connection) and must
+// be safe for concurrent use; they receive a context cancelled at
+// shutdown.
 type TCP struct {
 	ln  net.Listener
 	cfg TCPConfig
+
+	// ccall is the outbound chain bound once around transmit — per-call
+	// chain assembly would allocate a closure per interceptor per send.
+	ccall  rpc.Handler
+	schain rpc.ServerInterceptor
 
 	// rootCtx is passed to handlers; cancelled on Close/Shutdown so
 	// in-flight handler work can stop promptly.
 	rootCtx context.Context
 	cancel  context.CancelFunc
 
-	mu      sync.Mutex
-	handler Handler
-	conns   map[string]net.Conn
-	inbound map[net.Conn]struct{}
-	closed  bool
-	m       *endpointMetrics
+	mu         sync.Mutex
+	handler    Handler
+	conns      map[string]net.Conn
+	inbound    map[net.Conn]struct{}
+	wdeadlines map[net.Conn]time.Time // last write deadline armed per conn
+	closed     bool
+	m          *endpointMetrics
 
 	wg        sync.WaitGroup // accept + read loops
 	handlerWG sync.WaitGroup // in-flight handler invocations
@@ -83,8 +114,8 @@ func ListenTCP(addr string) (*TCP, error) {
 	return ListenTCPConfig(addr, TCPConfig{})
 }
 
-// ListenTCPConfig starts an endpoint with explicit deadline/backoff
-// tuning.
+// ListenTCPConfig starts an endpoint with explicit deadline/backoff/
+// middleware tuning.
 func ListenTCPConfig(addr string, cfg TCPConfig) (*TCP, error) {
 	cfg.applyDefaults()
 	ln, err := net.Listen("tcp", addr)
@@ -93,14 +124,31 @@ func ListenTCPConfig(addr string, cfg TCPConfig) (*TCP, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	t := &TCP{
-		ln:      ln,
-		cfg:     cfg,
-		rootCtx: ctx,
-		cancel:  cancel,
-		conns:   make(map[string]net.Conn),
-		inbound: make(map[net.Conn]struct{}),
-		m:       newEndpointMetrics(nil, "tcp"),
+		ln:         ln,
+		cfg:        cfg,
+		rootCtx:    ctx,
+		cancel:     cancel,
+		conns:      make(map[string]net.Conn),
+		inbound:    make(map[net.Conn]struct{}),
+		wdeadlines: make(map[net.Conn]time.Time),
+		m:          newEndpointMetrics(nil, "tcp"),
 	}
+	// Outbound chain, outermost first: default deadline, trace inject,
+	// metrics (outside retry: a send that succeeds on a redial counts
+	// once), user middleware, retry. The base handler is the socket
+	// write itself.
+	client := append([]rpc.ClientInterceptor{
+		rpc.WithDefaultDeadline(cfg.SendTimeout),
+		rpc.WithTraceInject(),
+		t.countSend,
+	}, cfg.ClientInterceptors...)
+	client = append(client, rpc.WithRetry(rpc.RetryConfig{
+		Budget:      cfg.RetryBudget,
+		OnRetry:     func() { t.metric().retries.Inc() },
+		OnExhausted: func() { t.metric().retryExhausted.Inc() },
+	}))
+	t.ccall = rpc.BindClient(t.transmit, client...)
+	t.schain = rpc.ChainServer(append([]rpc.ServerInterceptor{rpc.WithTraceExtract()}, cfg.ServerInterceptors...)...)
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -113,6 +161,13 @@ func (t *TCP) Use(reg *obs.Registry) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.m = newEndpointMetrics(reg, "tcp")
+}
+
+// metric returns the current telemetry handles.
+func (t *TCP) metric() *endpointMetrics {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m
 }
 
 // Addr returns the bound listen address.
@@ -176,143 +231,142 @@ func (t *TCP) readLoop(conn net.Conn) {
 		m.bytesIn.Add(int64(len(env.Payload)))
 		if h != nil {
 			m.delivered.Inc()
-			h(extractTrace(t.rootCtx, env), env)
+			t.dispatch(h, env)
 			t.handlerWG.Done()
 		}
 	}
 }
 
-// Send writes the envelope to addr over a cached connection, dialing on
-// demand with capped exponential backoff. The context bounds the whole
-// operation; without a deadline, SendTimeout applies.
+// dispatch runs one inbound envelope through the server chain (trace
+// extraction plus any configured middleware) and into the handler.
+func (t *TCP) dispatch(h Handler, env protocol.Envelope) {
+	req := &rpc.Request{Method: string(env.Type), Body: &env, OneWay: true}
+	_, _ = t.schain(t.rootCtx, req, func(ctx context.Context, r *rpc.Request) (*rpc.Response, error) {
+		h(ctx, *r.Body.(*protocol.Envelope))
+		return &rpc.Response{}, nil
+	})
+}
+
+// Send writes the envelope to addr through the outbound middleware
+// chain, over a cached connection, dialing on demand with the shared
+// capped-backoff policy. The context bounds the whole operation;
+// without a deadline, SendTimeout applies.
 func (t *TCP) Send(ctx context.Context, addr string, env protocol.Envelope) error {
-	injectTrace(ctx, &env)
-	if _, ok := ctx.Deadline(); !ok {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, t.cfg.SendTimeout)
-		defer cancel()
-	}
-	err := t.send(ctx, addr, env)
-	t.mu.Lock()
-	m := t.m
-	t.mu.Unlock()
-	if err != nil {
-		m.sendErrors.Inc()
-		if isDeadlineError(err) {
-			m.deadlineExceeded.Inc()
-		}
-	} else {
-		m.sends.Inc()
-		m.bytesOut.Add(int64(len(env.Payload)))
-		t.mu.Lock()
-		peer := m.peer("tcp", addr)
-		t.mu.Unlock()
-		if peer != nil {
-			peer.Inc()
-		}
-	}
+	req := &rpc.Request{Method: string(env.Type), Addr: addr, Body: &env, OneWay: true}
+	_, err := t.ccall(ctx, req)
 	return err
 }
 
-// isDeadlineError reports whether err stems from a context deadline or a
-// socket timeout.
-func isDeadlineError(err error) bool {
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, os.ErrDeadlineExceeded) {
-		return true
+// countSend is the transport's metrics middleware: exactly one success
+// or one error is counted per Send, whatever the retry stage below it
+// does.
+func (t *TCP) countSend(ctx context.Context, req *rpc.Request, next rpc.Handler) (*rpc.Response, error) {
+	resp, err := next(ctx, req)
+	m := t.metric()
+	if err != nil {
+		m.sendErrors.Inc()
+		if rpc.IsDeadlineError(err) {
+			m.deadlineExceeded.Inc()
+		}
+		return resp, err
 	}
-	var ne net.Error
-	return errors.As(err, &ne) && ne.Timeout()
+	env := req.Body.(*protocol.Envelope)
+	m.sends.Inc()
+	m.bytesOut.Add(int64(len(env.Payload)))
+	t.mu.Lock()
+	peer := m.peer("tcp", req.Addr)
+	t.mu.Unlock()
+	if peer != nil {
+		peer.Inc()
+	}
+	return resp, nil
 }
 
-func (t *TCP) send(ctx context.Context, addr string, env protocol.Envelope) error {
+// transmit is the base handler under the outbound chain: one write
+// attempt. A stale cached connection is dropped and the error marked
+// retryable, so the retry stage redials; a failure on a fresh
+// connection is terminal.
+func (t *TCP) transmit(ctx context.Context, req *rpc.Request) (*rpc.Response, error) {
 	if err := ctx.Err(); err != nil {
-		return err
+		return nil, err
 	}
+	if req.Delay > 0 {
+		// Injected fault latency; consume it so retries don't pay twice.
+		delay := req.Delay
+		req.Delay = 0
+		if err := rpc.Sleep(ctx, delay); err != nil {
+			return nil, err
+		}
+	}
+	addr := req.Addr
+	env := *req.Body.(*protocol.Envelope)
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	conn := t.conns[addr]
 	t.mu.Unlock()
 
 	if conn != nil {
-		if err := t.writeTo(ctx, conn, addr, env); err == nil {
-			return nil
+		if err := t.writeTo(ctx, conn, addr, env); err != nil {
+			t.dropConn(addr, conn)
+			return nil, rpc.MarkRetryable(err)
 		}
-		// Stale connection: drop it and redial below.
-		t.dropConn(addr, conn)
+		return &rpc.Response{}, nil
 	}
 
-	conn, err := t.dialWithBackoff(ctx, addr)
+	conn, err := t.dial(ctx, addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		_ = conn.Close()
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	if existing, ok := t.conns[addr]; ok {
 		// A concurrent Send won the dial race; reuse its connection.
 		t.mu.Unlock()
 		_ = conn.Close()
 		if err := t.writeTo(ctx, existing, addr, env); err == nil {
-			return nil
+			return &rpc.Response{}, nil
 		}
 		t.dropConn(addr, existing)
-		return fmt.Errorf("transport: send %s: connection lost", addr)
+		return nil, fmt.Errorf("transport: send %s: connection lost", addr)
 	}
 	t.conns[addr] = conn
 	t.mu.Unlock()
 
 	if err := t.writeTo(ctx, conn, addr, env); err != nil {
 		t.dropConn(addr, conn)
-		return err
+		return nil, err
 	}
-	return nil
+	return &rpc.Response{}, nil
 }
 
-// dialWithBackoff dials addr, retrying with capped exponential backoff
-// plus jitter until the context expires. Transient listener restarts
-// (e.g. a store server rebooting) are therefore ridden out instead of
-// failing the first Send.
-func (t *TCP) dialWithBackoff(ctx context.Context, addr string) (net.Conn, error) {
+// dial connects to addr through the shared jittered-backoff policy,
+// counting every attempt in the redial counter and aborting when the
+// endpoint closes mid-backoff.
+func (t *TCP) dial(ctx context.Context, addr string) (net.Conn, error) {
 	d := net.Dialer{Timeout: t.cfg.DialTimeout}
-	backoff := t.cfg.DialBackoffBase
-	for {
-		t.mu.Lock()
-		closed := t.closed
-		m := t.m
-		t.mu.Unlock()
-		if closed {
-			return nil, ErrClosed
-		}
-		m.redials.Inc()
-		conn, err := d.DialContext(ctx, "tcp", addr)
-		if err == nil {
-			return conn, nil
-		}
-		if ctx.Err() != nil {
-			return nil, fmt.Errorf("transport: dial %s: %w (last attempt: %v)", addr, ctx.Err(), err)
-		}
-		// Full jitter in [backoff/2, backoff) decorrelates concurrent
-		// senders hammering a restarting peer.
-		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
-		timer := time.NewTimer(sleep)
-		select {
-		case <-ctx.Done():
-			timer.Stop()
-			return nil, fmt.Errorf("transport: dial %s: %w (last attempt: %v)", addr, ctx.Err(), err)
-		case <-timer.C:
-		}
-		backoff *= 2
-		if backoff > t.cfg.DialBackoffMax {
-			backoff = t.cfg.DialBackoffMax
-		}
-	}
+	return rpc.DialWithBackoff(ctx, addr,
+		func(c context.Context) (net.Conn, error) { return d.DialContext(c, "tcp", addr) },
+		rpc.BackoffConfig{Base: t.cfg.DialBackoffBase, Max: t.cfg.DialBackoffMax},
+		rpc.DialHooks{
+			OnAttempt: func() { t.metric().redials.Inc() },
+			Abort: func() error {
+				t.mu.Lock()
+				closed := t.closed
+				t.mu.Unlock()
+				if closed {
+					return ErrClosed
+				}
+				return nil
+			},
+		})
 }
 
 // writeTo serializes writes per connection via the connection-map lock to
@@ -324,13 +378,36 @@ func (t *TCP) writeTo(ctx context.Context, conn net.Conn, addr string, env proto
 	if t.conns[addr] != conn && t.conns[addr] != nil {
 		conn = t.conns[addr]
 	}
-	if deadline, ok := ctx.Deadline(); ok {
-		_ = conn.SetWriteDeadline(deadline)
-	}
+	t.armWriteDeadlineLocked(conn, ctx)
 	if err := protocol.WriteEnvelope(conn, env); err != nil {
 		return fmt.Errorf("transport: send %s: %w", addr, err)
 	}
 	return nil
+}
+
+// armWriteDeadlineLocked applies ctx's deadline to the socket with
+// coarse granularity: the kernel deadline is re-armed only when the
+// requested one is tighter than what is armed, or later by more than
+// 1/8 of the remaining budget. Steady-state sends carry a rolling
+// now+SendTimeout deadline that advances a few microseconds per call,
+// so this skips the per-write deadline update on the hot path; the cost
+// is that a write blocked on a dead peer may fail up to 12.5% of its
+// budget early — never late.
+func (t *TCP) armWriteDeadlineLocked(conn net.Conn, ctx context.Context) {
+	deadline, ok := ctx.Deadline()
+	cur, armed := t.wdeadlines[conn]
+	if !ok {
+		if armed {
+			_ = conn.SetWriteDeadline(time.Time{})
+			delete(t.wdeadlines, conn)
+		}
+		return
+	}
+	if armed && !deadline.Before(cur) && deadline.Sub(cur) <= time.Until(deadline)/8 {
+		return
+	}
+	_ = conn.SetWriteDeadline(deadline)
+	t.wdeadlines[conn] = deadline
 }
 
 func (t *TCP) dropConn(addr string, conn net.Conn) {
@@ -338,6 +415,7 @@ func (t *TCP) dropConn(addr string, conn net.Conn) {
 	if t.conns[addr] == conn {
 		delete(t.conns, addr)
 	}
+	delete(t.wdeadlines, conn)
 	t.mu.Unlock()
 	_ = conn.Close()
 }
@@ -398,6 +476,7 @@ func (t *TCP) closeConnsAndJoin() {
 		conns = append(conns, c)
 	}
 	t.conns = make(map[string]net.Conn)
+	t.wdeadlines = make(map[net.Conn]time.Time)
 	t.mu.Unlock()
 	for _, c := range conns {
 		_ = c.Close()

@@ -109,21 +109,44 @@ func TestTCPTracePropagation(t *testing.T) {
 
 func TestInjectTraceKeepsExplicitContext(t *testing.T) {
 	// A message that already carries a trace context (e.g. forwarded)
-	// must not have it overwritten by the sender's ambient span.
-	explicit := &protocol.TraceContext{TraceID: "cam9#9", SpanID: "cam9-1", Sampled: true}
+	// must not have it overwritten by the sender's ambient span. Since
+	// injection now lives in the rpc middleware chain, exercise it
+	// through a full bus send.
+	bus := NewBus()
+	a, err := bus.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bus.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got obs.SpanContext
+	var ok bool
+	b.SetHandler(func(ctx context.Context, env protocol.Envelope) {
+		got, ok = obs.SpanFromContext(ctx)
+	})
+
+	explicit := obs.SpanContext{TraceID: "cam9#9", SpanID: "cam9-1", Sampled: true}
 	env := retireEnv(t, "cam0#1")
-	env.Trace = explicit
+	wire := protocol.TraceContext(explicit)
+	env.Trace = &wire
 
 	ctx := obs.ContextWithSpan(context.Background(), testSpan)
-	injectTrace(ctx, &env)
-	if env.Trace != explicit {
-		t.Fatalf("explicit trace overwritten: %+v", env.Trace)
+	if err := a.Send(ctx, "b", env); err != nil {
+		t.Fatal(err)
+	}
+	if !ok || got != explicit {
+		t.Fatalf("handler ctx span = %+v, %v; want the explicit %+v", got, ok, explicit)
 	}
 
 	// And with no ambient span, nothing is attached.
+	got, ok = obs.SpanContext{}, false
 	env2 := retireEnv(t, "cam0#1")
-	injectTrace(context.Background(), &env2)
-	if env2.Trace != nil {
-		t.Fatalf("trace attached from empty context: %+v", env2.Trace)
+	if err := a.Send(context.Background(), "b", env2); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("trace attached from empty context: %+v", got)
 	}
 }
