@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench fmt cover staticcheck govulncheck ci
+.PHONY: all build test race race-stress vet bench fmt cover staticcheck govulncheck ci
 
 all: build
 
@@ -13,6 +13,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-stress re-runs the concurrency suites (snapshot isolation,
+# interleaved reader/writer query stress, shutdown drains) under the race
+# detector with caching disabled, so an interleaving-dependent regression
+# cannot hide behind a cached pass.
+race-stress:
+	$(GO) test -race -count=1 -run 'Concurrent|Snapshot|Stress' ./...
+
 vet:
 	$(GO) vet ./...
 
@@ -20,6 +27,7 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./internal/obs/ ./internal/pipeline/
 	$(GO) test -run=NONE -bench=BenchmarkTrajstoreWritePath -benchtime=2s .
 	$(GO) test -run=NONE -bench=BenchmarkRPCMiddlewareOverhead -benchtime=1s -benchmem ./internal/transport/
+	$(GO) test -run=NONE -bench=BenchmarkQueryPath -benchtime=2s ./internal/query/
 
 fmt:
 	gofmt -l -w cmd internal examples
@@ -57,4 +65,4 @@ govulncheck:
 		echo 'govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)' >&2; \
 	fi
 
-ci: build vet staticcheck govulncheck race cover
+ci: build vet staticcheck govulncheck race race-stress cover

@@ -2,10 +2,18 @@
 // work (Section 8): it connects to a running trajectory store server and
 // reconstructs the space-time track of a vehicle from any known sighting.
 //
+// By default the reconstruction executes inside the server (one round
+// trip against a consistent snapshot via the reconstruct/best/sightings
+// ops); -fallback walks the graph client-side over the per-vertex ops,
+// which stays wire-compatible with servers predating the query engine.
+//
 // Usage:
 //
 //	trajquery -server 127.0.0.1:7001 -event cam1#42
+//	trajquery -server 127.0.0.1:7001 -event cam1#42 -best
 //	trajquery -server 127.0.0.1:7001 -vertex 7 -max-depth 16
+//	trajquery -server 127.0.0.1:7001 -vehicle veh-03
+//	trajquery -server 127.0.0.1:7001 -event cam1#42 -fallback
 //	trajquery -server 127.0.0.1:7001 -stats
 package main
 
@@ -37,6 +45,9 @@ func run() error {
 		server   = flag.String("server", "127.0.0.1:7001", "trajectory store server address")
 		eventID  = flag.String("event", "", "start from a detection event id (camera#track)")
 		vertexID = flag.Int64("vertex", 0, "start from a trajectory-graph vertex id")
+		vehicle  = flag.String("vehicle", "", "list the ground-truth sightings of a vehicle id")
+		best     = flag.Bool("best", false, "print only the top-ranked track")
+		fallback = flag.Bool("fallback", false, "reconstruct client-side over the per-vertex ops (works against old servers)")
 		maxDepth = flag.Int("max-depth", 64, "traversal depth limit")
 		maxPaths = flag.Int("max-paths", 32, "candidate path limit")
 		stats    = flag.Bool("stats", false, "print store statistics and exit")
@@ -65,6 +76,21 @@ func run() error {
 		return nil
 	}
 
+	if *vehicle != "" {
+		hops, err := client.SightingsContext(ctx, *vehicle, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d ground-truth sighting(s) of %s:\n", len(hops), *vehicle)
+		for i, h := range hops {
+			fmt.Printf("  %2d. %s at %s (vertex %d)\n",
+				i+1, h.Camera, h.Time.Format("2006-01-02 15:04:05 MST"), h.VertexID)
+		}
+		return nil
+	}
+
+	limits := trajstore.TraceLimits{MaxDepth: *maxDepth, MaxPaths: *maxPaths}
+
 	var start trajstore.Vertex
 	switch {
 	case *eventID != "":
@@ -72,16 +98,25 @@ func run() error {
 	case *vertexID > 0:
 		start, err = client.VertexContext(ctx, *vertexID)
 	default:
-		return fmt.Errorf("one of -event, -vertex, or -stats is required")
+		return fmt.Errorf("one of -event, -vertex, -vehicle, or -stats is required")
 	}
 	if err != nil {
 		return err
 	}
 
-	tracks, err := query.ReconstructFromVertex(client, start.ID, trajstore.TraceLimits{
-		MaxDepth: *maxDepth,
-		MaxPaths: *maxPaths,
-	})
+	var tracks []query.Track
+	switch {
+	case *fallback:
+		// Client-side walk over the per-vertex ops (N+1 round trips,
+		// memoized per query) — the path old servers still speak.
+		tracks, err = query.ReconstructFromVertex(client, start.ID, limits)
+	case *best:
+		var track trajstore.Track
+		track, err = client.BestContext(ctx, start.Event.ID, limits)
+		tracks = []query.Track{track}
+	default:
+		tracks, err = client.ReconstructVertexContext(ctx, start.ID, limits)
+	}
 	if err != nil {
 		return err
 	}

@@ -42,6 +42,7 @@ func run() error {
 		drain       = flag.Duration("drain-timeout", 5*time.Second, "how long a SIGINT/SIGTERM shutdown may spend draining in-flight requests")
 		fsync       = flag.Bool("fsync", false, "fsync every WAL group commit (durable across power loss; pair with -group-commit-window)")
 		window      = flag.Duration("group-commit-window", 0, "WAL group-commit window: writes acknowledged within one window share one flush (0 = flush immediately)")
+		queryCache  = flag.Int("query-cache", trajstore.DefaultQueryCacheSize, "server-side query result cache size in entries (negative = disable)")
 	)
 	rpcFlags := rpc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -89,6 +90,8 @@ func run() error {
 	srv, err := trajstore.ServeWith(store, *listen, trajstore.ServerOptions{
 		WriteTimeout: rpcFlags.CallTimeout,
 		Logger:       logger,
+		Registry:     obs.Default(),
+		QueryCache:   *queryCache,
 	})
 	if err != nil {
 		return err

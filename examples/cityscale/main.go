@@ -12,6 +12,7 @@ import (
 	"time"
 
 	coralpie "repro"
+	"repro/internal/trajstore"
 )
 
 func main() {
@@ -103,5 +104,41 @@ func run() error {
 		totalMatches, maxPool)
 	fmt.Printf("trajectory graph: %d events, %d links\n",
 		sys.TrajStore().NumVertices(), sys.TrajStore().NumEdges())
+
+	// Query the finished graph the way an operator would: serve it over
+	// loopback TCP and ask the server-side query engine — one round trip
+	// per question, answered against a consistent snapshot.
+	srv, err := trajstore.ServeWith(sys.TrajStore(), "127.0.0.1:0", trajstore.ServerOptions{})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+	client, err := trajstore.Dial(srv.Addr())
+	if err != nil {
+		return err
+	}
+	defer func() { _ = client.Close() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	sightings, err := client.SightingsContext(ctx, "veh-00", 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("veh-00 ground truth: %d sightings\n", len(sightings))
+	if len(sightings) > 0 {
+		tracks, err := client.ReconstructVertexContext(ctx, sightings[0].VertexID,
+			trajstore.DefaultTraceLimits())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("server-side reconstruct from its first sighting: %d candidate track(s)",
+			len(tracks))
+		if len(tracks) > 0 {
+			fmt.Printf(", best spans %d hops over %v",
+				len(tracks[0].Hops), tracks[0].Duration.Round(time.Second))
+		}
+		fmt.Println()
+	}
 	return nil
 }

@@ -4,13 +4,19 @@
 // candidate space-time tracks from any sighting, scores them by
 // re-identification confidence, and ranks them so the most plausible
 // trajectory comes first.
+//
+// The reconstruction algorithm itself lives in internal/trajstore (one
+// implementation shared with the server-side query engine); this
+// package runs it client-side over any GraphReader — a local store or
+// the remote per-vertex RPC client — which is the wire-compatible
+// fallback when the server does not speak the reconstruct/best/
+// sightings ops. Within one call, vertex and edge fetches are memoized
+// so the remote fallback issues at most one RPC per distinct vertex
+// instead of one per path hop (the N+1 walk).
 package query
 
 import (
 	"errors"
-	"fmt"
-	"sort"
-	"time"
 
 	"repro/internal/protocol"
 	"repro/internal/trajstore"
@@ -18,7 +24,7 @@ import (
 
 // GraphReader is the read surface the query layer needs. Both the local
 // *trajstore.Store (via StoreReader) and the remote *trajstore.Client
-// satisfy it.
+// satisfy it. It is identical to trajstore.GraphView.
 type GraphReader interface {
 	Vertex(id int64) (trajstore.Vertex, error)
 	FindByEventID(id protocol.EventID) (trajstore.Vertex, error)
@@ -61,34 +67,75 @@ func (r StoreReader) InEdges(id int64) ([]trajstore.Edge, error) {
 var _ GraphReader = (*trajstore.Client)(nil)
 
 // Hop is one sighting on a reconstructed track.
-type Hop struct {
-	VertexID int64
-	Camera   string
-	Time     time.Time
-	// LinkWeight is the Bhattacharyya distance of the edge arriving at
-	// this hop (0 for the first hop).
-	LinkWeight float64
-}
+type Hop = trajstore.Hop
 
 // Track is one candidate space-time trajectory.
-type Track struct {
-	Hops []Hop
-	// TotalWeight sums the link weights; lower = more confident.
-	TotalWeight float64
-	// MeanWeight is TotalWeight over the number of links (0 for a
-	// single-sighting track).
-	MeanWeight float64
-	// Duration spans the first to the last sighting.
-	Duration time.Duration
+type Track = trajstore.Track
+
+// memoReader wraps a GraphReader and caches successful Vertex, OutEdges,
+// and InEdges answers for the lifetime of one query. Candidate paths
+// through a branching graph share long prefixes, so the naive walk
+// re-fetches the same vertices once per path; over the remote client
+// each re-fetch is a WAN round trip. One memoReader is created per
+// call, so the cache can never serve answers stale across queries.
+type memoReader struct {
+	g        GraphReader
+	vertices map[int64]trajstore.Vertex
+	out      map[int64][]trajstore.Edge
+	in       map[int64][]trajstore.Edge
 }
 
-// Cameras returns the camera sequence of the track.
-func (t Track) Cameras() []string {
-	out := make([]string, len(t.Hops))
-	for i, h := range t.Hops {
-		out[i] = h.Camera
+func newMemoReader(g GraphReader) *memoReader {
+	return &memoReader{
+		g:        g,
+		vertices: make(map[int64]trajstore.Vertex),
+		out:      make(map[int64][]trajstore.Edge),
+		in:       make(map[int64][]trajstore.Edge),
 	}
-	return out
+}
+
+func (m *memoReader) Vertex(id int64) (trajstore.Vertex, error) {
+	if v, ok := m.vertices[id]; ok {
+		return v, nil
+	}
+	v, err := m.g.Vertex(id)
+	if err != nil {
+		return trajstore.Vertex{}, err
+	}
+	m.vertices[id] = v
+	return v, nil
+}
+
+func (m *memoReader) FindByEventID(id protocol.EventID) (trajstore.Vertex, error) {
+	return m.g.FindByEventID(id)
+}
+
+func (m *memoReader) Trajectory(id int64, limits trajstore.TraceLimits) ([][]int64, error) {
+	return m.g.Trajectory(id, limits)
+}
+
+func (m *memoReader) OutEdges(id int64) ([]trajstore.Edge, error) {
+	if es, ok := m.out[id]; ok {
+		return es, nil
+	}
+	es, err := m.g.OutEdges(id)
+	if err != nil {
+		return nil, err
+	}
+	m.out[id] = es
+	return es, nil
+}
+
+func (m *memoReader) InEdges(id int64) ([]trajstore.Edge, error) {
+	if es, ok := m.in[id]; ok {
+		return es, nil
+	}
+	es, err := m.g.InEdges(id)
+	if err != nil {
+		return nil, err
+	}
+	m.in[id] = es
+	return es, nil
 }
 
 // Reconstruct returns every candidate track through the sighting with the
@@ -98,11 +145,7 @@ func Reconstruct(g GraphReader, eventID protocol.EventID, limits trajstore.Trace
 	if g == nil {
 		return nil, errors.New("query: nil graph reader")
 	}
-	start, err := g.FindByEventID(eventID)
-	if err != nil {
-		return nil, err
-	}
-	return ReconstructFromVertex(g, start.ID, limits)
+	return trajstore.FindTracks(newMemoReader(g), eventID, limits)
 }
 
 // ReconstructFromVertex is Reconstruct keyed by vertex ID.
@@ -110,78 +153,16 @@ func ReconstructFromVertex(g GraphReader, vertexID int64, limits trajstore.Trace
 	if g == nil {
 		return nil, errors.New("query: nil graph reader")
 	}
-	paths, err := g.Trajectory(vertexID, limits)
-	if err != nil {
-		return nil, err
-	}
-	tracks := make([]Track, 0, len(paths))
-	for _, path := range paths {
-		track, err := buildTrack(g, path)
-		if err != nil {
-			return nil, err
-		}
-		tracks = append(tracks, track)
-	}
-	sort.SliceStable(tracks, func(i, j int) bool {
-		if len(tracks[i].Hops) != len(tracks[j].Hops) {
-			return len(tracks[i].Hops) > len(tracks[j].Hops)
-		}
-		return tracks[i].MeanWeight < tracks[j].MeanWeight
-	})
-	return tracks, nil
+	return trajstore.ReconstructTracks(newMemoReader(g), vertexID, limits)
 }
 
-// Best returns the top-ranked track through a sighting.
+// Best returns the top-ranked track through a sighting. A sighting
+// with no tracks surfaces as trajstore.ErrNoTracks.
 func Best(g GraphReader, eventID protocol.EventID, limits trajstore.TraceLimits) (Track, error) {
-	tracks, err := Reconstruct(g, eventID, limits)
-	if err != nil {
-		return Track{}, err
+	if g == nil {
+		return Track{}, errors.New("query: nil graph reader")
 	}
-	if len(tracks) == 0 {
-		return Track{}, fmt.Errorf("query: no tracks through %q", eventID)
-	}
-	return tracks[0], nil
-}
-
-func buildTrack(g GraphReader, path []int64) (Track, error) {
-	if len(path) == 0 {
-		return Track{}, errors.New("query: empty path")
-	}
-	track := Track{Hops: make([]Hop, 0, len(path))}
-	for i, vid := range path {
-		v, err := g.Vertex(vid)
-		if err != nil {
-			return Track{}, err
-		}
-		hop := Hop{VertexID: vid, Camera: v.Event.CameraID, Time: v.Event.Timestamp}
-		if i > 0 {
-			w, err := edgeWeight(g, path[i-1], vid)
-			if err != nil {
-				return Track{}, err
-			}
-			hop.LinkWeight = w
-			track.TotalWeight += w
-		}
-		track.Hops = append(track.Hops, hop)
-	}
-	if n := len(track.Hops) - 1; n > 0 {
-		track.MeanWeight = track.TotalWeight / float64(n)
-	}
-	track.Duration = track.Hops[len(track.Hops)-1].Time.Sub(track.Hops[0].Time)
-	return track, nil
-}
-
-func edgeWeight(g GraphReader, from, to int64) (float64, error) {
-	edges, err := g.OutEdges(from)
-	if err != nil {
-		return 0, err
-	}
-	for _, e := range edges {
-		if e.To == to {
-			return e.Weight, nil
-		}
-	}
-	return 0, fmt.Errorf("query: missing edge %d->%d", from, to)
+	return trajstore.BestTrack(newMemoReader(g), eventID, limits)
 }
 
 // VehicleSightings lists every sighting whose simulation ground truth
@@ -191,17 +172,5 @@ func VehicleSightings(g GraphReader, maxVertexID int64, vehicleID string) ([]Hop
 	if g == nil {
 		return nil, errors.New("query: nil graph reader")
 	}
-	var out []Hop
-	for vid := int64(1); vid <= maxVertexID; vid++ {
-		v, err := g.Vertex(vid)
-		if err != nil {
-			continue
-		}
-		if v.Event.TruthID != vehicleID {
-			continue
-		}
-		out = append(out, Hop{VertexID: vid, Camera: v.Event.CameraID, Time: v.Event.Timestamp})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
-	return out, nil
+	return trajstore.SightingsOf(newMemoReader(g), maxVertexID, vehicleID)
 }

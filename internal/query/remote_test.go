@@ -1,0 +1,405 @@
+package query
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/rpc"
+	"repro/internal/trajstore"
+)
+
+// randomStore builds a random acyclic trajectory graph with ground-truth
+// vehicle IDs, varied cameras, and increasing timestamps.
+func randomStore(t *testing.T, seed int64) (*trajstore.Store, []int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := trajstore.NewMemStore()
+	n := 3 + rng.Intn(18)
+	ids := make([]int64, n)
+	for i := 0; i < n; i++ {
+		cam := fmt.Sprintf("cam%d", rng.Intn(6))
+		e := event(fmt.Sprintf("%s#%d", cam, i), cam,
+			time.Duration(i*5+rng.Intn(5))*time.Second, fmt.Sprintf("veh-%d", rng.Intn(4)))
+		id, err := s.AddVertex(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.12 {
+				if err := s.AddEdge(ids[i], ids[j], rng.Float64()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return s, ids
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestServerSideEquivalenceRandomGraphs is the engine's core contract:
+// on randomized graphs, the server-side reconstruct/best/sightings ops
+// return byte-identical answers (marshalled JSON, so ordering, weights,
+// and timestamps all count) to the local query package walking the same
+// store — and so does the client-side per-vertex fallback.
+func TestServerSideEquivalenceRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			s, ids := randomStore(t, seed)
+			srv, err := trajstore.Serve(s, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = srv.Close() }()
+			client, err := trajstore.Dial(srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = client.Close() }()
+
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			local := StoreReader{Store: s}
+			limits := trajstore.TraceLimits{MaxDepth: 32, MaxPaths: 64}
+
+			rng := rand.New(rand.NewSource(seed + 1000))
+			starts := []int64{ids[0], ids[len(ids)-1], ids[rng.Intn(len(ids))]}
+			for _, start := range starts {
+				want, err := ReconstructFromVertex(local, start, limits)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := client.ReconstructVertexContext(ctx, start, limits)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(mustJSON(t, got), mustJSON(t, want)) {
+					t.Fatalf("vertex %d: server-side reconstruct diverged\n got: %s\nwant: %s",
+						start, mustJSON(t, got), mustJSON(t, want))
+				}
+				// The per-vertex fallback over the same wire must agree too.
+				fb, err := ReconstructFromVertex(client, start, limits)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(mustJSON(t, fb), mustJSON(t, want)) {
+					t.Fatalf("vertex %d: fallback reconstruct diverged", start)
+				}
+
+				v, err := s.Vertex(start)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantBest, wantErr := Best(local, v.Event.ID, limits)
+				gotBest, gotErr := client.BestContext(ctx, v.Event.ID, limits)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("best errors diverge: %v vs %v", gotErr, wantErr)
+				}
+				if wantErr == nil && !bytes.Equal(mustJSON(t, gotBest), mustJSON(t, wantBest)) {
+					t.Fatalf("event %q: best diverged", v.Event.ID)
+				}
+			}
+
+			for v := 0; v < 4; v++ {
+				vehicle := fmt.Sprintf("veh-%d", v)
+				want, err := VehicleSightings(local, int64(s.NumVertices()), vehicle)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := client.SightingsContext(ctx, vehicle, int64(s.NumVertices()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(mustJSON(t, got), mustJSON(t, want)) {
+					t.Fatalf("%s: sightings diverged\n got: %s\nwant: %s",
+						vehicle, mustJSON(t, got), mustJSON(t, want))
+				}
+			}
+		})
+	}
+}
+
+// countingReader counts reads per accessor, to pin the memoization
+// contract of the client-side fallback.
+type countingReader struct {
+	g        GraphReader
+	vertex   map[int64]int
+	outEdges map[int64]int
+	calls    int
+}
+
+func newCountingReader(g GraphReader) *countingReader {
+	return &countingReader{g: g, vertex: map[int64]int{}, outEdges: map[int64]int{}}
+}
+
+func (c *countingReader) Vertex(id int64) (trajstore.Vertex, error) {
+	c.calls++
+	c.vertex[id]++
+	return c.g.Vertex(id)
+}
+
+func (c *countingReader) FindByEventID(id protocol.EventID) (trajstore.Vertex, error) {
+	c.calls++
+	return c.g.FindByEventID(id)
+}
+
+func (c *countingReader) Trajectory(id int64, limits trajstore.TraceLimits) ([][]int64, error) {
+	c.calls++
+	return c.g.Trajectory(id, limits)
+}
+
+func (c *countingReader) OutEdges(id int64) ([]trajstore.Edge, error) {
+	c.calls++
+	c.outEdges[id]++
+	return c.g.OutEdges(id)
+}
+
+func (c *countingReader) InEdges(id int64) ([]trajstore.Edge, error) {
+	c.calls++
+	return c.g.InEdges(id)
+}
+
+// TestReconstructMemoizesFetchesWithinOneCall: on a branching graph whose
+// candidate paths share long prefixes, the fallback walk must fetch each
+// vertex and edge list at most once per query — not once per path hop
+// (the N+1 pattern this memoization removes).
+func TestReconstructMemoizesFetchesWithinOneCall(t *testing.T) {
+	s := trajstore.NewMemStore()
+	mk := func(id, cam string, at time.Duration) int64 {
+		vid, err := s.AddVertex(event(id, cam, at, ""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vid
+	}
+	// A chain a->b->c that fans out into four leaves at c: every candidate
+	// path repeats the a,b,c prefix.
+	a := mk("a#1", "a", 0)
+	b := mk("b#1", "b", time.Second)
+	c := mk("c#1", "c", 2*time.Second)
+	leaves := make([]int64, 4)
+	for i := range leaves {
+		leaves[i] = mk(fmt.Sprintf("leaf%d#1", i), fmt.Sprintf("leaf%d", i), 3*time.Second)
+	}
+	for _, e := range []struct {
+		from, to int64
+	}{{a, b}, {b, c}} {
+		if err := s.AddEdge(e.from, e.to, 0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, leaf := range leaves {
+		if err := s.AddEdge(c, leaf, 0.2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	counter := newCountingReader(StoreReader{Store: s})
+	tracks, err := ReconstructFromVertex(counter, a, trajstore.DefaultTraceLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracks) != len(leaves) {
+		t.Fatalf("tracks = %d, want %d", len(tracks), len(leaves))
+	}
+	totalHops := 0
+	for _, tr := range tracks {
+		totalHops += len(tr.Hops)
+	}
+	if totalHops <= 7 {
+		t.Fatalf("graph not branching enough to exercise memoization: %d total hops", totalHops)
+	}
+	for id, n := range counter.vertex {
+		if n > 1 {
+			t.Errorf("vertex %d fetched %d times within one query", id, n)
+		}
+	}
+	for id, n := range counter.outEdges {
+		if n > 1 {
+			t.Errorf("out edges of %d fetched %d times within one query", id, n)
+		}
+	}
+	// 7 distinct vertices + 3 distinct edge-list fetches + 1 trajectory:
+	// far below the naive sum over path hops.
+	if counter.calls > 11 {
+		t.Errorf("%d reads for a query the memoized walk answers in <= 11", counter.calls)
+	}
+}
+
+// TestFallbackRPCCountAgainstServer repeats the memoization check over a
+// real connection, counting actual RPC round trips via the client's
+// metrics.
+func TestFallbackRPCCountAgainstServer(t *testing.T) {
+	s, _ := buildGraph(t) // 4 vertices, paths share the v1 prefix
+	srv, err := trajstore.Serve(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	client, err := trajstore.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	before := client.Metrics().Calls.Value()
+	tracks, err := Reconstruct(client, "camA#1", trajstore.DefaultTraceLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpcs := client.Metrics().Calls.Value() - before
+	if len(tracks) != 2 {
+		t.Fatalf("tracks = %d", len(tracks))
+	}
+	// find_by_event + trajectory + 4 vertices + at most 2 edge lists: the
+	// unmemoized walk needed one vertex fetch per hop (5 hops across the
+	// two overlapping tracks) plus repeated edge lists.
+	if rpcs > 8 {
+		t.Errorf("fallback reconstruct used %d RPCs, want <= 8 with memoization", rpcs)
+	}
+
+	// Server-side: the same question in exactly one round trip.
+	before = client.Metrics().Calls.Value()
+	if _, err := client.Reconstruct("camA#1", trajstore.DefaultTraceLimits()); err != nil {
+		t.Fatal(err)
+	}
+	if rpcs := client.Metrics().Calls.Value() - before; rpcs != 1 {
+		t.Errorf("server-side reconstruct used %d RPCs, want 1", rpcs)
+	}
+}
+
+// TestRemoteSentinelErrors: sentinel identity survives the wire for both
+// query styles, so callers can errors.Is regardless of where the walk
+// ran.
+func TestRemoteSentinelErrors(t *testing.T) {
+	s, _ := buildGraph(t)
+	srv, err := trajstore.Serve(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	client, err := trajstore.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	if _, err := client.Reconstruct("ghost#9", trajstore.DefaultTraceLimits()); !errors.Is(err, trajstore.ErrVertexNotFound) {
+		t.Errorf("server-side unknown event: %v", err)
+	}
+	if _, err := client.Best("ghost#9", trajstore.DefaultTraceLimits()); !errors.Is(err, trajstore.ErrVertexNotFound) {
+		t.Errorf("server-side best of unknown event: %v", err)
+	}
+	if _, err := Reconstruct(client, "ghost#9", trajstore.DefaultTraceLimits()); !errors.Is(err, trajstore.ErrVertexNotFound) {
+		t.Errorf("fallback unknown event: %v", err)
+	}
+	if _, err := Best(client, "ghost#9", trajstore.DefaultTraceLimits()); !errors.Is(err, trajstore.ErrVertexNotFound) {
+		t.Errorf("fallback best of unknown event: %v", err)
+	}
+}
+
+// TestRemoteBestAndSightingsMatchLocal covers Best and VehicleSightings
+// over the remote client path against their local answers.
+func TestRemoteBestAndSightingsMatchLocal(t *testing.T) {
+	s, _ := buildGraph(t)
+	srv, err := trajstore.Serve(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	client, err := trajstore.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	local := StoreReader{Store: s}
+	wantBest, err := Best(local, "camA#1", trajstore.DefaultTraceLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBest, err := client.Best("camA#1", trajstore.DefaultTraceLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, gotBest), mustJSON(t, wantBest)) {
+		t.Errorf("remote best diverged:\n got: %s\nwant: %s", mustJSON(t, gotBest), mustJSON(t, wantBest))
+	}
+
+	wantHops, err := VehicleSightings(local, int64(s.NumVertices()), "veh-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHops, err := client.Sightings("veh-1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotHops) != 3 || !bytes.Equal(mustJSON(t, gotHops), mustJSON(t, wantHops)) {
+		t.Errorf("remote sightings diverged:\n got: %s\nwant: %s", mustJSON(t, gotHops), mustJSON(t, wantHops))
+	}
+	// The fallback VehicleSightings over the per-vertex ops agrees too.
+	fbHops, err := VehicleSightings(client, int64(s.NumVertices()), "veh-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, fbHops), mustJSON(t, wantHops)) {
+		t.Errorf("fallback sightings diverged")
+	}
+}
+
+// TestRemoteQueryDeadline: a server-side query that outlives the caller's
+// context surfaces as a deadline error through the rpc middleware, and
+// the client's deadline counter records it.
+func TestRemoteQueryDeadline(t *testing.T) {
+	s, _ := buildGraph(t)
+	slow := func(ctx context.Context, req *rpc.Request, next rpc.Handler) (*rpc.Response, error) {
+		if req.Method == "reconstruct" {
+			time.Sleep(500 * time.Millisecond)
+		}
+		return next(ctx, req)
+	}
+	srv, err := trajstore.ServeWith(s, "127.0.0.1:0", trajstore.ServerOptions{
+		Interceptors: []rpc.ServerInterceptor{slow},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	client, err := trajstore.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	before := client.Metrics().DeadlineExceeded.Value()
+	_, err = client.ReconstructContext(ctx, "camA#1", trajstore.DefaultTraceLimits())
+	if err == nil {
+		t.Fatal("query against a slow server beat an 80ms deadline")
+	}
+	if !rpc.IsDeadlineError(err) {
+		t.Errorf("error is not a deadline error: %v", err)
+	}
+	if got := client.Metrics().DeadlineExceeded.Value(); got != before+1 {
+		t.Errorf("deadline counter = %d, want %d", got, before+1)
+	}
+}

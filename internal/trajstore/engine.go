@@ -1,0 +1,302 @@
+// Server-side trajectory query engine. The paper's end product is the
+// space-time query ("where did this vehicle go?"), and executing the
+// reconstruction where the data lives — one RPC in, whole ranked tracks
+// out — is what keeps the read path off the WAN: the per-vertex client
+// walk is an N+1 round-trip pattern this engine replaces. The walk
+// itself is written once, against the GraphView interface, so the
+// server (over a Snapshot), a local store, and the remote per-vertex
+// fallback all run byte-identical reconstruction logic.
+
+package trajstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+// ErrNoTracks is returned by BestTrack when a sighting exists but no
+// track passes through it (cannot happen on a well-formed graph: every
+// vertex yields at least its own single-hop track).
+var ErrNoTracks = errors.New("trajstore: no tracks")
+
+// GraphView is the read surface the reconstruction algorithm walks.
+// *Snapshot implements it lock-free; query.StoreReader adapts a local
+// *Store; the remote *Client satisfies it over per-vertex RPCs (the
+// wire-compatible fallback path).
+type GraphView interface {
+	Vertex(id int64) (Vertex, error)
+	FindByEventID(id protocol.EventID) (Vertex, error)
+	Trajectory(id int64, limits TraceLimits) ([][]int64, error)
+	OutEdges(id int64) ([]Edge, error)
+	InEdges(id int64) ([]Edge, error)
+}
+
+// Hop is one sighting on a reconstructed track.
+type Hop struct {
+	VertexID int64     `json:"vertexId"`
+	Camera   string    `json:"camera"`
+	Time     time.Time `json:"time"`
+	// LinkWeight is the Bhattacharyya distance of the edge arriving at
+	// this hop (0 for the first hop).
+	LinkWeight float64 `json:"linkWeight"`
+}
+
+// Track is one candidate space-time trajectory.
+type Track struct {
+	Hops []Hop `json:"hops"`
+	// TotalWeight sums the link weights; lower = more confident.
+	TotalWeight float64 `json:"totalWeight"`
+	// MeanWeight is TotalWeight over the number of links (0 for a
+	// single-sighting track).
+	MeanWeight float64 `json:"meanWeight"`
+	// Duration spans the first to the last sighting.
+	Duration time.Duration `json:"duration"`
+}
+
+// Cameras returns the camera sequence of the track.
+func (t Track) Cameras() []string {
+	out := make([]string, len(t.Hops))
+	for i, h := range t.Hops {
+		out[i] = h.Camera
+	}
+	return out
+}
+
+// FindTracks returns every candidate track through the sighting with
+// the given event ID, ranked: longer tracks first (more of the
+// vehicle's journey explained), then lower mean link weight (higher
+// confidence).
+func FindTracks(g GraphView, eventID protocol.EventID, limits TraceLimits) ([]Track, error) {
+	if g == nil {
+		return nil, errors.New("trajstore: nil graph view")
+	}
+	start, err := g.FindByEventID(eventID)
+	if err != nil {
+		return nil, err
+	}
+	return ReconstructTracks(g, start.ID, limits)
+}
+
+// ReconstructTracks is FindTracks keyed by vertex ID.
+func ReconstructTracks(g GraphView, vertexID int64, limits TraceLimits) ([]Track, error) {
+	if g == nil {
+		return nil, errors.New("trajstore: nil graph view")
+	}
+	paths, err := g.Trajectory(vertexID, limits)
+	if err != nil {
+		return nil, err
+	}
+	tracks := make([]Track, 0, len(paths))
+	for _, path := range paths {
+		track, err := buildTrack(g, path)
+		if err != nil {
+			return nil, err
+		}
+		tracks = append(tracks, track)
+	}
+	sort.SliceStable(tracks, func(i, j int) bool {
+		if len(tracks[i].Hops) != len(tracks[j].Hops) {
+			return len(tracks[i].Hops) > len(tracks[j].Hops)
+		}
+		return tracks[i].MeanWeight < tracks[j].MeanWeight
+	})
+	return tracks, nil
+}
+
+// BestTrack returns the top-ranked track through a sighting.
+func BestTrack(g GraphView, eventID protocol.EventID, limits TraceLimits) (Track, error) {
+	tracks, err := FindTracks(g, eventID, limits)
+	if err != nil {
+		return Track{}, err
+	}
+	if len(tracks) == 0 {
+		return Track{}, fmt.Errorf("%w through %q", ErrNoTracks, eventID)
+	}
+	return tracks[0], nil
+}
+
+// SightingsOf lists every sighting whose simulation ground truth
+// matches the vehicle ID, in time order — an evaluation convenience for
+// comparing reconstructed tracks with what actually happened.
+func SightingsOf(g GraphView, maxVertexID int64, vehicleID string) ([]Hop, error) {
+	if g == nil {
+		return nil, errors.New("trajstore: nil graph view")
+	}
+	var out []Hop
+	for vid := int64(1); vid <= maxVertexID; vid++ {
+		v, err := g.Vertex(vid)
+		if err != nil {
+			continue
+		}
+		if v.Event.TruthID != vehicleID {
+			continue
+		}
+		out = append(out, Hop{VertexID: vid, Camera: v.Event.CameraID, Time: v.Event.Timestamp})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out, nil
+}
+
+func buildTrack(g GraphView, path []int64) (Track, error) {
+	if len(path) == 0 {
+		return Track{}, errors.New("trajstore: empty path")
+	}
+	track := Track{Hops: make([]Hop, 0, len(path))}
+	for i, vid := range path {
+		v, err := g.Vertex(vid)
+		if err != nil {
+			return Track{}, err
+		}
+		hop := Hop{VertexID: vid, Camera: v.Event.CameraID, Time: v.Event.Timestamp}
+		if i > 0 {
+			w, err := edgeWeight(g, path[i-1], vid)
+			if err != nil {
+				return Track{}, err
+			}
+			hop.LinkWeight = w
+			track.TotalWeight += w
+		}
+		track.Hops = append(track.Hops, hop)
+	}
+	if n := len(track.Hops) - 1; n > 0 {
+		track.MeanWeight = track.TotalWeight / float64(n)
+	}
+	track.Duration = track.Hops[len(track.Hops)-1].Time.Sub(track.Hops[0].Time)
+	return track, nil
+}
+
+func edgeWeight(g GraphView, from, to int64) (float64, error) {
+	edges, err := g.OutEdges(from)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range edges {
+		if e.To == to {
+			return e.Weight, nil
+		}
+	}
+	return 0, fmt.Errorf("trajstore: missing edge %d->%d", from, to)
+}
+
+// --- Server-side engine: snapshot execution, result cache, telemetry ---
+
+// queryMetrics are the engine's pre-resolved coralpie_query_* handles.
+type queryMetrics struct {
+	hits     *obs.Counter
+	misses   *obs.Counter
+	latency  *obs.Histogram
+	inflight *obs.Gauge
+}
+
+func newQueryMetrics(reg *obs.Registry) queryMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return queryMetrics{
+		hits: reg.Counter("coralpie_query_cache_hits_total",
+			"server-side query results served from the result cache"),
+		misses: reg.Counter("coralpie_query_cache_misses_total",
+			"server-side queries executed against a graph snapshot"),
+		latency: reg.Histogram("coralpie_query_latency_seconds",
+			"server-side query execution latency (cache hits included)", nil),
+		inflight: reg.Gauge("coralpie_query_inflight",
+			"server-side queries currently executing"),
+	}
+}
+
+// queryKey identifies one server-side query result: the op plus every
+// request parameter that shapes the answer.
+type queryKey struct {
+	op        string
+	eventID   protocol.EventID
+	vertexID  int64
+	vehicleID string
+	maxVertex int64
+	limits    TraceLimits
+}
+
+// queryEngine executes the reconstruct/best/sightings ops against a
+// store snapshot, memoizing whole results in a bounded LRU cache.
+// Cache entries are tagged with the snapshot version they were computed
+// at and checked on every lookup, so a stale entry can never be served
+// even if an invalidation is missed; the store's mutation hook
+// additionally purges the cache eagerly on every write.
+type queryEngine struct {
+	store *Store
+	cache *queryCache // nil disables caching
+	m     queryMetrics
+}
+
+// DefaultQueryCacheSize bounds the server-side result cache when the
+// server options leave it unset.
+const DefaultQueryCacheSize = 256
+
+func newQueryEngine(store *Store, cacheSize int, reg *obs.Registry) *queryEngine {
+	e := &queryEngine{store: store, m: newQueryMetrics(reg)}
+	if cacheSize == 0 {
+		cacheSize = DefaultQueryCacheSize
+	}
+	if cacheSize > 0 {
+		e.cache = newQueryCache(cacheSize)
+		store.OnMutate(e.cache.purge)
+	}
+	return e
+}
+
+// tracerClock reads the store's tracer and clock under its lock.
+func (s *Store) tracerClock() (*obs.Tracer, clock.Clock) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tracer, s.clk
+}
+
+// do runs one query: take (or reuse) a snapshot, consult the result
+// cache, compute on miss, and record metrics plus a "query" child span
+// when the request carried a sampled trace context.
+func (e *queryEngine) do(ctx context.Context, key queryKey, compute func(*Snapshot) (any, error)) (any, error) {
+	tr, clk := e.store.tracerClock()
+	e.m.inflight.Inc()
+	defer e.m.inflight.Dec()
+	start := clk.Now()
+	snap := e.store.Snapshot()
+	var (
+		val any
+		err error
+		hit bool
+	)
+	if e.cache != nil {
+		val, hit = e.cache.get(key, snap.version)
+	}
+	if hit {
+		e.m.hits.Inc()
+	} else {
+		e.m.misses.Inc()
+		val, err = compute(snap)
+		if err == nil && e.cache != nil {
+			e.cache.put(key, snap.version, val)
+		}
+	}
+	end := clk.Now()
+	e.m.latency.Observe(end.Sub(start).Seconds())
+	if tr != nil {
+		if sc, ok := obs.SpanFromContext(ctx); ok && sc.Sampled {
+			outcome, cached := "ok", "miss"
+			if err != nil {
+				outcome = "error"
+			}
+			if hit {
+				cached = "hit"
+			}
+			tr.RecordChild(sc, "query", start, end,
+				"op", key.op, "cache", cached, "outcome", outcome)
+		}
+	}
+	return val, err
+}

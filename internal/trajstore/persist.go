@@ -36,8 +36,8 @@ type walRecord struct {
 	Edge   *Edge   `json:"edge,omitempty"`
 }
 
-// snapshot is the compacted on-disk state.
-type snapshot struct {
+// snapshotFile is the compacted on-disk state.
+type snapshotFile struct {
 	NextID   int64    `json:"nextId"`
 	Vertices []Vertex `json:"vertices"`
 	Edges    []Edge   `json:"edges"`
@@ -290,14 +290,14 @@ func (s *Store) loadSnapshot(path string) error {
 		return fmt.Errorf("trajstore: open snapshot: %w", err)
 	}
 	defer func() { _ = f.Close() }()
-	var snap snapshot
+	var snap snapshotFile
 	if err := json.NewDecoder(f).Decode(&snap); err != nil {
 		return fmt.Errorf("trajstore: decode snapshot: %w", err)
 	}
 	return s.restore(snap)
 }
 
-func (s *Store) restore(snap snapshot) error {
+func (s *Store) restore(snap snapshotFile) error {
 	for i := range snap.Vertices {
 		v := snap.Vertices[i]
 		s.vertices[v.ID] = &v
@@ -312,6 +312,7 @@ func (s *Store) restore(snap snapshot) error {
 		s.out[e.From] = append(s.out[e.From], e)
 		s.in[e.To] = append(s.in[e.To], e)
 	}
+	s.version++
 	return nil
 }
 
@@ -329,6 +330,7 @@ func (s *Store) applyWALRecord(rec walRecord) {
 		}
 		v := *rec.Vertex
 		s.vertices[v.ID] = &v
+		s.version++
 		if v.ID >= s.nextID {
 			s.nextID = v.ID + 1
 		}
@@ -350,6 +352,7 @@ func (s *Store) applyWALRecord(rec walRecord) {
 		}
 		s.out[e.From] = append(s.out[e.From], e)
 		s.in[e.To] = append(s.in[e.To], e)
+		s.version++
 	}
 }
 
@@ -448,7 +451,7 @@ func (s *Store) Compact() error {
 	if s.persist == nil {
 		return errors.New("trajstore: in-memory store has nothing to compact")
 	}
-	snap := snapshot{NextID: s.nextID}
+	snap := snapshotFile{NextID: s.nextID}
 	for _, v := range s.vertices {
 		snap.Vertices = append(snap.Vertices, *v)
 	}

@@ -26,7 +26,43 @@ const (
 	opStats       = "stats"
 	opOutEdges    = "out_edges"
 	opInEdges     = "in_edges"
+	// Server-side query ops: the full reconstruction runs inside the
+	// server against a consistent snapshot, returning whole ranked
+	// tracks in one round trip instead of the per-vertex N+1 walk (which
+	// remains wire-compatible as a fallback for old servers).
+	opReconstruct = "reconstruct"
+	opBest        = "best"
+	opSightings   = "sightings"
 )
+
+// Error codes relayed in the response frame so clients can recover
+// sentinel errors across the wire (errors.Is keeps working remotely).
+const (
+	codeNotFound = "not_found"
+	codeNoTracks = "no_tracks"
+)
+
+// ServerError is a store-level rejection relayed over the wire. Its
+// message matches the historical "trajstore: server: ..." string; the
+// optional code restores sentinel identity, so
+// errors.Is(err, ErrVertexNotFound) and errors.Is(err, ErrNoTracks)
+// hold across the client/server boundary.
+type ServerError struct {
+	Code string
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return "trajstore: server: " + e.Msg }
+
+func (e *ServerError) Unwrap() error {
+	switch e.Code {
+	case codeNotFound:
+		return ErrVertexNotFound
+	case codeNoTracks:
+		return ErrNoTracks
+	}
+	return nil
+}
 
 // request is one client -> server call.
 type request struct {
@@ -39,6 +75,9 @@ type request struct {
 	EventID protocol.EventID         `json:"eventId,omitempty"`
 	Limits  *TraceLimits             `json:"limits,omitempty"`
 	Batch   []protocol.TrajWrite     `json:"batch,omitempty"`
+	// VehicleID and MaxVertex parameterize the sightings op.
+	VehicleID string `json:"vehicleId,omitempty"`
+	MaxVertex int64  `json:"maxVertex,omitempty"`
 	// Trace carries the caller's span context so the server can resume
 	// the caller's trace (batch records carry their own per-record
 	// Trace fields instead). It is stamped by the rpc trace-inject
@@ -55,12 +94,17 @@ func (r *request) SetTraceContext(tc *protocol.TraceContext) { r.Trace = tc }
 type response struct {
 	OK       bool      `json:"ok"`
 	Err      string    `json:"err,omitempty"`
+	Code     string    `json:"code,omitempty"` // structured error code ("" for old servers)
 	VertexID int64     `json:"vertexId,omitempty"`
 	Vertex   *Vertex   `json:"vertex,omitempty"`
 	Paths    [][]int64 `json:"paths,omitempty"`
 	Vertices int       `json:"vertices,omitempty"`
 	Edges    int       `json:"edges,omitempty"`
 	EdgeList []Edge    `json:"edgeList,omitempty"`
+	// Tracks, Track, and Hops carry server-side query results.
+	Tracks []Track `json:"tracks,omitempty"`
+	Track  *Track  `json:"track,omitempty"`
+	Hops   []Hop   `json:"hops,omitempty"`
 	// VertexIDs and Errs parallel an add_batch request's records:
 	// allocated vertex IDs (0 for edges and rejected records) and
 	// per-record rejections ("" for successes).
@@ -142,14 +186,21 @@ type ServerOptions struct {
 	// Logger, when non-nil, logs each call (debug on success, warn on
 	// error) with its trace.
 	Logger *obs.Logger
+	// Registry receives the server's coralpie_query_* telemetry; nil
+	// selects the process-default registry.
+	Registry *obs.Registry
+	// QueryCache bounds the server-side query result cache in entries.
+	// 0 selects DefaultQueryCacheSize; negative disables caching.
+	QueryCache int
 }
 
 // Server exposes a Store over TCP with a simple request/response
 // protocol, served through the shared rpc layer (accept/serve/shutdown
 // lifecycle, trace extraction, middleware).
 type Server struct {
-	store *Store
-	rs    *rpc.Server
+	store  *Store
+	engine *queryEngine
+	rs     *rpc.Server
 }
 
 // Serve starts a server for the store on addr (use "127.0.0.1:0" for an
@@ -163,7 +214,7 @@ func ServeWith(store *Store, addr string, opts ServerOptions) (*Server, error) {
 	if store == nil {
 		return nil, errors.New("trajstore: nil store")
 	}
-	s := &Server{store: store}
+	s := &Server{store: store, engine: newQueryEngine(store, opts.QueryCache, opts.Registry)}
 	ics := opts.Interceptors
 	if opts.Logger != nil {
 		ics = append([]rpc.ServerInterceptor{rpc.WithServerLogging(opts.Logger)}, ics...)
@@ -189,7 +240,16 @@ func (s *Server) dispatch(ctx context.Context, req *rpc.Request) (*rpc.Response,
 }
 
 func (s *Server) handle(ctx context.Context, req request) response {
-	fail := func(err error) response { return response{Err: err.Error()} }
+	fail := func(err error) response {
+		r := response{Err: err.Error()}
+		switch {
+		case errors.Is(err, ErrVertexNotFound):
+			r.Code = codeNotFound
+		case errors.Is(err, ErrNoTracks):
+			r.Code = codeNoTracks
+		}
+		return r
+	}
 	switch req.Op {
 	case opAddVertex:
 		if req.Event == nil {
@@ -263,6 +323,55 @@ func (s *Server) handle(ctx context.Context, req request) response {
 		return response{OK: true, EdgeList: s.store.InEdges(req.ID)}
 	case opStats:
 		return response{OK: true, Vertices: s.store.NumVertices(), Edges: s.store.NumEdges()}
+	case opReconstruct:
+		limits := DefaultTraceLimits()
+		if req.Limits != nil {
+			limits = *req.Limits
+		}
+		key := queryKey{op: opReconstruct, eventID: req.EventID, vertexID: req.ID, limits: limits}
+		val, err := s.engine.do(ctx, key, func(snap *Snapshot) (any, error) {
+			if req.EventID != "" {
+				return FindTracks(snap, req.EventID, limits)
+			}
+			return ReconstructTracks(snap, req.ID, limits)
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return response{OK: true, Tracks: val.([]Track)}
+	case opBest:
+		limits := DefaultTraceLimits()
+		if req.Limits != nil {
+			limits = *req.Limits
+		}
+		key := queryKey{op: opBest, eventID: req.EventID, limits: limits}
+		val, err := s.engine.do(ctx, key, func(snap *Snapshot) (any, error) {
+			return BestTrack(snap, req.EventID, limits)
+		})
+		if err != nil {
+			return fail(err)
+		}
+		track := val.(Track)
+		return response{OK: true, Track: &track}
+	case opSightings:
+		if req.VehicleID == "" {
+			return fail(errors.New("sightings requires a vehicle id"))
+		}
+		// MaxVertex <= 0 means "the whole graph", resolved against the
+		// same snapshot the query runs on (0 stays in the cache key; the
+		// version tag invalidates the entry when the graph grows).
+		key := queryKey{op: opSightings, vehicleID: req.VehicleID, maxVertex: req.MaxVertex}
+		val, err := s.engine.do(ctx, key, func(snap *Snapshot) (any, error) {
+			maxVertex := req.MaxVertex
+			if maxVertex <= 0 {
+				maxVertex = snap.MaxVertexID()
+			}
+			return SightingsOf(snap, maxVertex, req.VehicleID)
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return response{OK: true, Hops: val.([]Hop)}
 	default:
 		return fail(fmt.Errorf("unknown op %q", req.Op))
 	}
@@ -281,6 +390,28 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // drain duration (at most one per server; exposed for tests and
 // telemetry wiring).
 func (s *Server) DrainObservations() uint64 { return s.rs.DrainObservations() }
+
+// QueryStats are the server-side query engine's lifetime counters,
+// exposed for tests and telemetry wiring.
+type QueryStats struct {
+	CacheHits   int64
+	CacheMisses int64
+	CacheLen    int
+	InFlight    int64
+}
+
+// QueryStats returns the query engine's cache and in-flight counters.
+func (s *Server) QueryStats() QueryStats {
+	st := QueryStats{
+		CacheHits:   s.engine.m.hits.Value(),
+		CacheMisses: s.engine.m.misses.Value(),
+		InFlight:    s.engine.m.inflight.Value(),
+	}
+	if s.engine.cache != nil {
+		st.CacheLen = s.engine.cache.len()
+	}
+	return st
+}
 
 // Close stops accepting, closes connections, and waits for handlers.
 // Unlike Shutdown it does not wait for in-flight requests.
@@ -419,7 +550,7 @@ func (c *Client) roundTrip(ctx context.Context, req *rpc.Request) (*rpc.Response
 		return nil, err
 	}
 	if !wresp.OK {
-		return nil, fmt.Errorf("trajstore: server: %s", wresp.Err)
+		return nil, &ServerError{Code: wresp.Code, Msg: wresp.Err}
 	}
 	return &rpc.Response{Body: &wresp}, nil
 }
@@ -592,6 +723,78 @@ func (c *Client) StatsContext(ctx context.Context) (vertices, edges int, err err
 // per-call timeout.
 func (c *Client) Stats() (vertices, edges int, err error) {
 	return c.StatsContext(context.Background())
+}
+
+// ReconstructContext executes the full track reconstruction inside the
+// server against a consistent snapshot and returns every candidate
+// track through the sighting, ranked most-plausible first — one round
+// trip instead of the per-vertex walk. Requires a server speaking the
+// reconstruct op; against an older server the call fails and callers
+// can fall back to query.Reconstruct over this client (the per-vertex
+// ops remain wire-compatible).
+func (c *Client) ReconstructContext(ctx context.Context, eventID protocol.EventID, limits TraceLimits) ([]Track, error) {
+	resp, err := c.do(ctx, request{Op: opReconstruct, EventID: eventID, Limits: &limits})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tracks, nil
+}
+
+// Reconstruct executes a server-side reconstruction by event ID using
+// the default per-call timeout.
+func (c *Client) Reconstruct(eventID protocol.EventID, limits TraceLimits) ([]Track, error) {
+	return c.ReconstructContext(context.Background(), eventID, limits)
+}
+
+// ReconstructVertexContext is ReconstructContext keyed by vertex ID.
+func (c *Client) ReconstructVertexContext(ctx context.Context, vertexID int64, limits TraceLimits) ([]Track, error) {
+	resp, err := c.do(ctx, request{Op: opReconstruct, ID: vertexID, Limits: &limits})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tracks, nil
+}
+
+// ReconstructVertex executes a server-side reconstruction by vertex ID
+// using the default per-call timeout.
+func (c *Client) ReconstructVertex(vertexID int64, limits TraceLimits) ([]Track, error) {
+	return c.ReconstructVertexContext(context.Background(), vertexID, limits)
+}
+
+// BestContext returns the server's top-ranked track through a
+// sighting in one round trip. A sighting with no tracks surfaces as
+// ErrNoTracks (via errors.Is), an unknown event as ErrVertexNotFound.
+func (c *Client) BestContext(ctx context.Context, eventID protocol.EventID, limits TraceLimits) (Track, error) {
+	resp, err := c.do(ctx, request{Op: opBest, EventID: eventID, Limits: &limits})
+	if err != nil {
+		return Track{}, err
+	}
+	if resp.Track == nil {
+		return Track{}, errors.New("trajstore: server returned no track")
+	}
+	return *resp.Track, nil
+}
+
+// Best returns the top-ranked track using the default per-call timeout.
+func (c *Client) Best(eventID protocol.EventID, limits TraceLimits) (Track, error) {
+	return c.BestContext(context.Background(), eventID, limits)
+}
+
+// SightingsContext lists the ground-truth sightings of a vehicle in
+// time order, computed server-side over a snapshot. maxVertex bounds
+// the scan; <= 0 means the whole graph.
+func (c *Client) SightingsContext(ctx context.Context, vehicleID string, maxVertex int64) ([]Hop, error) {
+	resp, err := c.do(ctx, request{Op: opSightings, VehicleID: vehicleID, MaxVertex: maxVertex})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Hops, nil
+}
+
+// Sightings lists a vehicle's ground-truth sightings using the default
+// per-call timeout.
+func (c *Client) Sightings(vehicleID string, maxVertex int64) ([]Hop, error) {
+	return c.SightingsContext(context.Background(), vehicleID, maxVertex)
 }
 
 // Close closes the client connection.

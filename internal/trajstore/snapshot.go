@@ -1,0 +1,140 @@
+package trajstore
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+)
+
+// Snapshot is an immutable, lock-free view of the trajectory graph at
+// one mutation version. A snapshot is built copy-on-read under the
+// store's read lock — writers are excluded only for the duration of the
+// O(V+E) copy, never for the graph walk that follows — and cached until
+// the next mutation, so a burst of queries between writes shares one
+// copy. Because every write path (AddVertex, AddEdge, ApplyBatch,
+// rollbacks) mutates under the full store lock, a snapshot observes
+// each batch atomically: it either contains all of a batch's applied
+// records or none of them, never a half-applied batch.
+//
+// Vertex pointers are shared with the live store (vertices are never
+// mutated in place after insertion); edge slices are deep-copied
+// because the store rewrites them in place on rollback.
+type Snapshot struct {
+	version  uint64
+	maxID    int64
+	vertices map[int64]*Vertex
+	out      map[int64][]Edge
+	in       map[int64][]Edge
+	nEdges   int
+}
+
+// Snapshot returns a consistent point-in-time view of the graph. The
+// copy is taken under the store's read lock and cached by mutation
+// version: while no write lands, repeated calls return the same
+// snapshot with no copying; after a write, the first caller rebuilds
+// (serialized on snapMu so concurrent queries never duplicate the
+// copy). Queries executed against the snapshot hold no store lock at
+// all, so they never block the WAL write path.
+func (s *Store) Snapshot() *Snapshot {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	s.mu.RLock()
+	if s.snap != nil && s.snap.version == s.version {
+		snap := s.snap
+		s.mu.RUnlock()
+		return snap
+	}
+	snap := &Snapshot{
+		version:  s.version,
+		maxID:    s.nextID - 1,
+		vertices: make(map[int64]*Vertex, len(s.vertices)),
+		out:      make(map[int64][]Edge, len(s.out)),
+		in:       make(map[int64][]Edge, len(s.in)),
+	}
+	for id, v := range s.vertices {
+		snap.vertices[id] = v
+	}
+	for id, es := range s.out {
+		snap.out[id] = append([]Edge(nil), es...)
+		snap.nEdges += len(es)
+	}
+	for id, es := range s.in {
+		snap.in[id] = append([]Edge(nil), es...)
+	}
+	s.mu.RUnlock()
+	s.snap = snap
+	return snap
+}
+
+// Version is the store mutation count the snapshot was taken at.
+func (sn *Snapshot) Version() uint64 { return sn.version }
+
+// NumVertices returns the vertex count at snapshot time.
+func (sn *Snapshot) NumVertices() int { return len(sn.vertices) }
+
+// NumEdges returns the edge count at snapshot time.
+func (sn *Snapshot) NumEdges() int { return sn.nEdges }
+
+// MaxVertexID is the highest vertex ID allocated at snapshot time (IDs
+// may have gaps from rolled-back writes).
+func (sn *Snapshot) MaxVertexID() int64 { return sn.maxID }
+
+// Vertex returns a vertex by ID.
+func (sn *Snapshot) Vertex(id int64) (Vertex, error) {
+	v, ok := sn.vertices[id]
+	if !ok {
+		return Vertex{}, fmt.Errorf("%w: %d", ErrVertexNotFound, id)
+	}
+	return *v, nil
+}
+
+// FindByEventID returns the vertex whose event carries the given ID.
+func (sn *Snapshot) FindByEventID(id protocol.EventID) (Vertex, error) {
+	for _, v := range sn.vertices {
+		if v.Event.ID == id {
+			return *v, nil
+		}
+	}
+	return Vertex{}, fmt.Errorf("%w: event %q", ErrVertexNotFound, id)
+}
+
+// OutEdges returns a vertex's outgoing edges, sorted by target. The
+// error return is always nil; the signature matches GraphView.
+func (sn *Snapshot) OutEdges(id int64) ([]Edge, error) {
+	return sortedEdges(sn.out[id], true), nil
+}
+
+// InEdges returns a vertex's incoming edges, sorted by source.
+func (sn *Snapshot) InEdges(id int64) ([]Edge, error) {
+	return sortedEdges(sn.in[id], false), nil
+}
+
+// TraceForward enumerates the maximal forward paths from start, exactly
+// like Store.TraceForward but against the frozen view.
+func (sn *Snapshot) TraceForward(start int64, limits TraceLimits) ([][]int64, error) {
+	return sn.trace(start, limits, true)
+}
+
+// TraceBackward enumerates the maximal backward paths into start.
+func (sn *Snapshot) TraceBackward(start int64, limits TraceLimits) ([][]int64, error) {
+	return sn.trace(start, limits, false)
+}
+
+func (sn *Snapshot) trace(start int64, limits TraceLimits, forward bool) ([][]int64, error) {
+	if _, ok := sn.vertices[start]; !ok {
+		return nil, fmt.Errorf("%w: %d", ErrVertexNotFound, start)
+	}
+	return traceGraph(sn.out, sn.in, start, limits.sanitized(), forward), nil
+}
+
+// Trajectory returns the full candidate space-time tracks through
+// start, identical to Store.Trajectory over the same graph state.
+func (sn *Snapshot) Trajectory(start int64, limits TraceLimits) ([][]int64, error) {
+	if _, ok := sn.vertices[start]; !ok {
+		return nil, fmt.Errorf("%w: %d", ErrVertexNotFound, start)
+	}
+	limits = limits.sanitized()
+	back := traceGraph(sn.out, sn.in, start, limits, false)
+	fwd := traceGraph(sn.out, sn.in, start, limits, true)
+	return combinePaths(back, fwd, limits.MaxPaths), nil
+}

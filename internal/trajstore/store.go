@@ -88,6 +88,21 @@ type Store struct {
 	nextID   int64
 	closed   bool
 
+	// version counts in-memory graph mutations (inserts and rollbacks
+	// alike); snapshots are tagged with it so cached reads can tell
+	// whether they are still current. Guarded by mu.
+	version uint64
+	// onMutate, when set, runs after every write that changed the graph
+	// (outside mu). The server-side query engine hooks its result-cache
+	// invalidation here.
+	onMutate func()
+
+	// snapMu serializes copy-on-read snapshot construction so concurrent
+	// queries share one O(V+E) copy instead of each building their own.
+	// Lock order: snapMu before mu; never the reverse.
+	snapMu sync.Mutex
+	snap   *Snapshot
+
 	persist    *persister // nil for in-memory stores
 	persistCfg StoreConfig
 	m          storeMetrics
@@ -139,6 +154,27 @@ func (s *Store) UseTracer(tr *obs.Tracer) {
 	s.tracer = tr
 }
 
+// OnMutate registers fn to run after every write that changed the
+// in-memory graph (inserts and commit-failure rollbacks alike). fn is
+// called outside the store lock and must not block; at most one hook is
+// supported. Call before traffic flows.
+func (s *Store) OnMutate(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onMutate = fn
+}
+
+// notifyMutate runs the mutation hook, if any. Callers must not hold
+// s.mu.
+func (s *Store) notifyMutate() {
+	s.mu.RLock()
+	fn := s.onMutate
+	s.mu.RUnlock()
+	if fn != nil {
+		fn()
+	}
+}
+
 // applyVertexLocked allocates an ID and inserts the event. Caller holds
 // s.mu.
 func (s *Store) applyVertexLocked(e protocol.DetectionEvent) *Vertex {
@@ -147,6 +183,7 @@ func (s *Store) applyVertexLocked(e protocol.DetectionEvent) *Vertex {
 	v := &Vertex{ID: id, Event: e}
 	v.Event.VertexID = id
 	s.vertices[id] = v
+	s.version++
 	s.m.vertexSize.Add(1)
 	return v
 }
@@ -157,6 +194,7 @@ func (s *Store) applyVertexLocked(e protocol.DetectionEvent) *Vertex {
 // Caller holds s.mu.
 func (s *Store) rollbackVertexLocked(id int64) {
 	delete(s.vertices, id)
+	s.version++
 	s.m.vertexSize.Add(-1)
 }
 
@@ -176,6 +214,7 @@ func (s *Store) applyEdgeLocked(from, to int64, weight float64) (Edge, error) {
 	edge := Edge{From: from, To: to, Weight: weight}
 	s.out[from] = append(s.out[from], edge)
 	s.in[to] = append(s.in[to], edge)
+	s.version++
 	s.m.edgeSize.Add(1)
 	return edge, nil
 }
@@ -185,6 +224,7 @@ func (s *Store) applyEdgeLocked(from, to int64, weight float64) (Edge, error) {
 func (s *Store) rollbackEdgeLocked(from, to int64) {
 	s.out[from] = removeEdge(s.out[from], func(e Edge) bool { return e.To == to })
 	s.in[to] = removeEdge(s.in[to], func(e Edge) bool { return e.From == from })
+	s.version++
 	s.m.edgeSize.Add(-1)
 }
 
@@ -217,6 +257,7 @@ func (s *Store) AddVertex(e protocol.DetectionEvent) (int64, error) {
 		wait = s.persist.enqueue([]walRecord{{Op: "v", Vertex: &vc}})
 	}
 	s.mu.Unlock()
+	defer s.notifyMutate()
 	if wait != nil {
 		if err := <-wait; err != nil {
 			s.mu.Lock()
@@ -255,6 +296,7 @@ func (s *Store) AddEdge(from, to int64, weight float64) error {
 		wait = s.persist.enqueue([]walRecord{{Op: "e", Edge: &ec}})
 	}
 	s.mu.Unlock()
+	defer s.notifyMutate()
 	if wait != nil {
 		if err := <-wait; err != nil {
 			s.mu.Lock()
@@ -362,6 +404,9 @@ func (s *Store) ApplyBatch(writes []protocol.TrajWrite) (ids []int64, errs []err
 		wait = s.persist.enqueue(recs)
 	}
 	s.mu.Unlock()
+	if len(applied) > 0 {
+		defer s.notifyMutate()
+	}
 	if rejected > 0 {
 		m.writeErrs.Add(rejected)
 	}
@@ -502,6 +547,17 @@ func DefaultTraceLimits() TraceLimits {
 	return TraceLimits{MaxDepth: 64, MaxPaths: 256}
 }
 
+// sanitized clamps the limits to at least one level and one path.
+func (l TraceLimits) sanitized() TraceLimits {
+	if l.MaxDepth < 1 {
+		l.MaxDepth = 1
+	}
+	if l.MaxPaths < 1 {
+		l.MaxPaths = 1
+	}
+	return l
+}
+
 // TraceForward enumerates the maximal forward paths from start: every
 // path follows outgoing edges until it reaches a vertex with no outgoing
 // edge (or a limit). The result is a collection of candidate onward
@@ -522,12 +578,16 @@ func (s *Store) trace(start int64, limits TraceLimits, forward bool) ([][]int64,
 	if _, ok := s.vertices[start]; !ok {
 		return nil, fmt.Errorf("%w: %d", ErrVertexNotFound, start)
 	}
-	if limits.MaxDepth < 1 {
-		limits.MaxDepth = 1
-	}
-	if limits.MaxPaths < 1 {
-		limits.MaxPaths = 1
-	}
+	return traceGraph(s.out, s.in, start, limits.sanitized(), forward), nil
+}
+
+// traceGraph is the traversal core shared by the locked store and the
+// lock-free Snapshot: enumerate the maximal paths from start over the
+// given adjacency maps. Callers must have already checked that start
+// exists and sanitized the limits; the maps must not be mutated while
+// the traversal runs (the store holds its read lock, a snapshot is
+// immutable).
+func traceGraph(out, in map[int64][]Edge, start int64, limits TraceLimits, forward bool) [][]int64 {
 	var paths [][]int64
 	onPath := map[int64]bool{start: true}
 	var dfs func(path []int64)
@@ -538,9 +598,9 @@ func (s *Store) trace(start int64, limits TraceLimits, forward bool) ([][]int64,
 		cur := path[len(path)-1]
 		var nexts []Edge
 		if forward {
-			nexts = s.out[cur]
+			nexts = out[cur]
 		} else {
-			nexts = s.in[cur]
+			nexts = in[cur]
 		}
 		extended := false
 		if len(path) < limits.MaxDepth {
@@ -563,21 +623,13 @@ func (s *Store) trace(start int64, limits TraceLimits, forward bool) ([][]int64,
 		}
 	}
 	dfs([]int64{start})
-	return paths, nil
+	return paths
 }
 
-// Trajectory returns the full candidate space-time track through start:
-// each result path runs from a possible origin through start to a
-// possible end, expressed as vertex IDs in time order.
-func (s *Store) Trajectory(start int64, limits TraceLimits) ([][]int64, error) {
-	back, err := s.TraceBackward(start, limits)
-	if err != nil {
-		return nil, err
-	}
-	fwd, err := s.TraceForward(start, limits)
-	if err != nil {
-		return nil, err
-	}
+// combinePaths splices each backward path (start -> origin) with each
+// forward path (start -> end) into full origin-to-end trajectories in
+// time order, capped at maxPaths.
+func combinePaths(back, fwd [][]int64, maxPaths int) [][]int64 {
 	var out [][]int64
 	for _, b := range back {
 		// b runs start -> origin; reverse it to time order.
@@ -586,8 +638,8 @@ func (s *Store) Trajectory(start int64, limits TraceLimits) ([][]int64, error) {
 			rev[len(b)-1-i] = id
 		}
 		for _, f := range fwd {
-			if len(out) >= limits.MaxPaths {
-				return out, nil
+			if len(out) >= maxPaths {
+				return out
 			}
 			path := make([]int64, 0, len(rev)+len(f)-1)
 			path = append(path, rev...)
@@ -595,7 +647,24 @@ func (s *Store) Trajectory(start int64, limits TraceLimits) ([][]int64, error) {
 			out = append(out, path)
 		}
 	}
-	return out, nil
+	return out
+}
+
+// Trajectory returns the full candidate space-time track through start:
+// each result path runs from a possible origin through start to a
+// possible end, expressed as vertex IDs in time order. The backward and
+// forward halves run under one read-lock acquisition, so the result is
+// a consistent view even while writers are active.
+func (s *Store) Trajectory(start int64, limits TraceLimits) ([][]int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.vertices[start]; !ok {
+		return nil, fmt.Errorf("%w: %d", ErrVertexNotFound, start)
+	}
+	limits = limits.sanitized()
+	back := traceGraph(s.out, s.in, start, limits, false)
+	fwd := traceGraph(s.out, s.in, start, limits, true)
+	return combinePaths(back, fwd, limits.MaxPaths), nil
 }
 
 // Close flushes and closes persistence. Further writes fail with
