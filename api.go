@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/feature"
+	"repro/internal/framestore"
 	"repro/internal/geo"
 	"repro/internal/imaging"
 	"repro/internal/protocol"
@@ -154,6 +155,20 @@ func NewMemTrajStore() *TrajStore { return trajstore.NewMemStore() }
 
 // OpenTrajStore opens a persistent trajectory store rooted at dir.
 func OpenTrajStore(dir string) (*TrajStore, error) { return trajstore.Open(dir) }
+
+// FrameStore is the evidence-frame store: segmented per-camera logs
+// with retention GC and lock-free reads.
+type FrameStore = framestore.Store
+
+// FrameStoreConfig tunes a frame store (segment size, retention, read
+// cache).
+type FrameStoreConfig = framestore.Config
+
+// OpenFrameStore opens a persistent frame store rooted at dir ("" for
+// in-memory) with explicit tuning.
+func OpenFrameStore(dir string, cfg FrameStoreConfig) (*FrameStore, error) {
+	return framestore.OpenStoreConfig(dir, cfg)
+}
 
 // Track is a reconstructed, confidence-scored space-time trajectory.
 type Track = query.Track

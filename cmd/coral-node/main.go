@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,14 +53,15 @@ func main() {
 
 func run() error {
 	var (
-		id        = flag.String("id", "cam0", "camera identity")
-		listen    = flag.String("listen", "127.0.0.1:0", "inter-camera listen address")
-		topoAddr  = flag.String("topology", "127.0.0.1:7000", "topology server address")
-		trajAddr  = flag.String("trajstore", "127.0.0.1:7001", "trajectory store address")
-		frameAddr = flag.String("framestore", "", "frame store address (empty = do not store frames)")
-		heartbeat = flag.Duration("heartbeat", 2*time.Second, "heartbeat interval")
-		obsListen = flag.String("obs-listen", "127.0.0.1:0", "telemetry HTTP address for /metrics, /healthz, /debug/obs, /debug/trace (empty = disabled)")
-		obsPProf  = flag.Bool("obs-pprof", false, "also mount net/http/pprof profiling handlers on the telemetry server")
+		id          = flag.String("id", "cam0", "camera identity")
+		listen      = flag.String("listen", "127.0.0.1:0", "inter-camera listen address")
+		topoAddr    = flag.String("topology", "127.0.0.1:7000", "topology server address")
+		trajAddr    = flag.String("trajstore", "127.0.0.1:7001", "trajectory store address")
+		frameAddr   = flag.String("framestore", "", "comma-separated frame store addresses; >1 replicates every frame to all of them (empty = do not store frames)")
+		frameQuorum = flag.Int("framestore-quorum", 1, "replicas that must accept a frame for the send to count as delivered")
+		heartbeat   = flag.Duration("heartbeat", 2*time.Second, "heartbeat interval")
+		obsListen   = flag.String("obs-listen", "127.0.0.1:0", "telemetry HTTP address for /metrics, /healthz, /debug/obs, /debug/trace (empty = disabled)")
+		obsPProf    = flag.Bool("obs-pprof", false, "also mount net/http/pprof profiling handlers on the telemetry server")
 
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat   = flag.String("log-format", "text", "log format: text or json")
@@ -181,11 +183,28 @@ func run() error {
 		Tracer:             tracer,
 	}
 	if *frameAddr != "" {
-		fsClient, err := framestore.NewClient(ep, *frameAddr)
-		if err != nil {
-			return err
+		addrs := strings.Split(*frameAddr, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
 		}
-		cfg.FrameStore = fsClient
+		if len(addrs) == 1 && *frameQuorum <= 1 {
+			fsClient, err := framestore.NewClient(ep, addrs[0])
+			if err != nil {
+				return err
+			}
+			cfg.FrameStore = fsClient
+		} else {
+			mc, err := framestore.NewMultiClient(ep, addrs, framestore.MultiClientConfig{
+				CallTimeout: rpcFlags.CallTimeout,
+				RetryBudget: rpcFlags.RetryBudget,
+				Quorum:      *frameQuorum,
+				Registry:    obs.Default(),
+			})
+			if err != nil {
+				return err
+			}
+			cfg.FrameStore = mc
+		}
 		cfg.StoreFrames = true
 	}
 	node, err := camnode.New(cfg, ep)

@@ -46,6 +46,9 @@ func run() error {
 		heartbeat = flag.Duration("heartbeat", 2*time.Second, "camera heartbeat interval")
 		failSpec  = flag.String("fail", "", "fail a camera mid-run, e.g. cam2@40s")
 
+		storeFrames   = flag.Bool("store-frames", false, "ship raw frames to the simulated frame store")
+		frameReplicas = flag.Int("frame-replicas", 1, "frame-store replicas; >1 fans every frame out to all of them")
+
 		faultDrop    = flag.Float64("fault-drop-rate", 0, "drop each network message with this probability, in [0,1)")
 		faultErr     = flag.Float64("fault-error-rate", 0, "fail each network send with an injected error with this probability, in [0,1)")
 		faultLatency = flag.Duration("fault-latency", 0, "extra latency added to every network message")
@@ -81,6 +84,8 @@ func run() error {
 		Seed:              *seed,
 		HeartbeatInterval: *heartbeat,
 		TraceSampleEvery:  *traceSample,
+		StoreFrames:       *storeFrames,
+		FrameReplicas:     *frameReplicas,
 		// The fault RNG is derived from -seed inside NewSystem, so two
 		// runs with the same seed inject the same faults.
 		Fault: faultinject.Config{

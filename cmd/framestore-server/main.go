@@ -9,6 +9,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,12 @@ func run() error {
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
 		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long a SIGINT/SIGTERM shutdown may spend draining in-flight frames")
+
+		segmentBytes = flag.Int64("segment-bytes", framestore.DefaultSegmentBytes, "per-camera segment roll threshold in bytes")
+		retainFrames = flag.Duration("retain-frames", 0, "drop sealed segments whose newest frame is older than this (0 = keep forever)")
+		retainBytes  = flag.Int64("retain-bytes", 0, "bound total on-disk bytes, deleting oldest sealed segments when exceeded (0 = unbounded)")
+		cacheFrames  = flag.Int("cache-frames", 0, "capacity of the read-through LRU frame cache in records (0 = disabled)")
+		gcInterval   = flag.Duration("gc-interval", time.Minute, "how often retention GC runs when -retain-frames or -retain-bytes is set (0 = only on segment rolls)")
 	)
 	rpcFlags := rpc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -51,12 +58,43 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	store, err := framestore.OpenStore(*dir)
+	store, err := framestore.OpenStoreConfig(*dir, framestore.Config{
+		SegmentBytes: *segmentBytes,
+		RetainAge:    *retainFrames,
+		RetainBytes:  *retainBytes,
+		CacheFrames:  *cacheFrames,
+	})
 	if err != nil {
 		return err
 	}
 	defer func() { _ = store.Close() }()
 	store.Instrument(obs.Default(), nil)
+	// Every retention pass appends a "gc" span with what it reclaimed.
+	tracer := obs.NewTracerWith(obs.TracerConfig{Capacity: 1024, IDPrefix: "fs-"})
+	store.UseTracer(tracer)
+
+	retention := *dir != "" && (*retainFrames > 0 || *retainBytes > 0)
+	if retention && *gcInterval > 0 {
+		// The after-roll GC hook only fires while frames flow; the timer
+		// ages out segments on idle cameras too.
+		gcTick := time.NewTicker(*gcInterval)
+		defer gcTick.Stop()
+		go func() {
+			for range gcTick.C {
+				if st, err := store.GC(); errors.Is(err, framestore.ErrClosed) {
+					return
+				} else if err != nil {
+					logger.Warn("retention gc", "err", err.Error())
+				} else if st.Segments > 0 {
+					logger.Info("retention gc",
+						"segments", fmt.Sprint(st.Segments),
+						"frames", fmt.Sprint(st.Frames),
+						"reclaimedBytes", fmt.Sprint(st.Bytes),
+						"diskBytes", fmt.Sprint(store.DiskBytes()))
+				}
+			}
+		}()
+	}
 
 	ep, err := transport.ListenTCPConfig(*listen, transport.TCPConfigFromFlags(rpcFlags))
 	if err != nil {
@@ -73,7 +111,7 @@ func run() error {
 
 	var obsSrv *obs.Server
 	if *obsListen != "" {
-		mux := obs.NewMuxWith(obs.MuxConfig{Registry: obs.Default(), PProf: *obsPProf})
+		mux := obs.NewMuxWith(obs.MuxConfig{Registry: obs.Default(), Tracer: tracer, PProf: *obsPProf})
 		if obsSrv, err = obs.Serve(*obsListen, mux); err != nil {
 			return err
 		}

@@ -1,7 +1,9 @@
 // Selfhealing: kill a camera mid-run and watch the topology server heal
 // the network (paper Section 5.4) — the upstream camera's MDCS switches
 // to the next survivor, and vehicles passing afterward are re-identified
-// across the gap.
+// across the gap. Evidence frames are replicated to two frame stores,
+// and one store is killed alongside the camera: every frame still lands
+// on the survivor, so trajectory verification loses nothing.
 package main
 
 import (
@@ -28,6 +30,10 @@ func run() error {
 		Graph:             graph,
 		Seed:              3,
 		HeartbeatInterval: 2 * time.Second,
+		// Ship every frame to two replicated frame stores so losing one
+		// mid-run costs no evidence.
+		StoreFrames:   true,
+		FrameReplicas: 2,
 	})
 	if err != nil {
 		return err
@@ -62,13 +68,18 @@ func run() error {
 	fmt.Printf("t=%-4v cam1 east MDCS: %s\n", sys.Sim().Now().Round(time.Second), mdcsOf(cam1))
 
 	// Kill cam2 at t=40s: heartbeats stop, the topology server notices,
-	// and pushes new MDCS tables to the affected cameras.
+	// and pushes new MDCS tables to the affected cameras. Frame store 0
+	// dies with it — replicated puts keep landing on store 1.
 	sys.Sim().Schedule(30*time.Second, func() {
 		if err := sys.FailCamera("cam2"); err != nil {
 			log.Printf("fail cam2: %v", err)
 			return
 		}
-		fmt.Printf("t=%-4v camera cam2 FAILED\n", sys.Sim().Now().Round(time.Second))
+		if err := sys.FailFrameStore(0); err != nil {
+			log.Printf("fail frame store: %v", err)
+			return
+		}
+		fmt.Printf("t=%-4v camera cam2 and frame store 0 FAILED\n", sys.Sim().Now().Round(time.Second))
 	})
 
 	sys.Run(40 * time.Second) // past the failure + healing
@@ -80,6 +91,12 @@ func run() error {
 	if err := sys.FlushAll(); err != nil {
 		return err
 	}
+
+	// The surviving frame-store replica kept receiving evidence after
+	// store 0 went dark.
+	stores := sys.FrameStores()
+	fmt.Printf("\nframe replicas after outage: store0=%d frames (died at t=40s), store1=%d frames\n",
+		totalFrames(stores[0]), totalFrames(stores[1]))
 
 	// The second vehicle's track skips cam2 but continues beyond it.
 	store := sys.TrajStore()
@@ -110,6 +127,14 @@ func run() error {
 		break
 	}
 	return nil
+}
+
+func totalFrames(store *coralpie.FrameStore) int {
+	n := 0
+	for _, cam := range store.Cameras() {
+		n += store.Count(cam)
+	}
+	return n
 }
 
 func mdcsOf(node *coralpie.Node) string {

@@ -66,9 +66,18 @@ type EdgeFlusher interface {
 	Flush(ctx context.Context) error
 }
 
-// FrameSink is the frame storage client interface (framestore.Client).
+// FrameSink is the frame storage client interface (framestore.Client,
+// framestore.MultiClient).
 type FrameSink interface {
 	StoreFrame(rec protocol.FrameRecord) error
+}
+
+// ContextFrameSink is implemented by frame sinks that accept the
+// caller's context, so frame sends carry the ingest trace and honor its
+// deadline. When the configured FrameSink implements it, the node
+// prefers it over StoreFrame.
+type ContextFrameSink interface {
+	StoreFrameContext(ctx context.Context, rec protocol.FrameRecord) error
 }
 
 // Hooks are optional observation points used by the evaluation harness.
@@ -553,7 +562,15 @@ func (n *Node) ingest(ctx context.Context, f *vision.Frame, kept []vision.Detect
 			Pixels:      f.Image.Pix,
 			Annotations: annotations,
 		}
-		if err := n.cfg.FrameStore.StoreFrame(rec); err != nil {
+		var err error
+		if sink, ok := n.cfg.FrameStore.(ContextFrameSink); ok {
+			// Context-aware sinks get the ingest context, so replicated
+			// sends carry this frame's trace and respect its deadline.
+			err = sink.StoreFrameContext(ctx, rec)
+		} else {
+			err = n.cfg.FrameStore.StoreFrame(rec)
+		}
+		if err != nil {
 			// Frame storage is off the critical path; count and continue.
 			n.m.sendErrors.Inc()
 			n.mu.Lock()

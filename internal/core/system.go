@@ -93,6 +93,12 @@ type Config struct {
 	// StoreFrames ships raw frames to the frame store (off by default:
 	// frame storage is not on the critical path and slows large sweeps).
 	StoreFrames bool
+	// FrameReplicas runs N frame-store servers (at bus addresses
+	// "frame-store-0" … "frame-store-<N-1>") and fans every camera's
+	// frames out to all of them through framestore.MultiClient, so a
+	// single store failure (FailFrameStore) loses no evidence. 0 or 1
+	// keeps the single store at "frame-store".
+	FrameReplicas int
 	// Camera geometry overrides (zero values use sim defaults).
 	CameraFPS    float64
 	CameraWidth  int
@@ -151,13 +157,14 @@ type cameraRig struct {
 
 // System is a running simulated deployment.
 type System struct {
-	cfg    Config
-	sim    *des.Simulator
-	bus    *transport.Bus
-	world  *sim.World
-	topo   *topology.Server
-	traj   *trajstore.Store
-	frames *framestore.Store
+	cfg        Config
+	sim        *des.Simulator
+	bus        *transport.Bus
+	world      *sim.World
+	topo       *topology.Server
+	traj       *trajstore.Store
+	frames     []*framestore.Store
+	frameAddrs []string
 
 	rigs     map[string]*cameraRig
 	liveness *des.Ticker
@@ -228,31 +235,46 @@ func NewSystem(cfg Config) (*System, error) {
 	traj.Instrument(reg, simClock)
 	traj.UseTracer(tracer)
 
-	frames, err := framestore.OpenStore("")
-	if err != nil {
-		return nil, err
+	// One frame store by default; FrameReplicas > 1 runs N independent
+	// stores so replicated puts have somewhere to land.
+	frameAddrs := []string{framestoreAddr}
+	if cfg.FrameReplicas > 1 {
+		frameAddrs = make([]string, cfg.FrameReplicas)
+		for i := range frameAddrs {
+			frameAddrs[i] = fmt.Sprintf("%s-%d", framestoreAddr, i)
+		}
 	}
-	frames.Instrument(reg, simClock)
-	framesEP, err := bus.Endpoint(framestoreAddr)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := framestore.NewServer(frames, framesEP); err != nil {
-		return nil, err
+	frames := make([]*framestore.Store, len(frameAddrs))
+	for i, addr := range frameAddrs {
+		st, err := framestore.OpenStore("")
+		if err != nil {
+			return nil, err
+		}
+		st.Instrument(reg, simClock)
+		st.UseTracer(tracer)
+		ep, err := bus.Endpoint(addr)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := framestore.NewServer(st, ep); err != nil {
+			return nil, err
+		}
+		frames[i] = st
 	}
 
 	return &System{
-		cfg:    cfg,
-		sim:    dsim,
-		bus:    bus,
-		world:  world,
-		topo:   topoSrv,
-		traj:   traj,
-		frames: frames,
-		rigs:   make(map[string]*cameraRig),
-		ctx:    context.Background(),
-		reg:    reg,
-		tracer: tracer,
+		cfg:        cfg,
+		sim:        dsim,
+		bus:        bus,
+		world:      world,
+		topo:       topoSrv,
+		traj:       traj,
+		frames:     frames,
+		frameAddrs: frameAddrs,
+		rigs:       make(map[string]*cameraRig),
+		ctx:        context.Background(),
+		reg:        reg,
+		tracer:     tracer,
 		drain: reg.Histogram("coralpie_system_shutdown_drain_seconds",
 			"graceful system shutdown duration", nil),
 	}, nil
@@ -267,8 +289,22 @@ func (s *System) World() *sim.World { return s.world }
 // TrajStore exposes the shared trajectory graph.
 func (s *System) TrajStore() *trajstore.Store { return s.traj }
 
-// FrameStore exposes the shared frame store.
-func (s *System) FrameStore() *framestore.Store { return s.frames }
+// FrameStore exposes the first (or only) frame store.
+func (s *System) FrameStore() *framestore.Store { return s.frames[0] }
+
+// FrameStores exposes every frame-store replica, in address order.
+func (s *System) FrameStores() []*framestore.Store { return s.frames }
+
+// FailFrameStore kills frame-store replica i: the bus partitions its
+// address, so frame sends to it fail while the other replicas keep
+// receiving. Use with Config.FrameReplicas > 1 for outage studies.
+func (s *System) FailFrameStore(i int) error {
+	if i < 0 || i >= len(s.frameAddrs) {
+		return fmt.Errorf("core: frame store %d not found (%d replicas)", i, len(s.frameAddrs))
+	}
+	s.bus.Partition(s.frameAddrs[i])
+	return nil
+}
 
 // TopologyServer exposes the topology server.
 func (s *System) TopologyServer() *topology.Server { return s.topo }
@@ -348,11 +384,21 @@ func (s *System) AddCamera(cameraID string, pos geo.Point, headingDeg float64) e
 		Tracer:             s.tracer,
 	}
 	if s.cfg.StoreFrames {
-		fsClient, err := framestore.NewClient(ep, framestoreAddr)
-		if err != nil {
-			return err
+		if len(s.frameAddrs) > 1 {
+			mc, err := framestore.NewMultiClient(ep, s.frameAddrs, framestore.MultiClientConfig{
+				Registry: s.reg,
+			})
+			if err != nil {
+				return err
+			}
+			nodeCfg.FrameStore = mc
+		} else {
+			fsClient, err := framestore.NewClient(ep, s.frameAddrs[0])
+			if err != nil {
+				return err
+			}
+			nodeCfg.FrameStore = fsClient
 		}
-		nodeCfg.FrameStore = fsClient
 		nodeCfg.StoreFrames = true
 	}
 	camNode, err := camnode.New(nodeCfg, ep)
@@ -523,8 +569,10 @@ func (s *System) Shutdown(ctx context.Context) error {
 	if err := s.traj.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
-	if err := s.frames.Close(); err != nil && firstErr == nil {
-		firstErr = err
+	for _, st := range s.frames {
+		if err := st.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	s.drain.Observe(time.Since(start).Seconds())
 	return firstErr

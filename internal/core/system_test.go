@@ -332,3 +332,54 @@ func TestStoreFramesIntegration(t *testing.T) {
 		t.Errorf("frame store holds %d frames", got)
 	}
 }
+
+func TestFrameReplicationSurvivesOutage(t *testing.T) {
+	g, ids, err := roadnet.Corridor(2, 150, geo.Point{Lat: 33.7756, Lon: -84.3963})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(Config{
+		Graph:         g,
+		Seed:          1,
+		StoreFrames:   true,
+		FrameReplicas: 2,
+		DetectorFactory: func(string) (vision.Detector, error) {
+			return vision.PerfectDetector{}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddCameraAt("camA", ids[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	sys.Start(context.Background())
+	sys.Run(2 * time.Second)
+
+	// Both replicas saw identical traffic before the outage.
+	stores := sys.FrameStores()
+	if len(stores) != 2 {
+		t.Fatalf("FrameStores() returned %d stores, want 2", len(stores))
+	}
+	before := stores[0].Count("camA")
+	if before == 0 || before != stores[1].Count("camA") {
+		t.Fatalf("replicas diverge before outage: %d vs %d",
+			before, stores[1].Count("camA"))
+	}
+
+	// Kill replica 0 mid-run: the camera keeps streaming and every frame
+	// must still land on the survivor.
+	if err := sys.FailFrameStore(0); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(2 * time.Second)
+	sys.Stop()
+
+	if got := stores[0].Count("camA"); got != before {
+		t.Errorf("dead replica grew from %d to %d frames", before, got)
+	}
+	after := stores[1].Count("camA")
+	if after <= before {
+		t.Errorf("survivor stalled at %d frames (had %d before outage)", after, before)
+	}
+}

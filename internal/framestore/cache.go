@@ -1,0 +1,74 @@
+package framestore
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+
+	"repro/internal/protocol"
+)
+
+// frameCache is a small read-through LRU over decoded frame records,
+// keyed by (camera, seq). It absorbs repeated fetches of hot frames —
+// a trajectory-verification UI re-reading the same evidence — without
+// re-decoding from disk. Records are immutable, so cached copies never
+// go stale; GC deleting a segment leaves its cached frames readable
+// until evicted, which is fine (the frames were valid when stored).
+type frameCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List               // front = most recently used
+	m   map[string]*list.Element // cacheKey -> element holding *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	rec protocol.FrameRecord
+}
+
+func cacheKey(camera string, seq int64) string {
+	return camera + "\x00" + strconv.FormatInt(seq, 10)
+}
+
+func newFrameCache(capacity int) *frameCache {
+	return &frameCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *frameCache) get(camera string, seq int64) (protocol.FrameRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[cacheKey(camera, seq)]
+	if !ok {
+		return protocol.FrameRecord{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).rec, true
+}
+
+func (c *frameCache) add(camera string, seq int64, rec protocol.FrameRecord) {
+	key := cacheKey(camera, seq)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).rec = rec
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, rec: rec})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the current number of cached records (for tests).
+func (c *frameCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

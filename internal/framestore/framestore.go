@@ -2,28 +2,33 @@
 // 4.2.2): an edge-node service that persists raw video frames plus their
 // tracking annotations so users can verify and visualize trajectories.
 // Frames arrive as fire-and-forget FrameRecord messages (the paper uses
-// non-blocking ZeroMQ; here the transport layer plays that role), and are
-// stored in per-camera append-only logs with an in-memory offset index.
+// non-blocking ZeroMQ; here the transport layer plays that role).
+//
+// The disk engine stores each camera's frames in size-bounded append-only
+// segments tracked by a per-camera manifest (segment.go). Records are
+// immutable once written, so reads are served by positional ReadAt
+// against a ref-counted segment handle with only a short index lookup
+// under the store lock — readers never wait behind a writer's disk flush.
+// A small read-through LRU cache (cache.go) absorbs repeated fetches of
+// hot frames, and time/size-based retention GC (gc.go) reclaims whole
+// sealed segments so evidence storage stays resource-bounded. Replicated
+// delivery to several framestore servers is the client's job
+// (MultiClient in client.go).
 package framestore
 
 import (
-	"bufio"
-	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"os"
-	"path/filepath"
 	"sort"
-	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/obs"
 	"repro/internal/protocol"
-	"repro/internal/transport"
 )
 
 // Errors returned by the store.
@@ -35,23 +40,65 @@ var (
 // maxRecordBytes bounds one stored frame record.
 const maxRecordBytes = 32 << 20
 
-// cameraLog is the per-camera persistent log plus index.
-type cameraLog struct {
-	file    *os.File // nil for in-memory stores
-	writer  *bufio.Writer
-	size    int64
-	offsets map[int64]int64 // seq -> byte offset
-	seqs    []int64         // sorted sequence numbers
-	mem     map[int64]protocol.FrameRecord
+// DefaultSegmentBytes is the roll threshold when Config.SegmentBytes is
+// zero: large enough that small deployments keep one segment per camera,
+// small enough that retention GC has whole segments to reclaim.
+const DefaultSegmentBytes = 64 << 20
+
+// Config tunes a store. The zero value keeps frames forever in
+// DefaultSegmentBytes segments with the read cache disabled, matching
+// the behavior of the original single-log engine.
+type Config struct {
+	// SegmentBytes is the per-camera segment roll threshold; a segment
+	// that reaches it is sealed and a fresh one started. 0 uses
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+	// RetainAge drops sealed segments whose newest record is older than
+	// this (by record timestamp, against Clock). 0 keeps frames forever.
+	RetainAge time.Duration
+	// RetainBytes bounds the store's total on-disk bytes: when exceeded,
+	// GC deletes the globally oldest sealed segments until under the
+	// bound. The active segment is never deleted, so the effective bound
+	// is max(RetainBytes, largest active segment). 0 is unbounded.
+	RetainBytes int64
+	// CacheFrames is the capacity (in records) of the read-through LRU
+	// frame cache. 0 disables the cache.
+	CacheFrames int
+	// Clock supplies "now" for retention cutoffs and flush-latency
+	// timestamps (inject the DES virtual clock in simulations). Nil uses
+	// the real clock.
+	Clock clock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = DefaultSegmentBytes
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+	return c
+}
+
+// retentionEnabled reports whether GC has anything to enforce.
+func (c Config) retentionEnabled() bool {
+	return c.RetainAge > 0 || c.RetainBytes > 0
 }
 
 // storeMetrics are the store's pre-resolved telemetry handles.
 type storeMetrics struct {
-	frames    *obs.Counter
-	dupes     *obs.Counter
-	writeErrs *obs.Counter
-	bytes     *obs.Counter
-	flushHist *obs.Histogram
+	frames      *obs.Counter
+	dupes       *obs.Counter
+	writeErrs   *obs.Counter
+	bytes       *obs.Counter
+	flushHist   *obs.Histogram
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	gcRuns      *obs.Counter
+	gcSegments  *obs.Counter
+	gcFrames    *obs.Counter
+	gcBytes     *obs.Counter
+	diskBytes   *obs.Gauge
 }
 
 func newStoreMetrics(reg *obs.Registry) storeMetrics {
@@ -66,45 +113,118 @@ func newStoreMetrics(reg *obs.Registry) storeMetrics {
 		writeErrs: reg.Counter("coralpie_framestore_write_errors_total",
 			"rejected or failed frame writes"),
 		bytes: reg.Counter("coralpie_framestore_bytes_total",
-			"encoded frame-record bytes appended to logs"),
+			"encoded frame-record bytes accepted (disk- and memory-backed alike)"),
 		flushHist: reg.Histogram("coralpie_framestore_flush_seconds",
 			"per-frame append+flush latency", nil),
+		cacheHits: reg.Counter("coralpie_framestore_cache_hits_total",
+			"frame reads served from the read-through cache"),
+		cacheMisses: reg.Counter("coralpie_framestore_cache_misses_total",
+			"frame reads that went to disk"),
+		gcRuns: reg.Counter("coralpie_framestore_gc_runs_total",
+			"retention GC passes"),
+		gcSegments: reg.Counter("coralpie_framestore_gc_segments_total",
+			"whole segments deleted by retention GC"),
+		gcFrames: reg.Counter("coralpie_framestore_gc_frames_total",
+			"frame records dropped by retention GC"),
+		gcBytes: reg.Counter("coralpie_framestore_gc_reclaimed_bytes_total",
+			"on-disk bytes reclaimed by retention GC"),
+		diskBytes: reg.Gauge("coralpie_framestore_disk_bytes",
+			"current on-disk bytes across all segments"),
 	}
 }
 
+// ReloadStats summarizes what OpenStore found while re-indexing existing
+// segments — the crash-recovery ledger, mirroring trajstore's WALStats.
+type ReloadStats struct {
+	// Segments and Frames indexed across all cameras.
+	Segments int64
+	Frames   int64
+	// DuplicateRecords counts on-disk records skipped because an earlier
+	// record already claimed their (camera, seq) — e.g. a crash replayed
+	// an append. The first occurrence wins, matching Put semantics.
+	DuplicateRecords int64
+	// CorruptRecords counts mid-file records whose framing was intact
+	// but whose payload failed to decode; they are skipped and the valid
+	// records after them salvaged.
+	CorruptRecords int64
+	// TornTails counts segments whose unparsable tail was truncated
+	// away; TruncatedBytes is the total discarded.
+	TornTails      int64
+	TruncatedBytes int64
+	// StraySegments counts unlisted segment files deleted at open (a
+	// crash between a GC manifest write and its unlink).
+	StraySegments int64
+}
+
+// GCStats summarizes one retention pass.
+type GCStats struct {
+	Segments int64 // whole segments deleted
+	Frames   int64 // records dropped with them
+	Bytes    int64 // on-disk bytes reclaimed
+}
+
 // Store holds frame records for a set of cameras. Safe for concurrent
-// use.
+// use: the store mutex guards only in-memory index state, appends are
+// serialized per camera, and disk reads run outside every lock.
 type Store struct {
 	dir string // "" for in-memory
+	cfg Config
 
 	mu     sync.Mutex
 	logs   map[string]*cameraLog
 	closed bool
 	m      storeMetrics
 	clk    clock.Clock
+	tracer *obs.Tracer
+	cache  *frameCache // nil when disabled
+	reload ReloadStats
+	disk   int64 // total on-disk bytes across all segments
+	gcSeq  int64 // GC run counter, names gc spans
 }
 
 // Instrument re-homes the store's telemetry (coralpie_framestore_*) onto
-// reg and uses clk for flush-latency timestamps (inject the DES virtual
-// clock in simulations; nil keeps the current clock). Call before
-// traffic flows.
+// reg and uses clk for flush-latency and retention timestamps (inject
+// the DES virtual clock in simulations; nil keeps the current clock).
+// Call before traffic flows.
 func (s *Store) Instrument(reg *obs.Registry, clk clock.Clock) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.m = newStoreMetrics(reg)
+	s.m.diskBytes.Set(s.disk)
 	if clk != nil {
 		s.clk = clk
 	}
 }
 
-// OpenStore opens (or creates) a store rooted at dir; pass "" for a
-// purely in-memory store.
+// UseTracer records a "gc" span for every retention pass on t. Call
+// before traffic flows; nil disables.
+func (s *Store) UseTracer(t *obs.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
+}
+
+// OpenStore opens (or creates) a store rooted at dir with default
+// tuning; pass "" for a purely in-memory store.
 func OpenStore(dir string) (*Store, error) {
+	return OpenStoreConfig(dir, Config{})
+}
+
+// OpenStoreConfig opens (or creates) a store rooted at dir with explicit
+// tuning. Existing segments are re-indexed; damaged tails are truncated
+// and logged, duplicate records deduplicated, and decodable records
+// after a corrupt one salvaged (see ReloadStats).
+func OpenStoreConfig(dir string, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
 	s := &Store{
 		dir:  dir,
+		cfg:  cfg,
 		logs: make(map[string]*cameraLog),
 		m:    newStoreMetrics(nil),
-		clk:  clock.Real{},
+		clk:  cfg.Clock,
+	}
+	if cfg.CacheFrames > 0 {
+		s.cache = newFrameCache(cfg.CacheFrames)
 	}
 	if dir == "" {
 		return s, nil
@@ -112,156 +232,218 @@ func OpenStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("framestore: mkdir: %w", err)
 	}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("framestore: scan: %w", err)
+	if err := s.scanDir(); err != nil {
+		return nil, err
 	}
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".frames") {
-			continue
-		}
-		camera := strings.TrimSuffix(name, ".frames")
-		if err := s.openLog(camera); err != nil {
-			return nil, err
-		}
+	s.m.diskBytes.Set(s.disk)
+	if s.reload != (ReloadStats{}) {
+		obs.DefaultLogger().WithComponent("framestore").Info("reopened store",
+			"dir", dir,
+			"segments", fmt.Sprint(s.reload.Segments),
+			"frames", fmt.Sprint(s.reload.Frames),
+			"duplicates", fmt.Sprint(s.reload.DuplicateRecords),
+			"corruptRecords", fmt.Sprint(s.reload.CorruptRecords),
+			"tornTails", fmt.Sprint(s.reload.TornTails),
+			"truncatedBytes", fmt.Sprint(s.reload.TruncatedBytes),
+			"straySegments", fmt.Sprint(s.reload.StraySegments))
 	}
 	return s, nil
 }
 
-// openLog opens and indexes one camera's log file. Caller may hold s.mu
-// or be in single-threaded setup.
-func (s *Store) openLog(camera string) error {
-	path := filepath.Join(s.dir, camera+".frames")
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return fmt.Errorf("framestore: open %s: %w", path, err)
-	}
-	cl := &cameraLog{
-		file:    f,
-		offsets: make(map[int64]int64),
-	}
-	// Index existing records.
-	var offset int64
-	r := bufio.NewReader(f)
-	for {
-		var lenBuf [4]byte
-		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-			break // EOF or torn tail: stop indexing
-		}
-		n := binary.BigEndian.Uint32(lenBuf[:])
-		if n > maxRecordBytes {
-			break
-		}
-		data := make([]byte, n)
-		if _, err := io.ReadFull(r, data); err != nil {
-			break
-		}
-		var rec protocol.FrameRecord
-		if err := json.Unmarshal(data, &rec); err != nil {
-			break
-		}
-		cl.offsets[rec.Seq] = offset
-		cl.seqs = append(cl.seqs, rec.Seq)
-		offset += int64(4 + n)
-	}
-	sort.Slice(cl.seqs, func(i, j int) bool { return cl.seqs[i] < cl.seqs[j] })
-	cl.size = offset
-	if err := f.Truncate(offset); err != nil { // drop any torn tail
-		_ = f.Close()
-		return fmt.Errorf("framestore: truncate %s: %w", path, err)
-	}
-	if _, err := f.Seek(offset, io.SeekStart); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("framestore: seek %s: %w", path, err)
-	}
-	cl.writer = bufio.NewWriter(f)
-	s.logs[camera] = cl
-	return nil
+// ReloadStats returns what the opening scan found (zero-valued for
+// in-memory and freshly created stores).
+func (s *Store) ReloadStats() ReloadStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reload
 }
 
+// DiskBytes returns the store's current total on-disk bytes.
+func (s *Store) DiskBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.disk
+}
+
+// logFor returns (creating if needed) the camera's log. Caller holds
+// s.mu.
 func (s *Store) logFor(camera string) (*cameraLog, error) {
 	if cl, ok := s.logs[camera]; ok {
 		return cl, nil
 	}
 	if s.dir == "" {
 		cl := &cameraLog{
-			offsets: make(map[int64]int64),
-			mem:     make(map[int64]protocol.FrameRecord),
+			camera: camera,
+			index:  make(map[int64]recordRef),
+			mem:    make(map[int64]protocol.FrameRecord),
 		}
 		s.logs[camera] = cl
 		return cl, nil
 	}
-	if err := s.openLog(camera); err != nil {
+	cl, err := s.openCamera(camera, nil)
+	if err != nil {
 		return nil, err
 	}
-	return s.logs[camera], nil
+	s.logs[camera] = cl
+	return cl, nil
+}
+
+// validate rejects structurally broken records before any lock is taken.
+func validate(rec *protocol.FrameRecord) error {
+	if rec.CameraID == "" {
+		return errors.New("framestore: record missing camera id")
+	}
+	if rec.Width <= 0 || rec.Height <= 0 || len(rec.Pixels) != rec.Width*rec.Height*3 {
+		return fmt.Errorf("framestore: record %s/%d has inconsistent dimensions", rec.CameraID, rec.Seq)
+	}
+	return nil
 }
 
 // Put stores one frame record. Re-storing an existing (camera, seq) is
 // ignored (frames are immutable).
 func (s *Store) Put(rec protocol.FrameRecord) error {
-	if rec.CameraID == "" {
+	if err := validate(&rec); err != nil {
 		s.countWriteErr()
-		return errors.New("framestore: record missing camera id")
-	}
-	if rec.Width <= 0 || rec.Height <= 0 || len(rec.Pixels) != rec.Width*rec.Height*3 {
-		s.countWriteErr()
-		return fmt.Errorf("framestore: record %s/%d has inconsistent dimensions", rec.CameraID, rec.Seq)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		s.m.writeErrs.Inc()
-		return ErrClosed
-	}
-	cl, err := s.logFor(rec.CameraID)
-	if err != nil {
-		s.m.writeErrs.Inc()
 		return err
 	}
-	if _, ok := cl.offsets[rec.Seq]; ok {
-		s.m.dupes.Inc()
-		return nil
-	}
-	if cl.mem != nil {
-		cl.mem[rec.Seq] = rec
-		cl.offsets[rec.Seq] = 0
-		cl.seqs = insertSorted(cl.seqs, rec.Seq)
-		s.m.frames.Inc()
-		return nil
-	}
+	// Encode outside every lock: both backends charge the same encoded
+	// size to coralpie_framestore_bytes_total, so disk- and memory-backed
+	// stores report identical telemetry for identical traffic.
 	data, err := json.Marshal(rec)
 	if err != nil {
-		s.m.writeErrs.Inc()
+		s.countWriteErr()
 		return fmt.Errorf("framestore: marshal: %w", err)
 	}
 	if len(data) > maxRecordBytes {
-		s.m.writeErrs.Inc()
+		s.countWriteErr()
 		return fmt.Errorf("framestore: record too large: %d bytes", len(data))
 	}
-	start := s.clk.Now()
+
+	s.mu.Lock()
+	if s.closed {
+		s.m.writeErrs.Inc()
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	m := s.m
+	cl, err := s.logFor(rec.CameraID)
+	if err != nil {
+		s.m.writeErrs.Inc()
+		s.mu.Unlock()
+		return err
+	}
+	if cl.mem != nil {
+		// In-memory backend: everything under the store lock, writes are
+		// a map insert.
+		if _, ok := cl.index[rec.Seq]; ok {
+			m.dupes.Inc()
+			s.mu.Unlock()
+			return nil
+		}
+		cl.mem[rec.Seq] = rec
+		cl.index[rec.Seq] = recordRef{}
+		cl.seqs = insertSorted(cl.seqs, rec.Seq)
+		m.frames.Inc()
+		m.bytes.Add(int64(4 + len(data)))
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	full, aged, err := s.putDisk(cl, rec, data, m)
+	if err != nil {
+		return err
+	}
+	if full && s.cfg.retentionEnabled() {
+		// Size retention runs after the camera write lock is released —
+		// it takes other cameras' write locks one at a time, and two
+		// cameras rolling concurrently must not hold theirs while
+		// waiting on each other's.
+		sized, err := s.gcBySize()
+		if err != nil {
+			obs.DefaultLogger().WithComponent("framestore").Warn("retention gc",
+				"camera", cl.camera, "err", err.Error())
+		}
+		s.recordGC(aged.plus(sized))
+	}
+	return nil
+}
+
+// putDisk appends one encoded record to the camera's active segment,
+// rolling (and age-GC-ing the camera) when full. Appends serialize per
+// camera on cl.wmu; the store lock is retaken only for the duplicate
+// check and the index publish, so concurrent readers never wait behind
+// this flush.
+func (s *Store) putDisk(cl *cameraLog, rec protocol.FrameRecord, data []byte, m storeMetrics) (full bool, aged GCStats, err error) {
+	cl.wmu.Lock()
+	defer cl.wmu.Unlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.m.writeErrs.Inc()
+		s.mu.Unlock()
+		return false, aged, ErrClosed
+	}
+	if _, ok := cl.index[rec.Seq]; ok {
+		s.m.dupes.Inc()
+		s.mu.Unlock()
+		return false, aged, nil
+	}
+	seg := cl.active()
+	s.mu.Unlock()
+
+	if seg == nil {
+		if seg, err = s.rollSegment(cl); err != nil {
+			s.countWriteErr()
+			return false, aged, err
+		}
+	}
+
+	start := s.now()
 	var lenBuf [4]byte
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
-	if _, err := cl.writer.Write(lenBuf[:]); err != nil {
-		s.m.writeErrs.Inc()
-		return fmt.Errorf("framestore: append: %w", err)
+	if _, err := seg.w.Write(lenBuf[:]); err != nil {
+		s.countWriteErr()
+		return false, aged, fmt.Errorf("framestore: append: %w", err)
 	}
-	if _, err := cl.writer.Write(data); err != nil {
-		s.m.writeErrs.Inc()
-		return fmt.Errorf("framestore: append: %w", err)
+	if _, err := seg.w.Write(data); err != nil {
+		s.countWriteErr()
+		return false, aged, fmt.Errorf("framestore: append: %w", err)
 	}
-	if err := cl.writer.Flush(); err != nil {
-		s.m.writeErrs.Inc()
-		return fmt.Errorf("framestore: flush: %w", err)
+	if err := seg.w.Flush(); err != nil {
+		s.countWriteErr()
+		return false, aged, fmt.Errorf("framestore: flush: %w", err)
 	}
-	s.m.flushHist.Observe(s.clk.Now().Sub(start).Seconds())
-	cl.offsets[rec.Seq] = cl.size
+	m.flushHist.Observe(s.now().Sub(start).Seconds())
+
+	// Publish: from here on readers can see the record via ReadAt — the
+	// bytes are in the file (flushed above), and the segment handle is
+	// pinned by refcount against concurrent GC.
+	n := int64(4 + len(data))
+	s.mu.Lock()
+	cl.index[rec.Seq] = recordRef{seg: seg, off: seg.size}
 	cl.seqs = insertSorted(cl.seqs, rec.Seq)
-	cl.size += int64(4 + len(data))
-	s.m.frames.Inc()
-	s.m.bytes.Add(int64(4 + len(data)))
-	return nil
+	seg.noteRecord(rec.Seq, rec.Timestamp, n)
+	s.disk += n
+	m.diskBytes.Set(s.disk)
+	full = seg.size >= s.cfg.SegmentBytes
+	s.mu.Unlock()
+	m.frames.Inc()
+	m.bytes.Add(n)
+
+	if full {
+		if err := s.sealActive(cl); err != nil {
+			return true, aged, err
+		}
+		if s.cfg.RetainAge > 0 {
+			if aged, err = s.gcCamera(cl); err != nil {
+				obs.DefaultLogger().WithComponent("framestore").Warn("retention gc",
+					"camera", cl.camera, "err", err.Error())
+				err = nil
+			}
+		}
+	}
+	return full, aged, nil
 }
 
 // countWriteErr increments the write-error counter for validation
@@ -272,6 +454,17 @@ func (s *Store) countWriteErr() {
 	s.mu.Unlock()
 }
 
+// cacheHandle returns the read cache (nil when disabled). Caller holds
+// s.mu.
+func (s *Store) cacheHandle() *frameCache { return s.cache }
+
+func (s *Store) now() time.Time {
+	s.mu.Lock()
+	clk := s.clk
+	s.mu.Unlock()
+	return clk.Now()
+}
+
 func insertSorted(seqs []int64, v int64) []int64 {
 	i := sort.Search(len(seqs), func(i int) bool { return seqs[i] >= v })
 	seqs = append(seqs, 0)
@@ -280,69 +473,120 @@ func insertSorted(seqs []int64, v int64) []int64 {
 	return seqs
 }
 
-// Get fetches one frame record.
+// Get fetches one frame record. Disk reads happen outside the store
+// lock: the segment handle is pinned by refcount, so a concurrent
+// writer's flush or a GC pass never blocks (or invalidates) this read.
 func (s *Store) Get(camera string, seq int64) (protocol.FrameRecord, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	cl, ok := s.logs[camera]
 	if !ok {
+		s.mu.Unlock()
 		return protocol.FrameRecord{}, fmt.Errorf("%w: camera %q", ErrNotFound, camera)
 	}
-	offset, ok := cl.offsets[seq]
+	ref, ok := cl.index[seq]
 	if !ok {
+		s.mu.Unlock()
 		return protocol.FrameRecord{}, fmt.Errorf("%w: %s/%d", ErrNotFound, camera, seq)
 	}
 	if cl.mem != nil {
-		return cl.mem[seq], nil
+		rec := cl.mem[seq]
+		s.mu.Unlock()
+		return rec, nil
 	}
-	return readRecordAt(cl.file, offset)
-}
+	m := s.m
+	cache := s.cacheHandle()
+	f := ref.seg.acquire()
+	s.mu.Unlock()
 
-func readRecordAt(f *os.File, offset int64) (protocol.FrameRecord, error) {
-	var lenBuf [4]byte
-	if _, err := f.ReadAt(lenBuf[:], offset); err != nil {
-		return protocol.FrameRecord{}, fmt.Errorf("framestore: read: %w", err)
+	if cache != nil {
+		if rec, ok := cache.get(camera, seq); ok {
+			m.cacheHits.Inc()
+			s.release(ref.seg)
+			return rec, nil
+		}
+		m.cacheMisses.Inc()
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
-	if n > maxRecordBytes {
-		return protocol.FrameRecord{}, fmt.Errorf("framestore: corrupt record length %d", n)
+	rec, err := readRecordAt(f, ref.off)
+	s.release(ref.seg)
+	if err != nil {
+		return protocol.FrameRecord{}, err
 	}
-	data := make([]byte, n)
-	if _, err := f.ReadAt(data, offset+4); err != nil {
-		return protocol.FrameRecord{}, fmt.Errorf("framestore: read: %w", err)
-	}
-	var rec protocol.FrameRecord
-	if err := json.Unmarshal(data, &rec); err != nil {
-		return protocol.FrameRecord{}, fmt.Errorf("framestore: decode: %w", err)
+	if cache != nil {
+		cache.add(camera, seq, rec)
 	}
 	return rec, nil
 }
 
 // Range returns the stored records for camera with fromSeq <= seq <=
-// toSeq, in sequence order.
+// toSeq, in sequence order. Like Get, disk reads run outside the store
+// lock against an index snapshot taken under it.
 func (s *Store) Range(camera string, fromSeq, toSeq int64) ([]protocol.FrameRecord, error) {
+	type fetch struct {
+		seq int64
+		ref recordRef
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	cl, ok := s.logs[camera]
 	if !ok {
+		s.mu.Unlock()
 		return nil, nil
 	}
-	var out []protocol.FrameRecord
+	if cl.mem != nil {
+		var out []protocol.FrameRecord
+		start := sort.Search(len(cl.seqs), func(i int) bool { return cl.seqs[i] >= fromSeq })
+		for _, seq := range cl.seqs[start:] {
+			if seq > toSeq {
+				break
+			}
+			out = append(out, cl.mem[seq])
+		}
+		s.mu.Unlock()
+		return out, nil
+	}
+	var fetches []fetch
+	pinned := make(map[*segment]bool)
 	start := sort.Search(len(cl.seqs), func(i int) bool { return cl.seqs[i] >= fromSeq })
 	for _, seq := range cl.seqs[start:] {
 		if seq > toSeq {
 			break
 		}
-		if cl.mem != nil {
-			out = append(out, cl.mem[seq])
-			continue
+		ref := cl.index[seq]
+		if !pinned[ref.seg] {
+			ref.seg.acquire()
+			pinned[ref.seg] = true
 		}
-		rec, err := readRecordAt(cl.file, cl.offsets[seq])
+		fetches = append(fetches, fetch{seq: seq, ref: ref})
+	}
+	m := s.m
+	cache := s.cacheHandle()
+	s.mu.Unlock()
+
+	releaseAll := func() {
+		for seg := range pinned {
+			s.release(seg)
+		}
+	}
+	var out []protocol.FrameRecord
+	for _, fch := range fetches {
+		if cache != nil {
+			if rec, ok := cache.get(camera, fch.seq); ok {
+				m.cacheHits.Inc()
+				out = append(out, rec)
+				continue
+			}
+			m.cacheMisses.Inc()
+		}
+		rec, err := readRecordAt(fch.ref.seg.file(), fch.ref.off)
 		if err != nil {
+			releaseAll()
 			return nil, err
+		}
+		if cache != nil {
+			cache.add(camera, fch.seq, rec)
 		}
 		out = append(out, rec)
 	}
+	releaseAll()
 	return out, nil
 }
 
@@ -368,197 +612,43 @@ func (s *Store) Cameras() []string {
 	return out
 }
 
-// Close flushes and closes every log file.
+// Close flushes and closes every segment. In-flight reads holding a
+// pinned segment finish against the already-open handle; new operations
+// fail with ErrClosed.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
-	var firstErr error
+	logs := make([]*cameraLog, 0, len(s.logs))
 	for _, cl := range s.logs {
-		if cl.file == nil {
+		logs = append(logs, cl)
+	}
+	s.mu.Unlock()
+
+	var firstErr error
+	for _, cl := range logs {
+		if cl.mem != nil {
 			continue
 		}
-		if err := cl.writer.Flush(); err != nil && firstErr == nil {
-			firstErr = err
+		cl.wmu.Lock()
+		s.mu.Lock()
+		for _, seg := range cl.segs {
+			if seg.w != nil {
+				if err := seg.w.Flush(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				seg.w = nil
+			}
+			seg.dead = true
+			if err := s.releaseLocked(seg); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
-		if err := cl.file.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		s.mu.Unlock()
+		cl.wmu.Unlock()
 	}
 	return firstErr
-}
-
-// Server receives FrameRecord envelopes from cameras and stores them.
-type Server struct {
-	store *Store
-	ep    transport.Endpoint
-
-	mu       sync.Mutex
-	received int64
-	errors   int64
-	closed   bool
-	drainObs uint64
-
-	inflight sync.WaitGroup
-	drain    *obs.Histogram
-	clk      clock.Clock
-}
-
-// NewServer installs the handler on ep and returns the server.
-func NewServer(store *Store, ep transport.Endpoint) (*Server, error) {
-	if store == nil || ep == nil {
-		return nil, errors.New("framestore: store and endpoint required")
-	}
-	s := &Server{store: store, ep: ep, drain: new(obs.Histogram), clk: clock.Real{}}
-	ep.SetHandler(s.handle)
-	return s, nil
-}
-
-// Use re-homes the server's shutdown telemetry
-// (coralpie_framestore_shutdown_drain_seconds) onto reg and times the
-// drain with clk (nil keeps the current clock). Call before Shutdown.
-func (s *Server) Use(reg *obs.Registry, clk clock.Clock) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if reg != nil {
-		s.drain = reg.Histogram("coralpie_framestore_shutdown_drain_seconds",
-			"graceful-shutdown drain duration", nil)
-	}
-	if clk != nil {
-		s.clk = clk
-	}
-}
-
-func (s *Server) handle(ctx context.Context, env protocol.Envelope) {
-	s.mu.Lock()
-	if s.closed {
-		// Intake is stopped: frames arriving mid-shutdown are dropped
-		// silently, same as a fire-and-forget datagram to a gone peer.
-		s.mu.Unlock()
-		return
-	}
-	s.inflight.Add(1)
-	s.mu.Unlock()
-	defer s.inflight.Done()
-
-	if ctx.Err() != nil {
-		// The endpoint is shutting down; drop rather than write to a
-		// store that may already be flushing its logs closed.
-		s.count(false)
-		return
-	}
-	msg, err := protocol.Open(env)
-	if err != nil {
-		s.count(false)
-		return
-	}
-	rec, ok := msg.(protocol.FrameRecord)
-	if !ok {
-		s.count(false)
-		return
-	}
-	if err := s.store.Put(rec); err != nil {
-		s.count(false)
-		return
-	}
-	s.count(true)
-}
-
-// Shutdown gracefully stops the server: intake is cut first (frames
-// arriving afterwards are dropped), in-flight handlers drain bounded by
-// ctx, and the store is then closed, flushing its buffered log writers.
-// The drain duration lands in the shutdown histogram. Idempotent; on
-// ctx expiry the store is left open so the caller can still force-close
-// it.
-func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	s.closed = true
-	clk := s.clk
-	s.mu.Unlock()
-
-	start := clk.Now()
-	done := make(chan struct{})
-	go func() {
-		s.inflight.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-ctx.Done():
-		return fmt.Errorf("framestore: shutdown drain: %w", ctx.Err())
-	}
-	err := s.store.Close()
-	s.mu.Lock()
-	s.drain.Observe(clk.Now().Sub(start).Seconds())
-	s.drainObs++
-	s.mu.Unlock()
-	return err
-}
-
-// DrainObservations returns how many graceful shutdowns have recorded a
-// drain duration (at most one per server; exposed for tests and
-// telemetry wiring).
-func (s *Server) DrainObservations() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.drainObs
-}
-
-func (s *Server) count(ok bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if ok {
-		s.received++
-	} else {
-		s.errors++
-	}
-}
-
-// Stats returns the number of records stored and handler errors.
-func (s *Server) Stats() (received, errs int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.received, s.errors
-}
-
-// Client is the camera-side storage client for frames: fire-and-forget,
-// off the critical path.
-type Client struct {
-	ep         transport.Endpoint
-	serverAddr string
-}
-
-// NewClient builds a client sending through ep.
-func NewClient(ep transport.Endpoint, serverAddr string) (*Client, error) {
-	if ep == nil || serverAddr == "" {
-		return nil, errors.New("framestore: endpoint and server address required")
-	}
-	return &Client{ep: ep, serverAddr: serverAddr}, nil
-}
-
-// StoreFrameContext sends one frame record to the server, bounded by
-// ctx (the transport applies its default send timeout when ctx carries
-// no deadline).
-func (c *Client) StoreFrameContext(ctx context.Context, rec protocol.FrameRecord) error {
-	env, err := protocol.Seal(rec)
-	if err != nil {
-		return err
-	}
-	if err := c.ep.Send(ctx, c.serverAddr, env); err != nil {
-		return fmt.Errorf("framestore: send: %w", err)
-	}
-	return nil
-}
-
-// StoreFrame sends one frame record to the server with the transport's
-// default send timeout.
-func (c *Client) StoreFrame(rec protocol.FrameRecord) error {
-	return c.StoreFrameContext(context.Background(), rec)
 }
