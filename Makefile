@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-stress vet bench fmt cover staticcheck govulncheck ci
+.PHONY: all build test race race-stress vet bench fmt cover staticcheck govulncheck lint-metrics ci
 
 all: build
 
@@ -14,9 +14,10 @@ race:
 	$(GO) test -race ./...
 
 # race-stress re-runs the concurrency suites (snapshot isolation,
-# interleaved reader/writer query stress, shutdown drains) under the race
-# detector with caching disabled, so an interleaving-dependent regression
-# cannot hide behind a cached pass.
+# interleaved reader/writer query stress, shutdown drains, fleet monitor
+# ingest/sweep/federate) under the race detector with caching disabled,
+# so an interleaving-dependent regression cannot hide behind a cached
+# pass.
 race-stress:
 	$(GO) test -race -count=1 -run 'Concurrent|Snapshot|Stress' ./...
 
@@ -66,4 +67,11 @@ govulncheck:
 		echo 'govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)' >&2; \
 	fi
 
-ci: build vet staticcheck govulncheck race race-stress cover
+# lint-metrics enforces the metric naming conventions (coralpie_ prefix,
+# _total/_seconds/_bytes suffixes, no reserved histogram suffixes) over
+# the registries the system actually wires — see
+# internal/obs/lint_wired_test.go, which boots a full monitored sim.
+lint-metrics:
+	$(GO) test -count=1 -run 'Lint' ./internal/obs/
+
+ci: build vet staticcheck govulncheck lint-metrics race race-stress cover

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/feature"
+	"repro/internal/fleet"
 	"repro/internal/framestore"
 	"repro/internal/geo"
 	"repro/internal/imaging"
@@ -211,6 +212,36 @@ type System = core.System
 // NewSystem wires the shared services and returns a system ready for
 // AddCamera / AddVehicle / Start.
 func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// --- Fleet health plane ---
+
+// FleetMonitor ingests node heartbeats and tracks per-node liveness,
+// federates fleet-wide metrics, and evaluates declarative alert rules.
+// When Config.EnableMonitor is set, System.Monitor returns the in-sim
+// instance driven on simulated time.
+type FleetMonitor = fleet.Monitor
+
+// FleetRule is one declarative alert rule (threshold or rate).
+type FleetRule = fleet.Rule
+
+// FleetAlert is one alert instance for a (rule, node) pair.
+type FleetAlert = fleet.Alert
+
+// FleetAlertTransition records one firing/resolved edge.
+type FleetAlertTransition = fleet.AlertTransition
+
+// Alert states.
+const (
+	AlertFiring   = fleet.AlertFiring
+	AlertResolved = fleet.AlertResolved
+)
+
+// ParseFleetRule parses "name=metric>value" or
+// "name=rate(metric)>=value" into a rule.
+func ParseFleetRule(s string) (FleetRule, error) { return fleet.ParseRule(s) }
+
+// ClusterSummary is the whole-deployment health view served on /cluster.
+type ClusterSummary = fleet.ClusterSummary
 
 // --- Reproduction experiments (paper Section 5) ---
 

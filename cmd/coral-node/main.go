@@ -31,6 +31,7 @@ import (
 	"repro/internal/camnode"
 	"repro/internal/clock"
 	"repro/internal/des"
+	"repro/internal/fleet"
 	"repro/internal/framestore"
 	"repro/internal/geo"
 	"repro/internal/obs"
@@ -80,7 +81,11 @@ func run() error {
 		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long a SIGINT/SIGTERM shutdown may spend draining in-flight work")
 	)
 	rpcFlags := rpc.RegisterFlags(flag.CommandLine)
+	fleetFlags := fleet.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if fleetFlags.NodeID == "" {
+		fleetFlags.NodeID = *id // the camera identity is the natural fleet identity
+	}
 
 	baseLogger, err := obs.InitDefaultLogger(*logLevel, *logFormat)
 	if err != nil {
@@ -216,12 +221,27 @@ func run() error {
 	}
 	defer func() { _ = node.Topology().Close() }()
 
+	// The same named checks back /healthz?v=json and the fleet
+	// heartbeat, so the monitor sees exactly what the node reports.
+	checks := []obs.NamedCheck{
+		{Name: "pipeline", Check: nil}, // liveness of the process itself
+		{Name: "trajstore", Check: func() error {
+			// The batch writer surfaces the last flush failure; a node
+			// that cannot commit edges is serving but not healthy.
+			return trajWriter.Err()
+		}},
+	}
+	obs.RegisterBuildInfo(obs.Default(), fleetFlags.ResolveNodeID(*id), "coral-node")
+	stopFleet, _ := fleetFlags.Start(ctx, "coral-node", obs.Default(), checks, logger)
+	defer stopFleet()
+
 	var obsSrv *obs.Server
 	if *obsListen != "" {
 		mux := obs.NewMuxWith(obs.MuxConfig{
-			Registry: obs.Default(),
-			Tracer:   tracer,
-			PProf:    *obsPProf,
+			Registry:    obs.Default(),
+			Tracer:      tracer,
+			PProf:       *obsPProf,
+			NamedChecks: checks,
 		})
 		if obsSrv, err = obs.Serve(*obsListen, mux); err != nil {
 			return err

@@ -48,6 +48,7 @@ func run() error {
 
 		storeFrames   = flag.Bool("store-frames", false, "ship raw frames to the simulated frame store")
 		frameReplicas = flag.Int("frame-replicas", 1, "frame-store replicas; >1 fans every frame out to all of them")
+		monitor       = flag.Bool("monitor", false, "run the in-sim fleet monitor and serve /cluster* on -obs-listen")
 
 		faultDrop    = flag.Float64("fault-drop-rate", 0, "drop each network message with this probability, in [0,1)")
 		faultErr     = flag.Float64("fault-error-rate", 0, "fail each network send with an injected error with this probability, in [0,1)")
@@ -86,6 +87,7 @@ func run() error {
 		TraceSampleEvery:  *traceSample,
 		StoreFrames:       *storeFrames,
 		FrameReplicas:     *frameReplicas,
+		EnableMonitor:     *monitor,
 		// The fault RNG is derived from -seed inside NewSystem, so two
 		// runs with the same seed inject the same faults.
 		Fault: faultinject.Config{
@@ -137,6 +139,9 @@ func run() error {
 			Tracer:   sys.Tracer(),
 			PProf:    *obsPProf,
 		})
+		if m := sys.Monitor(); m != nil {
+			m.RegisterHTTP(mux)
+		}
 		if obsSrv, err = obs.Serve(*obsListen, mux); err != nil {
 			return err
 		}
@@ -183,6 +188,14 @@ func run() error {
 		st := node.Stats()
 		fmt.Printf("  %-8s %8d %8d %12d %12d %12d\n",
 			id, st.FramesProcessed, st.EventsGenerated, st.InformsSent, st.InformsReceived, st.ReidMatches)
+	}
+
+	if m := sys.Monitor(); m != nil {
+		sum := m.Summary()
+		fmt.Printf("\nfleet health: %d alive, %d dead\n", sum.Alive, sum.Dead)
+		for _, tr := range sum.Transitions {
+			fmt.Printf("  %-12s %s -> %s at t=%s\n", tr.NodeID, tr.From, tr.To, tr.At.Format("15:04:05"))
+		}
 	}
 
 	store := sys.TrajStore()

@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/framestore"
 	"repro/internal/obs"
 	"repro/internal/rpc"
@@ -47,6 +48,7 @@ func run() error {
 		gcInterval   = flag.Duration("gc-interval", time.Minute, "how often retention GC runs when -retain-frames or -retain-bytes is set (0 = only on segment rolls)")
 	)
 	rpcFlags := rpc.RegisterFlags(flag.CommandLine)
+	fleetFlags := fleet.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	baseLogger, err := obs.InitDefaultLogger(*logLevel, *logFormat)
@@ -109,9 +111,30 @@ func run() error {
 	srv.Use(obs.Default(), nil)
 	logger.Info("frame store listening", "addr", ep.Addr(), "dir", *dir)
 
+	// The same named checks back /healthz?v=json and the fleet
+	// heartbeat, so the monitor sees exactly what the node reports.
+	checks := []obs.NamedCheck{
+		{Name: "store", Check: func() error {
+			if *dir == "" {
+				return nil
+			}
+			_, err := os.Stat(*dir)
+			return err
+		}},
+	}
+	obs.RegisterBuildInfo(obs.Default(),
+		fleetFlags.ResolveNodeID("framestore-server"), "framestore-server")
+	stopFleet, _ := fleetFlags.Start(ctx, "framestore-server", obs.Default(), checks, logger)
+	defer stopFleet()
+
 	var obsSrv *obs.Server
 	if *obsListen != "" {
-		mux := obs.NewMuxWith(obs.MuxConfig{Registry: obs.Default(), Tracer: tracer, PProf: *obsPProf})
+		mux := obs.NewMuxWith(obs.MuxConfig{
+			Registry:    obs.Default(),
+			Tracer:      tracer,
+			PProf:       *obsPProf,
+			NamedChecks: checks,
+		})
 		if obsSrv, err = obs.Serve(*obsListen, mux); err != nil {
 			return err
 		}

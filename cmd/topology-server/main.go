@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/roadnet"
 	"repro/internal/rpc"
@@ -47,6 +48,7 @@ func run() error {
 		drain     = flag.Duration("drain-timeout", 5*time.Second, "how long a SIGINT/SIGTERM shutdown may spend draining in-flight work")
 	)
 	rpcFlags := rpc.RegisterFlags(flag.CommandLine)
+	fleetFlags := fleet.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	baseLogger, err := obs.InitDefaultLogger(*logLevel, *logFormat)
@@ -94,9 +96,28 @@ func run() error {
 		return err
 	}
 
+	// The same named checks back /healthz?v=json and the fleet
+	// heartbeat, so the monitor sees exactly what the node reports.
+	checks := []obs.NamedCheck{
+		{Name: "graph", Check: func() error {
+			if graph.NumNodes() == 0 {
+				return fmt.Errorf("road graph is empty")
+			}
+			return nil
+		}},
+	}
+	obs.RegisterBuildInfo(obs.Default(),
+		fleetFlags.ResolveNodeID("topology-server"), "topology-server")
+	stopFleet, _ := fleetFlags.Start(ctx, "topology-server", obs.Default(), checks, logger)
+	defer stopFleet()
+
 	var obsSrv *obs.Server
 	if *obsListen != "" {
-		mux := obs.NewMuxWith(obs.MuxConfig{Registry: obs.Default(), PProf: *obsPProf})
+		mux := obs.NewMuxWith(obs.MuxConfig{
+			Registry:    obs.Default(),
+			PProf:       *obsPProf,
+			NamedChecks: checks,
+		})
 		if obsSrv, err = obs.Serve(*obsListen, mux); err != nil {
 			return err
 		}

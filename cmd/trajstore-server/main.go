@@ -15,6 +15,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/trajstore"
@@ -45,6 +46,7 @@ func run() error {
 		queryCache  = flag.Int("query-cache", trajstore.DefaultQueryCacheSize, "server-side query result cache size in entries (negative = disable)")
 	)
 	rpcFlags := rpc.RegisterFlags(flag.CommandLine)
+	fleetFlags := fleet.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	baseLogger, err := obs.InitDefaultLogger(*logLevel, *logFormat)
@@ -99,12 +101,29 @@ func run() error {
 	logger.Info("trajectory store listening",
 		"addr", srv.Addr(), "dir", *dir, "vertices", fmt.Sprint(store.NumVertices()))
 
+	// The same named checks back /healthz?v=json and the fleet
+	// heartbeat, so the monitor sees exactly what the node reports.
+	checks := []obs.NamedCheck{
+		{Name: "store", Check: func() error {
+			if *dir == "" {
+				return nil
+			}
+			_, err := os.Stat(*dir)
+			return err
+		}},
+	}
+	obs.RegisterBuildInfo(obs.Default(),
+		fleetFlags.ResolveNodeID("trajstore-server"), "trajstore-server")
+	stopFleet, _ := fleetFlags.Start(ctx, "trajstore-server", obs.Default(), checks, logger)
+	defer stopFleet()
+
 	var obsSrv *obs.Server
 	if *obsListen != "" {
 		mux := obs.NewMuxWith(obs.MuxConfig{
-			Registry: obs.Default(),
-			Tracer:   tracer,
-			PProf:    *obsPProf,
+			Registry:    obs.Default(),
+			Tracer:      tracer,
+			PProf:       *obsPProf,
+			NamedChecks: checks,
 		})
 		if obsSrv, err = obs.Serve(*obsListen, mux); err != nil {
 			return err

@@ -4,6 +4,11 @@
 // across the gap. Evidence frames are replicated to two frame stores,
 // and one store is killed alongside the camera: every frame still lands
 // on the survivor, so trajectory verification loses nothing.
+//
+// The in-sim fleet monitor watches the same outage from the health
+// plane: node_down alerts fire for the dead camera and frame store once
+// their heartbeats stop, and resolve after both are recovered late in
+// the run.
 package main
 
 import (
@@ -34,6 +39,9 @@ func run() error {
 		// mid-run costs no evidence.
 		StoreFrames:   true,
 		FrameReplicas: 2,
+		// Run the fleet monitor on simulated time: every node pushes
+		// heartbeats, and node_down alerts track the outage below.
+		EnableMonitor: true,
 	})
 	if err != nil {
 		return err
@@ -85,8 +93,24 @@ func run() error {
 	sys.Run(40 * time.Second) // past the failure + healing
 	fmt.Printf("t=%-4v cam1 east MDCS: %s (healed around cam2)\n",
 		sys.Sim().Now().Round(time.Second), mdcsOf(cam1))
+	printAlerts(sys, "after failure")
+
+	// Recover both nodes at t=110s — after veh-1 has already driven past
+	// the cam2 gap, so its trajectory below still heals around the hole.
+	sys.Sim().Schedule(110*time.Second-sys.Sim().Now(), func() {
+		if err := sys.RecoverCamera("cam2"); err != nil {
+			log.Printf("recover cam2: %v", err)
+			return
+		}
+		if err := sys.RecoverFrameStore(0); err != nil {
+			log.Printf("recover frame store: %v", err)
+			return
+		}
+		fmt.Printf("t=%-4v camera cam2 and frame store 0 RECOVERED\n", sys.Sim().Now().Round(time.Second))
+	})
 
 	sys.Run(sys.World().LastVehicleDone() + 30*time.Second - sys.Sim().Now())
+	printAlerts(sys, "after recovery")
 	sys.Stop()
 	if err := sys.FlushAll(); err != nil {
 		return err
@@ -127,6 +151,20 @@ func run() error {
 		break
 	}
 	return nil
+}
+
+// printAlerts shows the monitor's current view of the outage: node_down
+// alerts fire while heartbeats are missing and resolve once they return.
+func printAlerts(sys *coralpie.System, when string) {
+	active, _ := sys.Monitor().Alerts()
+	fmt.Printf("t=%-4v fleet alerts (%s):\n", sys.Sim().Now().Round(time.Second), when)
+	if len(active) == 0 {
+		fmt.Println("  (none)")
+		return
+	}
+	for _, a := range active {
+		fmt.Printf("  [%s] %s on %s: %s\n", a.State, a.Rule, a.Node, a.Reason)
+	}
 }
 
 func totalFrames(store *coralpie.FrameStore) int {

@@ -156,7 +156,7 @@ func newNodeMetrics(reg *obs.Registry, cameraID string) nodeMetrics {
 	}
 	l := []string{"camera", cameraID}
 	c := func(name, help string) *obs.Counter { return reg.Counter(name, help, l...) }
-	return nodeMetrics{
+	m := nodeMetrics{
 		frames:           c("coralpie_camnode_frames_total", "frames processed"),
 		detectionsRaw:    c("coralpie_camnode_detections_raw_total", "detector boxes before post-processing"),
 		detectionsKept:   c("coralpie_camnode_detections_kept_total", "detections surviving post-processing"),
@@ -175,6 +175,11 @@ func newNodeMetrics(reg *obs.Registry, cameraID string) nodeMetrics {
 		e2eCommit: reg.Histogram("coralpie_e2e_track_commit_seconds",
 			"frame capture to trajectory edge-commit acknowledgement", nil, l...),
 	}
+	// The e2e commit latency is the paper's headline number, so it
+	// carries trace exemplars: a bad bucket on /metrics links straight to
+	// the handoff trace that produced it via /debug/trace.
+	m.e2eCommit.EnableExemplars()
+	return m
 }
 
 // Stats are the node's lifetime counters.
@@ -821,7 +826,10 @@ func (n *Node) edgeCommitted(commitSC obs.SpanContext, capture time.Time, err er
 		n.cfg.Tracer.EndSpan(commitSC, "outcome", outcome)
 	}
 	if err == nil && !capture.IsZero() {
-		n.m.e2eCommit.Observe(n.cfg.Clock.Now().Sub(capture).Seconds())
+		// The commit span context doubles as the exemplar: when this
+		// commit was sampled, the latency bucket it lands in links back to
+		// the full capture→commit trace.
+		n.m.e2eCommit.ObserveWithExemplar(n.cfg.Clock.Now().Sub(capture).Seconds(), commitSC)
 	}
 	n.edgeResult(err)
 }

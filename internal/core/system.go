@@ -17,6 +17,7 @@ import (
 	"repro/internal/camnode"
 	"repro/internal/clock"
 	"repro/internal/des"
+	"repro/internal/fleet"
 	"repro/internal/framestore"
 	"repro/internal/geo"
 	"repro/internal/obs"
@@ -64,6 +65,24 @@ type Config struct {
 	// LivenessCheckInterval is how often the server scans leases
 	// (default: HeartbeatInterval / 2).
 	LivenessCheckInterval time.Duration
+
+	// EnableMonitor runs an in-process fleet monitor: every component
+	// (cameras, topology server, trajectory store, frame-store replicas)
+	// gets a heartbeat agent on a simulator ticker, and the monitor
+	// sweeps liveness on LivenessCheckInterval. Everything runs on the
+	// simulator's virtual clock, so dead-node detection times and alert
+	// transitions are byte-identical across same-seed runs.
+	EnableMonitor bool
+	// MonitorLivenessMultiple sets the fleet monitor's liveness timeout
+	// as a multiple of HeartbeatInterval (default 3 — one more beat of
+	// slack than the topology server's lease timeout, so the data-plane
+	// handoff reacts before the health plane pages anyone).
+	MonitorLivenessMultiple int
+	// AlertRules are the fleet monitor's metric alert rules, evaluated
+	// on every sweep against the system registry (carried by the
+	// topology server's heartbeat — components share one registry in
+	// simulation, so exactly one agent reports it).
+	AlertRules []fleet.Rule
 
 	// DetectorFactory builds the pluggable detector per camera. Default:
 	// the calibrated SimDetector seeded per camera.
@@ -128,6 +147,9 @@ func (c *Config) applyDefaults() {
 	if c.LivenessCheckInterval <= 0 {
 		c.LivenessCheckInterval = c.HeartbeatInterval / 2
 	}
+	if c.MonitorLivenessMultiple <= 0 {
+		c.MonitorLivenessMultiple = 3
+	}
 	if c.Tracker == (tracker.Config{}) {
 		c.Tracker = tracker.DefaultConfig()
 	}
@@ -152,6 +174,7 @@ type cameraRig struct {
 	client    *topology.Client
 	heartbeat *des.Ticker
 	endpoint  transport.Endpoint
+	agent     *fleet.Agent
 	procErrs  int
 }
 
@@ -171,6 +194,11 @@ type System struct {
 	started  bool
 	stopped  bool
 	ctx      context.Context
+
+	monitor      *fleet.Monitor
+	fleetAgents  map[string]*fleet.Agent // service agents by node ID
+	fleetTickers []*des.Ticker
+	monitorSweep *des.Ticker
 
 	reg    *obs.Registry
 	tracer *obs.Tracer
@@ -262,22 +290,61 @@ func NewSystem(cfg Config) (*System, error) {
 		frames[i] = st
 	}
 
-	return &System{
-		cfg:        cfg,
-		sim:        dsim,
-		bus:        bus,
-		world:      world,
-		topo:       topoSrv,
-		traj:       traj,
-		frames:     frames,
-		frameAddrs: frameAddrs,
-		rigs:       make(map[string]*cameraRig),
-		ctx:        context.Background(),
-		reg:        reg,
-		tracer:     tracer,
+	s := &System{
+		cfg:         cfg,
+		sim:         dsim,
+		bus:         bus,
+		world:       world,
+		topo:        topoSrv,
+		traj:        traj,
+		frames:      frames,
+		frameAddrs:  frameAddrs,
+		rigs:        make(map[string]*cameraRig),
+		fleetAgents: make(map[string]*fleet.Agent),
+		ctx:         context.Background(),
+		reg:         reg,
+		tracer:      tracer,
 		drain: reg.Histogram("coralpie_system_shutdown_drain_seconds",
 			"graceful system shutdown duration", nil),
-	}, nil
+	}
+	if cfg.EnableMonitor {
+		s.monitor = fleet.NewMonitor(fleet.MonitorConfig{
+			Clock:           simClock,
+			LivenessTimeout: time.Duration(cfg.MonitorLivenessMultiple) * cfg.HeartbeatInterval,
+			Rules:           cfg.AlertRules,
+			Registry:        reg,
+		})
+		// Service agents. Components share the system registry, so the
+		// topology server's heartbeat carries the metric snapshot and
+		// every other agent omits it — federating the same registry once
+		// per agent would multiply every counter by the fleet size.
+		s.fleetAgents[topologyAddr] = s.newFleetAgent(topologyAddr, "topology-server", topologyAddr, false)
+		s.fleetAgents["trajstore"] = s.newFleetAgent("trajstore", "trajstore", "", true)
+		for _, addr := range frameAddrs {
+			s.fleetAgents[addr] = s.newFleetAgent(addr, "framestore", addr, true)
+		}
+	}
+	return s, nil
+}
+
+// newFleetAgent builds one simulated component's heartbeat agent. Its
+// send path delivers straight into the in-process monitor, but only
+// while busAddr (when non-empty) is attached to the bus — a partitioned
+// node's heartbeats fail exactly like its data traffic.
+func (s *System) newFleetAgent(nodeID, component, busAddr string, omitMetrics bool) *fleet.Agent {
+	return fleet.NewAgent(fleet.AgentConfig{
+		NodeID:      nodeID,
+		Component:   component,
+		Clock:       clock.Func(s.sim.Time),
+		Registry:    s.reg,
+		OmitMetrics: omitMetrics,
+		Send: func(ctx context.Context, hb *fleet.Heartbeat) error {
+			if busAddr != "" && !s.bus.Attached(busAddr) {
+				return fmt.Errorf("core: %q is partitioned", busAddr)
+			}
+			return s.monitor.Ingest(hb)
+		},
+	})
 }
 
 // Sim exposes the simulator (for custom scheduling in experiments).
@@ -430,6 +497,9 @@ func (s *System) AddCamera(cameraID string, pos geo.Point, headingDeg float64) e
 		return err
 	}
 	rig.camera = camera
+	if s.monitor != nil {
+		rig.agent = s.newFleetAgent(cameraID, "coral-node", cameraID, true)
+	}
 	s.rigs[cameraID] = rig
 
 	if s.started {
@@ -448,12 +518,20 @@ func hash64(s string) uint64 {
 }
 
 // startRig begins a camera's heartbeats and frames. The first heartbeat
-// fires immediately so registration precedes the first frames.
+// fires immediately so registration precedes the first frames. The
+// fleet heartbeat rides the same ticker as the topology lease renewal:
+// one failure mode (FailCamera stops the ticker, the partition blocks
+// the send) silences both planes together, as it would on real
+// hardware.
 func (s *System) startRig(rig *cameraRig) {
-	_ = rig.client.SendHeartbeat()
-	rig.heartbeat = s.sim.Every(s.cfg.HeartbeatInterval, func() {
+	beat := func() {
 		_ = rig.client.SendHeartbeat()
-	})
+		if rig.agent != nil {
+			_ = rig.agent.Push(s.ctx)
+		}
+	}
+	beat()
+	rig.heartbeat = s.sim.Every(s.cfg.HeartbeatInterval, beat)
 }
 
 // Start begins heartbeats, liveness checks, and camera frames. Call
@@ -476,6 +554,26 @@ func (s *System) Start(ctx context.Context) {
 	s.liveness = s.sim.Every(s.cfg.LivenessCheckInterval, func() {
 		s.topo.CheckLiveness()
 	})
+	if s.monitor != nil {
+		// Service agents start in sorted node order, then the monitor
+		// sweep: a fixed event order is what makes liveness transitions
+		// and alert sequences byte-identical across same-seed runs.
+		ids := make([]string, 0, len(s.fleetAgents))
+		for id := range s.fleetAgents {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			ag := s.fleetAgents[id]
+			_ = ag.Push(s.ctx)
+			s.fleetTickers = append(s.fleetTickers, s.sim.Every(s.cfg.HeartbeatInterval, func() {
+				_ = ag.Push(s.ctx)
+			}))
+		}
+		s.monitorSweep = s.sim.Every(s.cfg.LivenessCheckInterval, func() {
+			s.monitor.Sweep()
+		})
+	}
 	// Let registration and the first topology push settle before frames
 	// start flowing.
 	s.sim.Schedule(4*s.cfg.NetworkLatency, func() {
@@ -522,6 +620,41 @@ func (s *System) FailCamera(cameraID string) error {
 	return nil
 }
 
+// RecoverCamera reverses FailCamera: the bus heals the camera's
+// partition, its simulated frames resume, and its heartbeats (topology
+// lease and fleet) restart — so the topology server re-registers it and
+// the fleet monitor transitions it back to alive, resolving its
+// node_down alert on the next sweep.
+func (s *System) RecoverCamera(cameraID string) error {
+	rig, ok := s.rigs[cameraID]
+	if !ok {
+		return fmt.Errorf("core: camera %q not found", cameraID)
+	}
+	if err := s.bus.Heal(cameraID); err != nil {
+		return err
+	}
+	if err := s.world.StartCamera(cameraID); err != nil {
+		return err
+	}
+	if s.started && !s.stopped {
+		s.startRig(rig)
+	}
+	return nil
+}
+
+// RecoverFrameStore reverses FailFrameStore: replica i's partition
+// heals, so frame puts and its fleet heartbeats flow again.
+func (s *System) RecoverFrameStore(i int) error {
+	if i < 0 || i >= len(s.frameAddrs) {
+		return fmt.Errorf("core: frame store %d not found (%d replicas)", i, len(s.frameAddrs))
+	}
+	return s.bus.Heal(s.frameAddrs[i])
+}
+
+// Monitor exposes the fleet monitor, or nil unless Config.EnableMonitor
+// was set.
+func (s *System) Monitor() *fleet.Monitor { return s.monitor }
+
 // FlushAll retires all live tracks on every camera, emitting their
 // events; call at the end of a bounded experiment.
 func (s *System) FlushAll() error {
@@ -546,6 +679,12 @@ func (s *System) Stop() {
 	}
 	if s.liveness != nil {
 		s.liveness.Stop()
+	}
+	for _, t := range s.fleetTickers {
+		t.Stop()
+	}
+	if s.monitorSweep != nil {
+		s.monitorSweep.Stop()
 	}
 	s.world.StopCameras()
 }

@@ -1,0 +1,206 @@
+package fleet
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// FleetNode is the synthetic node label value of federated rollup
+// series on /cluster/metrics.
+const FleetNode = "fleet"
+
+// FederateSnapshot merges the most recent metric snapshot of every
+// known node into one obs.Snapshot suitable for WriteSnapshotPrometheus.
+// Each per-node series gains a node="<id>" label (series that already
+// carry a node label, like coralpie_build_info, keep theirs), and each
+// family additionally gets node="fleet" rollup series with the node
+// label stripped:
+//
+//   - counters: summed across nodes
+//   - gauges: the value from the node with the latest SentAt heartbeat
+//     (ties keep the first node in ID order)
+//   - histograms: bucket-wise merged counts plus summed count/sum, but
+//     only across nodes whose bucket bounds agree with the first node's;
+//     disagreeing nodes keep their per-node series and are left out of
+//     the rollup. Exemplars stay on per-node series only.
+//
+// Dead nodes keep contributing their last reported snapshot — the
+// rollup describes everything the monitor knows, and liveness is
+// /cluster's job, not /cluster/metrics'.
+func (m *Monitor) FederateSnapshot() obs.Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	type rollup struct {
+		labels  []obs.Label // node label stripped
+		value   int64       // counters: running sum; gauges: latest
+		gaugeAt time.Time   // SentAt backing the current gauge value
+		count   uint64
+		sum     float64
+		buckets []obs.BucketCount
+		skip    bool // histogram bucket bounds disagreed
+	}
+	type famAgg struct {
+		help    string
+		typ     obs.MetricType
+		series  []obs.MetricSnapshot // per-node series, in append order
+		rollups map[string]*rollup
+		keys    []string // sorted rollup keys
+	}
+	fams := make(map[string]*famAgg)
+	var famNames []string
+
+	for _, id := range m.nodeIDs {
+		n := m.nodes[id]
+		if n.hb.Metrics == nil {
+			continue
+		}
+		for _, fam := range n.hb.Metrics.Families {
+			agg, ok := fams[fam.Name]
+			if !ok {
+				agg = &famAgg{help: fam.Help, typ: fam.Type, rollups: make(map[string]*rollup)}
+				fams[fam.Name] = agg
+				famNames = append(famNames, fam.Name)
+			}
+			if agg.typ != fam.Type {
+				// Same family name exposed with different types by
+				// different builds; keep the first type's series only.
+				continue
+			}
+			for _, ms := range fam.Metrics {
+				series := ms
+				series.Labels = withNodeLabel(ms.Labels, id)
+				agg.series = append(agg.series, series)
+
+				stripped := withoutNodeLabel(ms.Labels)
+				key := labelKey(stripped)
+				r, ok := agg.rollups[key]
+				if !ok {
+					r = &rollup{labels: stripped}
+					agg.rollups[key] = r
+					agg.keys = insertSorted(agg.keys, key)
+				}
+				switch fam.Type {
+				case obs.TypeCounter:
+					r.value += ms.Value
+				case obs.TypeGauge:
+					if r.gaugeAt.IsZero() || n.hb.SentAt.After(r.gaugeAt) {
+						r.value = ms.Value
+						r.gaugeAt = n.hb.SentAt
+					}
+				case obs.TypeHistogram:
+					if r.skip {
+						continue
+					}
+					if r.buckets == nil {
+						r.buckets = append([]obs.BucketCount(nil), ms.Buckets...)
+						r.count = ms.Count
+						r.sum = ms.Sum
+						continue
+					}
+					if !sameBounds(r.buckets, ms.Buckets) {
+						r.skip = true
+						r.buckets = nil
+						continue
+					}
+					for i := range r.buckets {
+						r.buckets[i].Count += ms.Buckets[i].Count
+					}
+					r.count += ms.Count
+					r.sum += ms.Sum
+				}
+			}
+		}
+	}
+
+	sort.Strings(famNames)
+	snap := obs.Snapshot{Families: make([]obs.FamilySnapshot, 0, len(famNames))}
+	for _, name := range famNames {
+		agg := fams[name]
+		fs := obs.FamilySnapshot{Name: name, Help: agg.help, Type: agg.typ}
+		sort.SliceStable(agg.series, func(a, b int) bool {
+			return labelKey(agg.series[a].Labels) < labelKey(agg.series[b].Labels)
+		})
+		fs.Metrics = append(fs.Metrics, agg.series...)
+		for _, key := range agg.keys {
+			r := agg.rollups[key]
+			if r.skip {
+				continue
+			}
+			ms := obs.MetricSnapshot{Labels: withNodeLabel(r.labels, FleetNode)}
+			switch agg.typ {
+			case obs.TypeCounter, obs.TypeGauge:
+				ms.Value = r.value
+			case obs.TypeHistogram:
+				ms.Count = r.count
+				ms.Sum = r.sum
+				ms.Buckets = r.buckets
+			}
+			fs.Metrics = append(fs.Metrics, ms)
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// withNodeLabel returns labels plus node=<id> in sorted key position;
+// labels that already carry a node key are returned copied, unchanged.
+func withNodeLabel(labels []obs.Label, id string) []obs.Label {
+	for _, l := range labels {
+		if l.Name == "node" {
+			return append([]obs.Label(nil), labels...)
+		}
+	}
+	out := make([]obs.Label, 0, len(labels)+1)
+	inserted := false
+	for _, l := range labels {
+		if !inserted && l.Name > "node" {
+			out = append(out, obs.Label{Name: "node", Value: id})
+			inserted = true
+		}
+		out = append(out, l)
+	}
+	if !inserted {
+		out = append(out, obs.Label{Name: "node", Value: id})
+	}
+	return out
+}
+
+// withoutNodeLabel returns labels with any node pair removed.
+func withoutNodeLabel(labels []obs.Label) []obs.Label {
+	out := make([]obs.Label, 0, len(labels))
+	for _, l := range labels {
+		if l.Name != "node" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// labelKey fingerprints a label list for sorting and rollup grouping.
+func labelKey(labels []obs.Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte('\x00')
+		b.WriteString(l.Value)
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// sameBounds reports whether two bucket lists share upper bounds.
+func sameBounds(a, b []obs.BucketCount) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].UpperBound != b[i].UpperBound {
+			return false
+		}
+	}
+	return true
+}

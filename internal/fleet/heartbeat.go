@@ -1,0 +1,89 @@
+// Package fleet is Coral-Pie's cluster-wide health plane. Every node of
+// a geo-distributed deployment — camera nodes, the topology server, the
+// trajectory and frame stores — periodically pushes a compact heartbeat
+// (identity, uptime, per-component readiness, and its obs.Registry
+// snapshot) to a Monitor, which tracks per-node liveness by missed
+// heartbeats, federates the per-node metrics into fleet rollups, and
+// evaluates a small declarative alert-rule engine. The monitor serves
+// the whole-deployment view over HTTP: /cluster (JSON summary),
+// /cluster/metrics (Prometheus text with a node label), and
+// /cluster/alerts (firing/resolved alert state and history).
+//
+// Heartbeats travel over the shared internal/rpc layer, so pushes get
+// the same deadline, retry, metrics, and trace middleware as every
+// other Coral-Pie wire protocol. In the discrete-event simulation the
+// monitor runs in-process against the simulator's virtual clock, so
+// dead-node detection and alert transitions are byte-identical across
+// same-seed runs.
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+// ComponentCheck is one component's readiness as carried by a
+// heartbeat. It mirrors obs.CheckResult field-for-field so the agent
+// can forward /healthz results without copying code.
+type ComponentCheck struct {
+	Component string `json:"component"`
+	OK        bool   `json:"ok"`
+	Err       string `json:"err,omitempty"`
+}
+
+// Heartbeat is one node's periodic report to the monitor.
+type Heartbeat struct {
+	// NodeID is the fleet-unique node identity (-node-id).
+	NodeID string `json:"nodeId"`
+	// Component names what kind of node this is (coral-node,
+	// trajstore-server, ...).
+	Component string `json:"component,omitempty"`
+	// Seq increments per push from one agent, so the monitor can spot
+	// restarts (sequence reset) and out-of-order delivery.
+	Seq uint64 `json:"seq"`
+	// SentAt is the node's clock at push time.
+	SentAt time.Time `json:"sentAt"`
+	// UptimeSeconds is how long the agent has been running.
+	UptimeSeconds float64 `json:"uptimeSeconds,omitempty"`
+	// GoVersion identifies the toolchain the node was built with.
+	GoVersion string `json:"goVersion,omitempty"`
+	// Checks carries the node's per-component readiness — the same
+	// results its own /healthz?v=json reports.
+	Checks []ComponentCheck `json:"checks,omitempty"`
+	// Metrics is the node's registry snapshot, federated by the
+	// monitor into the /cluster/metrics rollup. Nil is allowed: the
+	// node still participates in liveness and check-based alerting.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// checksFromObs converts /healthz check results into wire form.
+func checksFromObs(results []obs.CheckResult) []ComponentCheck {
+	if len(results) == 0 {
+		return nil
+	}
+	out := make([]ComponentCheck, len(results))
+	for i, r := range results {
+		out[i] = ComponentCheck{Component: r.Component, OK: r.OK, Err: r.Err}
+	}
+	return out
+}
+
+// pushRequest is the client -> monitor wire frame.
+type pushRequest struct {
+	Op        string                 `json:"op"`
+	Heartbeat *Heartbeat             `json:"heartbeat,omitempty"`
+	Trace     *protocol.TraceContext `json:"trace,omitempty"`
+}
+
+// TraceContext and SetTraceContext implement rpc.TraceCarrier, so the
+// shared trace middleware can stitch heartbeat pushes into node traces.
+func (r *pushRequest) TraceContext() *protocol.TraceContext      { return r.Trace }
+func (r *pushRequest) SetTraceContext(tc *protocol.TraceContext) { r.Trace = tc }
+
+// pushResponse is the monitor -> client reply frame.
+type pushResponse struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+}

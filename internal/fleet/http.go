@@ -1,0 +1,44 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// RegisterHTTP mounts the monitor's cluster endpoints on mux:
+//
+//   - /cluster          — JSON ClusterSummary: per-node liveness, check
+//     results, and the liveness transition history
+//   - /cluster/metrics  — the federated fleet view in Prometheus text:
+//     every node's series labeled node="<id>" plus node="fleet" rollups
+//   - /cluster/alerts   — JSON alert state: active instances sorted by
+//     (rule, node) and the firing/resolved transition history
+//
+// Binaries hang these off the same obs mux that serves /metrics and
+// /healthz, so one listener exposes both the node's own telemetry and
+// the whole-fleet view when it hosts a monitor.
+func (m *Monitor) RegisterHTTP(mux *http.ServeMux) {
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, m.Summary())
+	})
+	mux.HandleFunc("/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WriteSnapshotPrometheus(w, m.FederateSnapshot())
+	})
+	mux.HandleFunc("/cluster/alerts", func(w http.ResponseWriter, r *http.Request) {
+		active, history := m.Alerts()
+		writeJSON(w, struct {
+			Active  []Alert           `json:"active"`
+			History []AlertTransition `json:"history,omitempty"`
+		}{Active: active, History: history})
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

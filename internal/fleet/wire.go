@@ -1,0 +1,248 @@
+package fleet
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rpc"
+)
+
+// opHeartbeat is the single op of the heartbeat wire protocol.
+const opHeartbeat = "heartbeat"
+
+// maxWireBytes bounds one request/response frame. Heartbeats carry full
+// registry snapshots, so the cap matches the store protocols' 8MB.
+const maxWireBytes = 8 << 20
+
+func writeFrame(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("fleet: marshal frame: %w", err)
+	}
+	if len(data) > maxWireBytes {
+		return fmt.Errorf("fleet: frame too large: %d", len(data))
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("fleet: write frame: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("fleet: write frame: %w", err)
+	}
+	return nil
+}
+
+func readFrame(r io.Reader, v any) error {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("fleet: read frame length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxWireBytes {
+		return fmt.Errorf("fleet: frame too large: %d", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return fmt.Errorf("fleet: read frame: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("fleet: decode frame: %w", err)
+	}
+	return nil
+}
+
+// wireCodec adapts the length-prefixed-JSON heartbeat frames to the
+// generic rpc server, the same shape as the store protocols.
+type wireCodec struct{}
+
+func (wireCodec) ReadRequest(r io.Reader) (*rpc.Request, error) {
+	var req pushRequest
+	if err := readFrame(r, &req); err != nil {
+		return nil, err
+	}
+	return &rpc.Request{Method: req.Op, Body: &req}, nil
+}
+
+func (wireCodec) WriteResponse(w io.Writer, _ *rpc.Request, resp *rpc.Response, herr error) error {
+	if herr != nil {
+		return writeFrame(w, pushResponse{Err: herr.Error()})
+	}
+	return writeFrame(w, *resp.Body.(*pushResponse))
+}
+
+// ServerOptions tunes a heartbeat server beyond the defaults.
+type ServerOptions struct {
+	// WriteTimeout bounds each response write (0 = none).
+	WriteTimeout time.Duration
+	// Interceptors wrap request handling, after trace extraction.
+	Interceptors []rpc.ServerInterceptor
+	// Logger, when non-nil, logs each call with its trace.
+	Logger *obs.Logger
+}
+
+// Server receives heartbeats over TCP and feeds them to a Monitor.
+type Server struct {
+	monitor *Monitor
+	rs      *rpc.Server
+}
+
+// Serve starts a heartbeat server for the monitor on addr (use
+// "127.0.0.1:0" for an ephemeral port).
+func Serve(m *Monitor, addr string) (*Server, error) {
+	return ServeWith(m, addr, ServerOptions{})
+}
+
+// ServeWith starts a heartbeat server with explicit middleware/timeout
+// tuning.
+func ServeWith(m *Monitor, addr string, opts ServerOptions) (*Server, error) {
+	if m == nil {
+		return nil, errors.New("fleet: nil monitor")
+	}
+	s := &Server{monitor: m}
+	ics := opts.Interceptors
+	if opts.Logger != nil {
+		ics = append([]rpc.ServerInterceptor{rpc.WithServerLogging(opts.Logger)}, ics...)
+	}
+	rs, err := rpc.NewServer(addr, wireCodec{}, s.dispatch, rpc.ServerConfig{
+		WriteTimeout: opts.WriteTimeout,
+		Interceptors: ics,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: listen %s: %w", addr, err)
+	}
+	s.rs = rs
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.rs.Addr() }
+
+// dispatch is the base handler under the server chain.
+func (s *Server) dispatch(_ context.Context, req *rpc.Request) (*rpc.Response, error) {
+	wreq := req.Body.(*pushRequest)
+	resp := pushResponse{OK: true}
+	switch wreq.Op {
+	case opHeartbeat:
+		if err := s.monitor.Ingest(wreq.Heartbeat); err != nil {
+			resp = pushResponse{Err: err.Error()}
+		}
+	default:
+		resp = pushResponse{Err: fmt.Sprintf("unknown op %q", wreq.Op)}
+	}
+	return &rpc.Response{Body: &resp}, nil
+}
+
+// Shutdown gracefully stops the server, letting in-flight pushes finish
+// until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error { return s.rs.Shutdown(ctx) }
+
+// Close stops accepting and closes connections immediately.
+func (s *Server) Close() error { return s.rs.Close() }
+
+// ClientConfig tunes the heartbeat client. The zero value selects the
+// defaults noted per field.
+type ClientConfig struct {
+	// CallTimeout bounds one push when the caller's context carries no
+	// deadline of its own. Default 5s.
+	CallTimeout time.Duration
+	// DialBackoffBase is the first retry delay after a failed dial
+	// (default 50ms); DialBackoffMax caps the growth (default 1s).
+	DialBackoffBase time.Duration
+	DialBackoffMax  time.Duration
+	// RetryBudget is how many times one push may retry after its cached
+	// connection proves stale (default 1; negative disables retries).
+	RetryBudget int
+	// Registry receives the client's coralpie_rpc_* telemetry
+	// (component="fleet_client"); nil keeps standalone handles.
+	Registry *obs.Registry
+}
+
+func (cfg ClientConfig) withDefaults() ClientConfig {
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 5 * time.Second
+	}
+	if cfg.DialBackoffBase <= 0 {
+		cfg.DialBackoffBase = 50 * time.Millisecond
+	}
+	if cfg.DialBackoffMax <= 0 {
+		cfg.DialBackoffMax = time.Second
+	}
+	return cfg
+}
+
+// Client pushes heartbeats to a monitor over TCP. It is safe for
+// concurrent use; pushes run through the shared rpc middleware chain
+// (default deadline, trace inject, metrics, retry) and ride out monitor
+// restarts by redialing within the push deadline.
+type Client struct {
+	cc   *rpc.ClientConn
+	call rpc.Handler
+	m    *rpc.Metrics
+}
+
+// Dial prepares a heartbeat client for addr. The dial is lazy: a
+// monitor that is down at node start just makes the first pushes fail
+// (and be counted), which is the desired degraded mode — nodes must not
+// crash because the health plane is unreachable.
+func Dial(addr string, cfg ClientConfig) *Client {
+	cfg = cfg.withDefaults()
+	c := &Client{
+		cc: rpc.NewClientConn(addr, rpc.BackoffConfig{
+			Base: cfg.DialBackoffBase,
+			Max:  cfg.DialBackoffMax,
+		}),
+		m: rpc.NewMetrics(cfg.Registry, "component", "fleet_client"),
+	}
+	chain := []rpc.ClientInterceptor{
+		rpc.WithDefaultDeadline(cfg.CallTimeout),
+		rpc.WithTraceInject(),
+		rpc.WithMetrics(c.m),
+		rpc.WithRetry(c.m.RetryHooks(rpc.RetryConfig{Budget: cfg.RetryBudget})),
+	}
+	c.call = rpc.BindClient(c.roundTrip, chain...)
+	return c
+}
+
+// Push sends one heartbeat, bounded by ctx (or the default call
+// timeout).
+func (c *Client) Push(ctx context.Context, hb *Heartbeat) error {
+	wreq := pushRequest{Op: opHeartbeat, Heartbeat: hb}
+	req := &rpc.Request{Method: opHeartbeat, Addr: c.cc.Addr(), Body: &wreq}
+	_, err := c.call(ctx, req)
+	return err
+}
+
+// roundTrip is the base handler under the middleware chain.
+func (c *Client) roundTrip(ctx context.Context, req *rpc.Request) (*rpc.Response, error) {
+	var wresp pushResponse
+	err := c.cc.Call(ctx, func(conn net.Conn) error {
+		if err := writeFrame(conn, req.Body.(*pushRequest)); err != nil {
+			return err
+		}
+		return readFrame(conn, &wresp)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !wresp.OK {
+		return nil, fmt.Errorf("fleet: monitor rejected heartbeat: %s", wresp.Err)
+	}
+	return &rpc.Response{Body: &wresp}, nil
+}
+
+// Metrics exposes the client's rpc telemetry handles.
+func (c *Client) Metrics() *rpc.Metrics { return c.m }
+
+// Close closes the client connection.
+func (c *Client) Close() error { return c.cc.Close() }

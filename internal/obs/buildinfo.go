@@ -1,0 +1,19 @@
+package obs
+
+import "runtime"
+
+// RegisterBuildInfo registers the coralpie_build_info gauge on reg: a
+// constant-1 gauge whose labels identify what is running where (fleet
+// node identity, binary/component name, Go toolchain version). Every
+// binary registers it at startup, so the monitor's federated view can
+// answer "which build is cam3 running?" without shelling into the node.
+func RegisterBuildInfo(reg *Registry, node, component string) *Gauge {
+	if reg == nil {
+		reg = Default()
+	}
+	g := reg.Gauge("coralpie_build_info",
+		"build and runtime identity of this process (value is always 1)",
+		"node", node, "component", component, "goversion", runtime.Version())
+	g.Set(1)
+	return g
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// unescapeLabel reverses the text-exposition label escaping, as a
+// Prometheus scraper would when parsing the quoted value.
+func unescapeLabel(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i == len(s) {
+			return "", fmt.Errorf("dangling backslash in %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		case '"':
+			b.WriteByte('"')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c in %q", s[i], s)
+		}
+	}
+	return b.String(), nil
+}
+
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	hostile := []string{
+		`plain`,
+		`back\slash`,
+		"new\nline",
+		`quo"te`,
+		`all\of"them` + "\n" + `at\\once`,
+		`trailing\`,
+		"\n",
+	}
+	for _, original := range hostile {
+		escaped := escapeLabel(original)
+		if strings.ContainsAny(escaped, "\n") {
+			t.Errorf("escapeLabel(%q) = %q still contains a raw newline", original, escaped)
+		}
+		back, err := unescapeLabel(escaped)
+		if err != nil {
+			t.Errorf("unescape(%q): %v", escaped, err)
+			continue
+		}
+		if back != original {
+			t.Errorf("round trip %q -> %q -> %q", original, escaped, back)
+		}
+	}
+}
+
+func TestHostileLabelsRenderParseably(t *testing.T) {
+	reg := NewRegistry()
+	hostile := `evil"value` + "\n" + `with\stuff`
+	reg.Counter("coralpie_test_total", "counts", "tag", hostile).Inc()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	// Exactly: name, one escaped label, value — all on one line.
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "coralpie_test_total{") {
+			line = l
+			break
+		}
+	}
+	if line == "" {
+		t.Fatalf("sample line missing in:\n%s", out)
+	}
+	open := strings.Index(line, `{tag="`)
+	close := strings.LastIndex(line, `"}`)
+	if open < 0 || close < 0 {
+		t.Fatalf("malformed sample line %q", line)
+	}
+	back, err := unescapeLabel(line[open+len(`{tag="`) : close])
+	if err != nil {
+		t.Fatalf("rendered label does not parse: %v", err)
+	}
+	if back != hostile {
+		t.Fatalf("rendered label round trip = %q, want %q", back, hostile)
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("coralpie_test_total", "line one\nline two \\ done").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP coralpie_test_total line one\nline two \\ done`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("help not escaped, want %q in:\n%s", want, b.String())
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExemplarRequiresOptIn(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("coralpie_test_seconds", "", []float64{0.1, 1})
+	sc := SpanContext{TraceID: "tr-1", SpanID: "sp-1", Sampled: true}
+
+	h.ObserveWithExemplar(0.05, sc)
+	if h.Exemplar() != nil {
+		t.Fatal("exemplar captured without EnableExemplars")
+	}
+	if h.Count() != 1 {
+		t.Fatalf("observation dropped: count = %d", h.Count())
+	}
+
+	h.EnableExemplars()
+	h.ObserveWithExemplar(0.05, SpanContext{TraceID: "tr-2", SpanID: "sp-2"})
+	if h.Exemplar() != nil {
+		t.Fatal("unsampled context must not become an exemplar")
+	}
+	h.ObserveWithExemplar(0.05, SpanContext{Sampled: true})
+	if h.Exemplar() != nil {
+		t.Fatal("invalid (empty) context must not become an exemplar")
+	}
+
+	h.ObserveWithExemplar(0.05, sc)
+	ex := h.Exemplar()
+	if ex == nil || ex.TraceID != "tr-1" || ex.SpanID != "sp-1" || ex.Value != 0.05 {
+		t.Fatalf("exemplar = %+v, want tr-1/sp-1 @ 0.05", ex)
+	}
+}
+
+func TestExemplarRendersOnMatchingBucket(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("coralpie_test_seconds", "latency", []float64{0.1, 1, 10})
+	h.EnableExemplars()
+	h.Observe(0.05)
+	h.ObserveWithExemplar(0.5, SpanContext{TraceID: "evt-3", SpanID: "cam1-7", Sampled: true})
+
+	var b strings.Builder
+	if err := WriteSnapshotPrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	// The exemplar value 0.5 falls in the le="1" bucket — and only there.
+	want := `coralpie_test_seconds_bucket{le="1"} 2 # {trace_id="evt-3",span_id="cam1-7"} 0.5`
+	if !strings.Contains(out, want) {
+		t.Fatalf("missing exemplar annotation %q in:\n%s", want, out)
+	}
+	if strings.Count(out, "# {trace_id=") != 1 {
+		t.Fatalf("exemplar must annotate exactly one bucket:\n%s", out)
+	}
+}
+
+// TestExemplarResolvesViaDebugTrace is the end-to-end contract: the
+// trace ID an exemplar carries must be resolvable by the same tracer
+// that backs /debug/trace, so an operator can jump from a latency
+// bucket to the trace behind it.
+func TestExemplarResolvesViaDebugTrace(t *testing.T) {
+	tr := NewTracerWith(TracerConfig{Capacity: 16, IDPrefix: "t-"})
+	t0 := time.Unix(0, 0)
+	sc := tr.RecordRoot("commit-1", "e2e_commit", t0, t0.Add(90*time.Millisecond))
+	if !sc.Sampled {
+		t.Fatal("root span unexpectedly unsampled")
+	}
+
+	reg := NewRegistry()
+	h := reg.Histogram("coralpie_e2e_track_commit_seconds", "", []float64{0.1, 1})
+	h.EnableExemplars()
+	h.ObserveWithExemplar(0.09, sc)
+
+	ex := h.Exemplar()
+	if ex == nil {
+		t.Fatal("no exemplar captured")
+	}
+	roots := tr.AssembleTrace(ex.TraceID)
+	if len(roots) == 0 {
+		t.Fatalf("trace %q from exemplar not resolvable by tracer", ex.TraceID)
+	}
+	if roots[0].Span.SpanID != ex.SpanID {
+		t.Fatalf("span %q not the trace root %q", ex.SpanID, roots[0].Span.SpanID)
+	}
+}

@@ -13,6 +13,38 @@ import (
 // HealthCheck reports nil while its subsystem is serving.
 type HealthCheck func() error
 
+// NamedCheck is a HealthCheck attributed to one component, so /healthz
+// can report per-component readiness and the fleet heartbeat can carry
+// the same results to the monitor.
+type NamedCheck struct {
+	Name  string
+	Check HealthCheck
+}
+
+// CheckResult is one component's readiness at evaluation time.
+type CheckResult struct {
+	Component string `json:"component"`
+	OK        bool   `json:"ok"`
+	Err       string `json:"err,omitempty"`
+}
+
+// RunChecks evaluates every named check once. Results keep registration
+// order; a nil check function reports ok.
+func RunChecks(checks []NamedCheck) []CheckResult {
+	out := make([]CheckResult, 0, len(checks))
+	for _, c := range checks {
+		res := CheckResult{Component: c.Name, OK: true}
+		if c.Check != nil {
+			if err := c.Check(); err != nil {
+				res.OK = false
+				res.Err = err.Error()
+			}
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
 // MuxConfig configures NewMuxWith.
 type MuxConfig struct {
 	// Registry backs /metrics and /debug/obs; nil uses Default().
@@ -26,6 +58,11 @@ type MuxConfig struct {
 	PProf bool
 	// Checks back /healthz; with none, /healthz always reports ok.
 	Checks []HealthCheck
+	// NamedChecks back /healthz too, and additionally power its
+	// ?v=json mode: per-component readiness results. Binaries pass the
+	// same slice to their fleet heartbeat agent, so what the monitor
+	// sees is exactly what /healthz reports.
+	NamedChecks []NamedCheck
 }
 
 // NewMux builds the telemetry HTTP handler:
@@ -55,11 +92,46 @@ func NewMuxWith(cfg MuxConfig) *http.ServeMux {
 		_ = reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		results := RunChecks(cfg.NamedChecks)
+		healthy := true
+		for _, res := range results {
+			healthy = healthy && res.OK
+		}
+		var anonErr error
 		for _, check := range cfg.Checks {
 			if err := check(); err != nil {
-				http.Error(w, err.Error(), http.StatusServiceUnavailable)
-				return
+				healthy = false
+				anonErr = err
+				break
 			}
+		}
+		if r.URL.Query().Get("v") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			if !healthy {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				OK         bool          `json:"ok"`
+				Components []CheckResult `json:"components,omitempty"`
+			}{OK: healthy, Components: results})
+			return
+		}
+		if !healthy {
+			msg := "unhealthy"
+			if anonErr != nil {
+				msg = anonErr.Error()
+			} else {
+				for _, res := range results {
+					if !res.OK {
+						msg = res.Component + ": " + res.Err
+						break
+					}
+				}
+			}
+			http.Error(w, msg, http.StatusServiceUnavailable)
+			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")

@@ -77,6 +77,66 @@ func TestHealthzEndpoint(t *testing.T) {
 	}
 }
 
+func TestHealthzJSONPerComponent(t *testing.T) {
+	storeUp := true
+	mux := NewMuxWith(MuxConfig{
+		Registry: NewRegistry(),
+		NamedChecks: []NamedCheck{
+			{Name: "pipeline", Check: nil},
+			{Name: "store", Check: func() error {
+				if !storeUp {
+					return errors.New("store offline")
+				}
+				return nil
+			}},
+		},
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	fetch := func(wantStatus int) struct {
+		OK         bool          `json:"ok"`
+		Components []CheckResult `json:"components"`
+	} {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz?v=json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("status = %d, want %d", resp.StatusCode, wantStatus)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type = %q, want application/json", ct)
+		}
+		var out struct {
+			OK         bool          `json:"ok"`
+			Components []CheckResult `json:"components"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	got := fetch(http.StatusOK)
+	if !got.OK || len(got.Components) != 2 || !got.Components[0].OK || !got.Components[1].OK {
+		t.Fatalf("healthy body = %+v", got)
+	}
+
+	storeUp = false
+	got = fetch(http.StatusServiceUnavailable)
+	if got.OK {
+		t.Fatal("ok=true while a component is failing")
+	}
+	// The healthy component stays individually ok; only the failing one
+	// carries its error.
+	if !got.Components[0].OK || got.Components[1].OK || got.Components[1].Err != "store offline" {
+		t.Fatalf("unhealthy body = %+v", got)
+	}
+}
+
 func TestDebugObsEndpoint(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("coralpie_dbg_total", "").Inc()

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LintMetricNames checks every family in snap against the repo's metric
+// naming conventions and returns one message per violation (empty means
+// clean). The conventions, enforced by make lint-metrics over the
+// registries each binary actually wires:
+//
+//   - every family is prefixed coralpie_
+//   - counters end in _total
+//   - histograms end in _seconds or _bytes (the two units we record)
+//   - gauges do not end in _total (that suffix promises monotonicity)
+//   - no family ends in _bucket, _sum, or _count — those suffixes are
+//     synthesized by the histogram text exposition and would collide
+func LintMetricNames(snap Snapshot) []string {
+	var violations []string
+	for _, fam := range snap.Families {
+		name := fam.Name
+		if !strings.HasPrefix(name, "coralpie_") {
+			violations = append(violations,
+				fmt.Sprintf("%s: missing coralpie_ prefix", name))
+		}
+		for _, reserved := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, reserved) {
+				violations = append(violations,
+					fmt.Sprintf("%s: reserved histogram suffix %s", name, reserved))
+			}
+		}
+		switch fam.Type {
+		case TypeCounter:
+			if !strings.HasSuffix(name, "_total") {
+				violations = append(violations,
+					fmt.Sprintf("%s: counter must end in _total", name))
+			}
+		case TypeHistogram:
+			if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+				violations = append(violations,
+					fmt.Sprintf("%s: histogram must end in _seconds or _bytes", name))
+			}
+		case TypeGauge:
+			if strings.HasSuffix(name, "_total") {
+				violations = append(violations,
+					fmt.Sprintf("%s: gauge must not end in _total", name))
+			}
+		}
+	}
+	return violations
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintMetricNames(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func(r *Registry)
+		wantHit string // substring of the expected violation, "" = clean
+	}{
+		{"clean counter", func(r *Registry) {
+			r.Counter("coralpie_frames_total", "").Inc()
+		}, ""},
+		{"clean histogram seconds", func(r *Registry) {
+			r.Histogram("coralpie_latency_seconds", "", []float64{1}).Observe(0.5)
+		}, ""},
+		{"clean histogram bytes", func(r *Registry) {
+			r.Histogram("coralpie_payload_bytes", "", []float64{1024}).Observe(10)
+		}, ""},
+		{"clean gauge", func(r *Registry) {
+			r.Gauge("coralpie_queue_depth", "").Set(3)
+		}, ""},
+		{"missing prefix", func(r *Registry) {
+			r.Counter("frames_total", "").Inc()
+		}, "missing coralpie_ prefix"},
+		{"counter without _total", func(r *Registry) {
+			r.Counter("coralpie_frames", "").Inc()
+		}, "counter must end in _total"},
+		{"histogram with bad unit", func(r *Registry) {
+			r.Histogram("coralpie_latency_ms", "", []float64{1}).Observe(1)
+		}, "histogram must end in _seconds or _bytes"},
+		{"gauge ending in _total", func(r *Registry) {
+			r.Gauge("coralpie_live_total", "").Set(1)
+		}, "gauge must not end in _total"},
+		{"reserved suffix", func(r *Registry) {
+			r.Gauge("coralpie_queue_count", "").Set(1)
+		}, "reserved histogram suffix _count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := NewRegistry()
+			tc.build(reg)
+			got := LintMetricNames(reg.Snapshot())
+			if tc.wantHit == "" {
+				if len(got) != 0 {
+					t.Fatalf("unexpected violations: %v", got)
+				}
+				return
+			}
+			if len(got) == 0 {
+				t.Fatalf("violation %q not reported", tc.wantHit)
+			}
+			found := false
+			for _, v := range got {
+				found = found || strings.Contains(v, tc.wantHit)
+			}
+			if !found {
+				t.Fatalf("violations %v do not mention %q", got, tc.wantHit)
+			}
+		})
+	}
+}

@@ -1,0 +1,71 @@
+// Package obs_test lints the metric names the system actually wires —
+// not a hand-maintained list. It lives in the external test package so
+// it can import internal/core (which imports obs) without a cycle, and
+// is the test behind `make lint-metrics`.
+package obs_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/roadnet"
+	"repro/internal/sim"
+	"repro/internal/vision"
+)
+
+// TestLintWiredMetricNames boots a full simulated deployment — cameras,
+// topology server, stores, the fleet monitor — runs traffic through it,
+// and lints every metric family the run registered. A new metric with a
+// non-conforming name fails here the moment it is wired.
+func TestLintWiredMetricNames(t *testing.T) {
+	g, ids, err := roadnet.Corridor(3, 150, geo.Point{Lat: 33.7756, Lon: -84.3963})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.Config{
+		Graph:         g,
+		Seed:          11,
+		StoreFrames:   true,
+		FrameReplicas: 2,
+		EnableMonitor: true,
+		DetectorFactory: func(string) (vision.Detector, error) {
+			return vision.PerfectDetector{}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, node := range ids {
+		if err := sys.AddCameraAt("cam"+string(rune('0'+i)), node, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.World().AddVehicle(sim.VehicleSpec{
+		ID: "veh-0", Color: sim.PaletteColor(0), SpeedMPS: 15, Route: ids,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Start(context.Background())
+	sys.Run(sys.World().LastVehicleDone() + 10*time.Second)
+	sys.Stop()
+	if err := sys.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	if v := obs.LintMetricNames(sys.Telemetry().Snapshot()); len(v) != 0 {
+		t.Errorf("system registry violates metric naming:\n  %v", v)
+	}
+	// The federated view must stay lintable too: federation only adds a
+	// node label, never renames families.
+	if v := obs.LintMetricNames(sys.Monitor().FederateSnapshot()); len(v) != 0 {
+		t.Errorf("federated snapshot violates metric naming:\n  %v", v)
+	}
+	snap := sys.Telemetry().Snapshot()
+	if len(snap.Families) < 10 {
+		t.Fatalf("suspiciously few wired families (%d): lint proved nothing", len(snap.Families))
+	}
+}

@@ -90,7 +90,45 @@ type Histogram struct {
 	inf    atomic.Uint64
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+
+	// Exemplar support is opt-in (EnableExemplars): the histogram keeps
+	// the trace coordinates of the most recent sampled observation, so
+	// an operator can jump from a bad latency bucket straight to the
+	// trace that produced it via /debug/trace.
+	exemplars atomic.Bool
+	exemplar  atomic.Pointer[Exemplar]
 }
+
+// Exemplar links one recent histogram observation to the trace that
+// produced it, in the OpenMetrics sense: a sampled value annotated with
+// the trace/span it belongs to.
+type Exemplar struct {
+	TraceID string  `json:"traceId"`
+	SpanID  string  `json:"spanId"`
+	Value   float64 `json:"value"`
+}
+
+// EnableExemplars opts the histogram into exemplar capture. Call once at
+// wiring time; until then ObserveWithExemplar records the value but
+// drops the trace coordinates, so un-opted histograms stay allocation-
+// free.
+func (h *Histogram) EnableExemplars() { h.exemplars.Store(true) }
+
+// ObserveWithExemplar records one sample and, when exemplars are enabled
+// and sc identifies a sampled trace, publishes (sc, v) as the
+// histogram's current exemplar. Unsampled and invalid contexts record
+// the value only — an exemplar must point at a trace that /debug/trace
+// can actually resolve.
+func (h *Histogram) ObserveWithExemplar(v float64, sc SpanContext) {
+	h.Observe(v)
+	if h.exemplars.Load() && sc.Valid() && sc.Sampled {
+		h.exemplar.Store(&Exemplar{TraceID: sc.TraceID, SpanID: sc.SpanID, Value: v})
+	}
+}
+
+// Exemplar returns the most recent sampled exemplar, or nil when none
+// has been captured (or exemplars were never enabled).
+func (h *Histogram) Exemplar() *Exemplar { return h.exemplar.Load() }
 
 // Observe records one sample. It performs no allocation.
 func (h *Histogram) Observe(v float64) {
@@ -354,6 +392,8 @@ type MetricSnapshot struct {
 	Count   uint64        `json:"count,omitempty"`
 	Sum     float64       `json:"sum,omitempty"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
+	// Exemplar is the histogram's most recent sampled exemplar, if any.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // FamilySnapshot is one metric family frozen at snapshot time.
@@ -400,6 +440,7 @@ func (r *Registry) Snapshot() Snapshot {
 			case *Histogram:
 				ms.Count = child.Count()
 				ms.Sum = child.Sum()
+				ms.Exemplar = child.Exemplar()
 				var cum uint64
 				for i, ub := range fam.buckets {
 					cum += child.counts[i].Load()
@@ -431,7 +472,18 @@ func labelsOf(pairs []string) []Label {
 // WritePrometheus renders the registry in Prometheus text exposition
 // format (version 0.0.4). Output ordering is deterministic.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	snap := r.Snapshot()
+	return WriteSnapshotPrometheus(w, r.Snapshot())
+}
+
+// WriteSnapshotPrometheus renders an already-taken snapshot in
+// Prometheus text exposition format. It is the single renderer behind
+// both a registry's /metrics endpoint and the fleet monitor's federated
+// /cluster/metrics view (which synthesizes snapshots that never lived in
+// one registry). Histogram exemplars are appended to the bucket the
+// exemplar value falls in, using OpenMetrics exemplar syntax:
+//
+//	name_bucket{le="0.1"} 5 # {trace_id="evt-3",span_id="cam1-7"} 0.093
+func WriteSnapshotPrometheus(w io.Writer, snap Snapshot) error {
 	var b strings.Builder
 	for _, fam := range snap.Families {
 		if fam.Help != "" {
@@ -445,11 +497,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				writeLabels(&b, m.Labels, "", 0)
 				fmt.Fprintf(&b, " %d\n", m.Value)
 			case TypeHistogram:
-				for _, bc := range m.Buckets {
+				exemplarAt := -1
+				if m.Exemplar != nil {
+					exemplarAt = len(m.Buckets) - 1
+					for i, bc := range m.Buckets {
+						if m.Exemplar.Value <= bc.UpperBound {
+							exemplarAt = i
+							break
+						}
+					}
+				}
+				for i, bc := range m.Buckets {
 					b.WriteString(fam.Name)
 					b.WriteString("_bucket")
 					writeLabels(&b, m.Labels, "le", bc.UpperBound)
-					fmt.Fprintf(&b, " %d\n", bc.Count)
+					fmt.Fprintf(&b, " %d", bc.Count)
+					if i == exemplarAt {
+						fmt.Fprintf(&b, " # {trace_id=%q,span_id=%q} %s",
+							escapeLabel(m.Exemplar.TraceID), escapeLabel(m.Exemplar.SpanID),
+							formatFloat(m.Exemplar.Value))
+					}
+					b.WriteByte('\n')
 				}
 				b.WriteString(fam.Name)
 				b.WriteString("_sum")

@@ -181,6 +181,19 @@ func (w *World) StopCamera(id string) error {
 	return nil
 }
 
+// StartCamera restarts a single stopped camera, simulating a node
+// recovery. Starting a camera that is already ticking is a no-op, so
+// recovery code does not need to track whether the failure ever
+// happened.
+func (w *World) StartCamera(id string) error {
+	c, ok := w.cameras[id]
+	if !ok {
+		return fmt.Errorf("sim: camera %q not found", id)
+	}
+	c.start()
+	return nil
+}
+
 func (c *Camera) start() {
 	if c.ticker != nil {
 		return

@@ -78,9 +78,10 @@ type BatchWriter struct {
 	cl  BatchClient
 	cfg BatchWriterConfig
 
-	mu     sync.Mutex
-	queue  []queuedEdge
-	closed bool
+	mu      sync.Mutex
+	queue   []queuedEdge
+	closed  bool
+	lastErr error // most recent transport-level flush failure, nil after a clean flush
 
 	// flushMu serializes flushes so retried edges cannot be reordered
 	// around a concurrent flush of newer edges' results.
@@ -192,6 +193,15 @@ func (w *BatchWriter) Flush(ctx context.Context) error {
 	}
 }
 
+// Err reports the most recent transport-level flush failure, or nil if
+// the last flush delivered its batch — a cheap health signal: a node
+// whose writer keeps failing is serving but cannot commit edges.
+func (w *BatchWriter) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastErr
+}
+
 // Close drains the queue and stops the background flusher. Edges that
 // still cannot be delivered get their done callbacks invoked with the
 // final error.
@@ -271,6 +281,10 @@ func (w *BatchWriter) flushOnce(ctx context.Context) {
 	rpcCtx, cancel := context.WithTimeout(ctx, w.cfg.FlushTimeout)
 	_, errs, err := w.cl.AddBatchContext(rpcCtx, writes)
 	cancel()
+
+	w.mu.Lock()
+	w.lastErr = err
+	w.mu.Unlock()
 
 	if err != nil {
 		// Transport-level failure: every edge in the batch is undelivered.

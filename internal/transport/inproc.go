@@ -22,6 +22,7 @@ import (
 type Bus struct {
 	mu        sync.Mutex
 	endpoints map[string]*busEndpoint
+	parted    map[string]*busEndpoint
 	sim       *des.Simulator
 	latency   time.Duration
 	faults    rpc.ClientInterceptor
@@ -37,6 +38,7 @@ type Bus struct {
 func NewBus() *Bus {
 	b := &Bus{
 		endpoints: make(map[string]*busEndpoint),
+		parted:    make(map[string]*busEndpoint),
 		m:         newEndpointMetrics(nil, "bus"),
 	}
 	b.initChains()
@@ -50,6 +52,7 @@ func NewBus() *Bus {
 func NewSimBus(sim *des.Simulator, latency time.Duration) *Bus {
 	b := &Bus{
 		endpoints: make(map[string]*busEndpoint),
+		parted:    make(map[string]*busEndpoint),
 		sim:       sim,
 		latency:   latency,
 		m:         newEndpointMetrics(nil, "bus"),
@@ -85,28 +88,62 @@ func (b *Bus) Endpoint(name string) (Endpoint, error) {
 	if _, ok := b.endpoints[name]; ok {
 		return nil, fmt.Errorf("transport: endpoint %q already registered", name)
 	}
+	if _, ok := b.parted[name]; ok {
+		return nil, fmt.Errorf("transport: endpoint %q is partitioned, not free", name)
+	}
 	ep := &busEndpoint{bus: b, name: name}
 	b.endpoints[name] = ep
 	return ep, nil
 }
 
-// Partition drops the named endpoint from the bus without closing it,
-// simulating a network or camera failure: subsequent sends to it fail,
-// and sends from it fail too — a failed camera neither receives nor
-// emits traffic (in particular, its heartbeats stop reaching the
-// topology server).
+// Partition detaches the named endpoint from the bus without closing
+// it, simulating a network or camera failure: subsequent sends to it
+// fail, and sends from it fail too — a failed camera neither receives
+// nor emits traffic (in particular, its heartbeats stop reaching the
+// topology server and the fleet monitor). The endpoint is parked, not
+// destroyed; Heal reattaches it with its handler intact.
 func (b *Bus) Partition(name string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	delete(b.endpoints, name)
+	if ep, ok := b.endpoints[name]; ok {
+		delete(b.endpoints, name)
+		b.parted[name] = ep
+	}
 }
 
-// attached reports whether the endpoint is still on the bus.
-func (b *Bus) attached(name string) bool {
+// Heal reattaches a partitioned endpoint, simulating a node or link
+// recovery: traffic to and from it flows again and its handler is the
+// one it had at partition time. Healing a name that was never
+// partitioned (or was closed for good) is an error.
+func (b *Bus) Heal(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ep, ok := b.parted[name]
+	if !ok {
+		return fmt.Errorf("transport: endpoint %q is not partitioned", name)
+	}
+	delete(b.parted, name)
+	b.endpoints[name] = ep
+	return nil
+}
+
+// Attached reports whether the endpoint is currently on the bus (it
+// exists and is not partitioned). The fleet health plane uses this to
+// decide whether a simulated node's heartbeat can reach the monitor.
+func (b *Bus) Attached(name string) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	_, ok := b.endpoints[name]
 	return ok
+}
+
+// remove drops the endpoint entirely (attached or parked); Close uses
+// it so a closed endpoint's name cannot be healed back.
+func (b *Bus) remove(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.endpoints, name)
+	delete(b.parted, name)
 }
 
 // InjectFaults installs deterministic fault injection (drop, latency,
@@ -288,7 +325,7 @@ func (e *busEndpoint) Send(ctx context.Context, addr string, env protocol.Envelo
 	if closed {
 		return ErrClosed
 	}
-	if !e.bus.attached(e.name) {
+	if !e.bus.Attached(e.name) {
 		return fmt.Errorf("%w: %q is partitioned", ErrClosed, e.name)
 	}
 	req := &rpc.Request{Method: string(env.Type), Addr: addr, Body: &env, OneWay: true}
@@ -304,6 +341,6 @@ func (e *busEndpoint) Close() error {
 	}
 	e.closed = true
 	e.mu.Unlock()
-	e.bus.Partition(e.name)
+	e.bus.remove(e.name)
 	return nil
 }
